@@ -1,0 +1,203 @@
+//! Battery-level analysis (Fig. 4).
+//!
+//! "Fig. 4 shows the battery level as a function of time (left), and the
+//! difference in battery-level from previous sent package versus time of
+//! day, and where red indicates whether the nodes could have been charged
+//! by sunlight since the previous package (right). This allows to estimate
+//! battery depletion." (§2.4)
+
+use crate::stats::{mean, slope_per_second};
+use ctt_core::geo::LatLon;
+use ctt_core::measurement::Series;
+use ctt_core::solar;
+use ctt_core::time::Timestamp;
+
+/// One battery delta between consecutive uplinks — a point of Fig. 4
+/// (right).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatteryDelta {
+    /// Time of the later packet.
+    pub time: Timestamp,
+    /// Hour of day of the later packet (UTC), 0..24.
+    pub hour_of_day: f64,
+    /// Battery change since the previous packet, percentage points.
+    pub delta_pct: f64,
+    /// Change rate, percentage points per hour.
+    pub delta_pct_per_hour: f64,
+    /// Whether the sun was up at any moment since the previous packet —
+    /// the red/black colouring of Fig. 4 (right).
+    pub sunlit: bool,
+}
+
+/// The Fig. 4 analysis results.
+#[derive(Debug, Clone)]
+pub struct BatteryAnalysis {
+    /// Per-packet deltas (Fig. 4 right panel).
+    pub deltas: Vec<BatteryDelta>,
+    /// Mean charge rate while sunlit, %/h (positive when the panel wins).
+    pub sunlit_rate_pct_per_hour: Option<f64>,
+    /// Mean depletion rate in darkness, %/h (negative).
+    pub dark_rate_pct_per_hour: Option<f64>,
+    /// Net trend over the whole series, %/day.
+    pub net_trend_pct_per_day: Option<f64>,
+    /// Days until empty at the net trend, from the last observed level;
+    /// `None` if the battery is not depleting.
+    pub days_to_empty: Option<f64>,
+}
+
+/// Analyze a battery-level series for a node at `pos`.
+pub fn analyze_battery(levels: &Series, pos: LatLon) -> BatteryAnalysis {
+    let mut deltas = Vec::with_capacity(levels.len().saturating_sub(1));
+    for w in levels.points.windows(2) {
+        let (t0, v0) = w[0];
+        let (t1, v1) = w[1];
+        let dt_h = (t1 - t0).as_seconds() as f64 / 3600.0;
+        if dt_h <= 0.0 {
+            continue;
+        }
+        let delta = v1 - v0;
+        deltas.push(BatteryDelta {
+            time: t1,
+            hour_of_day: t1.hour_of_day_f64(),
+            delta_pct: delta,
+            delta_pct_per_hour: delta / dt_h,
+            sunlit: solar::sunlit_between(pos, t0, t1),
+        });
+    }
+    let sunlit_rates: Vec<f64> = deltas
+        .iter()
+        .filter(|d| d.sunlit)
+        .map(|d| d.delta_pct_per_hour)
+        .collect();
+    let dark_rates: Vec<f64> = deltas
+        .iter()
+        .filter(|d| !d.sunlit)
+        .map(|d| d.delta_pct_per_hour)
+        .collect();
+    let net_trend = slope_per_second(levels).map(|s| s * 86_400.0);
+    let days_to_empty = match (net_trend, levels.points.last()) {
+        (Some(trend), Some(&(_, level))) if trend < -1e-6 => Some(level / -trend),
+        _ => None,
+    };
+    BatteryAnalysis {
+        deltas,
+        sunlit_rate_pct_per_hour: mean(&sunlit_rates),
+        dark_rate_pct_per_hour: mean(&dark_rates),
+        net_trend_pct_per_day: net_trend,
+        days_to_empty,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctt_core::battery::{AdaptivePolicy, Battery, BatteryConfig};
+    use ctt_core::deployment::Deployment;
+    use ctt_core::ids::DevEui;
+    use ctt_core::node::{SensorNode, SensorSpec};
+    use ctt_core::time::Span;
+
+    const TRONDHEIM: LatLon = LatLon::new(63.4305, 10.3951);
+
+    /// Run a real node for `days` starting at `start` and return its
+    /// reported battery series.
+    fn battery_series(start: Timestamp, days: i64) -> Series {
+        let d = Deployment::trondheim();
+        let em = d.emission_model(42);
+        let mut node = SensorNode::new(
+            DevEui::ctt(1),
+            ctt_core::emission::Site::urban_background(TRONDHEIM),
+            SensorSpec::reference_grade(),
+            Battery::new(BatteryConfig::default(), 85.0),
+            AdaptivePolicy::default(),
+            start,
+            42,
+        );
+        let mut s = Series::new();
+        let end = start + Span::days(days);
+        while node.next_due() < end {
+            let t = node.next_due();
+            if let Some(r) = node.step(&em, t) {
+                s.push(t, r.battery_pct);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn summer_shows_sunlit_charging_and_dark_drain() {
+        let start = Timestamp::from_civil(2017, 6, 10, 0, 0, 0);
+        let levels = battery_series(start, 6);
+        let a = analyze_battery(&levels, TRONDHEIM);
+        assert!(!a.deltas.is_empty());
+        let sunlit = a.sunlit_rate_pct_per_hour.expect("summer has sun");
+        let dark = a.dark_rate_pct_per_hour.expect("Trondheim June still has a short night");
+        assert!(
+            sunlit > dark,
+            "sunlit rate {sunlit} should exceed dark rate {dark}"
+        );
+        assert!(dark < 0.0, "dark hours must drain: {dark}");
+    }
+
+    #[test]
+    fn winter_depletes_and_predicts_days_to_empty() {
+        let start = Timestamp::from_civil(2017, 12, 1, 0, 0, 0);
+        let levels = battery_series(start, 10);
+        let a = analyze_battery(&levels, TRONDHEIM);
+        let trend = a.net_trend_pct_per_day.expect("trend defined");
+        assert!(trend < 0.0, "polar winter must net-deplete: {trend}");
+        let dte = a.days_to_empty.expect("depleting battery has a horizon");
+        assert!(dte > 0.0 && dte < 400.0, "days to empty {dte}");
+    }
+
+    #[test]
+    fn sunlit_flag_matches_solar_model() {
+        let start = Timestamp::from_civil(2017, 6, 10, 0, 0, 0);
+        let levels = battery_series(start, 2);
+        let a = analyze_battery(&levels, TRONDHEIM);
+        for d in &a.deltas {
+            // Deltas during local midday must be flagged sunlit in June.
+            if (10.0..14.0).contains(&d.hour_of_day) {
+                assert!(d.sunlit, "midday delta not sunlit at {}", d.time);
+            }
+        }
+        // In June Trondheim there are both sunlit and (briefly) dark deltas.
+        assert!(a.deltas.iter().any(|d| d.sunlit));
+    }
+
+    #[test]
+    fn empty_and_single_point_series() {
+        let a = analyze_battery(&Series::new(), TRONDHEIM);
+        assert!(a.deltas.is_empty());
+        assert!(a.days_to_empty.is_none());
+        let mut one = Series::new();
+        one.push(Timestamp(0), 50.0);
+        let a = analyze_battery(&one, TRONDHEIM);
+        assert!(a.deltas.is_empty());
+        assert!(a.net_trend_pct_per_day.is_none());
+    }
+
+    #[test]
+    fn charging_battery_has_no_empty_horizon() {
+        // Strictly increasing series.
+        let s = Series {
+            points: (0..10)
+                .map(|i| (Timestamp(i * 3600), 50.0 + i as f64))
+                .collect(),
+        };
+        let a = analyze_battery(&s, TRONDHEIM);
+        assert!(a.net_trend_pct_per_day.unwrap() > 0.0);
+        assert!(a.days_to_empty.is_none());
+    }
+
+    #[test]
+    fn delta_rates_are_per_hour() {
+        let s = Series {
+            points: vec![(Timestamp(0), 50.0), (Timestamp(7200), 48.0)],
+        };
+        let a = analyze_battery(&s, TRONDHEIM);
+        assert_eq!(a.deltas.len(), 1);
+        assert!((a.deltas[0].delta_pct + 2.0).abs() < 1e-12);
+        assert!((a.deltas[0].delta_pct_per_hour + 1.0).abs() < 1e-12);
+    }
+}

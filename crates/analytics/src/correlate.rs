@@ -1,0 +1,215 @@
+//! Correlation analysis: Pearson, Spearman, and lagged cross-correlation.
+//!
+//! The instrument behind Fig. 5's conclusion: "we can conclude for this
+//! sensor location that traffic is not the only factor that accounts for
+//! the dynamics of the CO2 emission as they exhibit different patterns,
+//! and have no apparent correlation."
+
+use crate::stats::mean;
+use ctt_core::measurement::Series;
+use ctt_core::time::Span;
+
+/// Pearson product-moment correlation; `None` on degenerate input.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    if xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Ranks with average ties.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len());
+    if xs.len() < 2 {
+        return None;
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Cross-correlation of two aligned series at integer lags of `step`.
+/// Positive lag means `b` is shifted later: corr(a(t), b(t + lag)).
+/// Returns `(lag, correlation)` for lags in `[-max_lags, +max_lags]`.
+pub fn cross_correlation(
+    a: &Series,
+    b: &Series,
+    step: Span,
+    max_lags: usize,
+) -> Vec<(Span, f64)> {
+    let mut out = Vec::with_capacity(2 * max_lags + 1);
+    // Index b by timestamp for exact joins.
+    let bmap: std::collections::BTreeMap<i64, f64> = b
+        .points
+        .iter()
+        .map(|&(t, v)| (t.as_seconds(), v))
+        .collect();
+    for lag_i in -(max_lags as i64)..=(max_lags as i64) {
+        let lag = Span::seconds(lag_i * step.as_seconds());
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &(t, v) in &a.points {
+            if let Some(&w) = bmap.get(&(t.as_seconds() + lag.as_seconds())) {
+                xs.push(v);
+                ys.push(w);
+            }
+        }
+        if let Some(r) = pearson(&xs, &ys) {
+            out.push((lag, r));
+        }
+    }
+    out
+}
+
+/// The lag with the strongest absolute correlation.
+pub fn best_lag(ccf: &[(Span, f64)]) -> Option<(Span, f64)> {
+    ccf.iter()
+        .copied()
+        .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+}
+
+/// Qualitative verdict used by the Fig. 5 study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrelationVerdict {
+    /// |r| < 0.3: "no apparent correlation".
+    NoApparent,
+    /// 0.3 ≤ |r| < 0.6: weak.
+    Weak,
+    /// |r| ≥ 0.6: strong.
+    Strong,
+}
+
+impl CorrelationVerdict {
+    /// Classify a correlation coefficient.
+    pub fn of(r: f64) -> Self {
+        let a = r.abs();
+        if a < 0.3 {
+            CorrelationVerdict::NoApparent
+        } else if a < 0.6 {
+            CorrelationVerdict::Weak
+        } else {
+            CorrelationVerdict::Strong
+        }
+    }
+
+    /// The phrase for reports.
+    pub fn phrase(self) -> &'static str {
+        match self {
+            CorrelationVerdict::NoApparent => "no apparent correlation",
+            CorrelationVerdict::Weak => "weak correlation",
+            CorrelationVerdict::Strong => "strong correlation",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctt_core::time::Timestamp;
+
+    #[test]
+    fn pearson_known_cases() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_pos = [2.0, 4.0, 6.0, 8.0];
+        let y_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &y_pos).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &y_neg).unwrap() + 1.0).abs() < 1e-12);
+        // Uncorrelated-by-construction.
+        let y_flat = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&x, &y_flat), None);
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+    }
+
+    #[test]
+    fn spearman_handles_nonlinearity() {
+        // y = x³ is monotone: Spearman 1, Pearson < 1.
+        let x: Vec<f64> = (1..20).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.powi(3)).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn spearman_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    fn series(pts: &[(i64, f64)]) -> Series {
+        Series::from_points(pts.iter().map(|&(t, v)| (Timestamp(t), v)).collect())
+    }
+
+    #[test]
+    fn cross_correlation_finds_shift() {
+        // b is a delayed by exactly 2 steps.
+        let n = 200i64;
+        let step = Span::seconds(60);
+        let sig = |i: i64| ((i as f64) * 0.3).sin() + 0.3 * ((i as f64) * 0.05).cos();
+        let a = series(&(0..n).map(|i| (i * 60, sig(i))).collect::<Vec<_>>());
+        let b = series(&(0..n).map(|i| (i * 60, sig(i - 2))).collect::<Vec<_>>());
+        let ccf = cross_correlation(&a, &b, step, 5);
+        let (lag, r) = best_lag(&ccf).unwrap();
+        assert_eq!(lag, Span::seconds(120), "b lags a by 2 steps");
+        assert!(r > 0.99, "peak correlation {r}");
+    }
+
+    #[test]
+    fn zero_lag_is_pearson() {
+        let a = series(&[(0, 1.0), (60, 2.0), (120, 3.0), (180, 2.5)]);
+        let b = series(&[(0, 2.0), (60, 4.1), (120, 6.0), (180, 5.2)]);
+        let ccf = cross_correlation(&a, &b, Span::seconds(60), 0);
+        assert_eq!(ccf.len(), 1);
+        let direct = pearson(&[1.0, 2.0, 3.0, 2.5], &[2.0, 4.1, 6.0, 5.2]).unwrap();
+        assert!((ccf[0].1 - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verdict_bands() {
+        assert_eq!(CorrelationVerdict::of(0.1), CorrelationVerdict::NoApparent);
+        assert_eq!(CorrelationVerdict::of(-0.25), CorrelationVerdict::NoApparent);
+        assert_eq!(CorrelationVerdict::of(0.45), CorrelationVerdict::Weak);
+        assert_eq!(CorrelationVerdict::of(-0.8), CorrelationVerdict::Strong);
+        assert_eq!(
+            CorrelationVerdict::of(0.05).phrase(),
+            "no apparent correlation"
+        );
+    }
+}

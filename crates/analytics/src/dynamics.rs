@@ -1,0 +1,218 @@
+//! The CO2-dynamics-vs-traffic study (Fig. 5).
+//!
+//! "Dynamics of CO2 emissions and possible links to traffic in the form of
+//! a traffic jam factor (from here.com data) ... we can conclude for this
+//! sensor location that traffic is not the only factor that accounts for
+//! the dynamics of the CO2 emission as they exhibit different patterns,
+//! and have no apparent correlation." (§2.4)
+//!
+//! The study aligns a pollutant series against the jam-factor series,
+//! computes diurnal profiles, correlations at lag zero and across lags,
+//! and produces the qualitative verdict.
+
+use crate::correlate::{best_lag, cross_correlation, pearson, spearman, CorrelationVerdict};
+use crate::stats::mean;
+use ctt_core::measurement::Series;
+use ctt_core::time::{Span, HOUR};
+
+/// Mean value by hour of day (UTC); `None` for unobserved hours.
+pub fn diurnal_profile(series: &Series) -> [Option<f64>; 24] {
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); 24];
+    for &(t, v) in &series.points {
+        buckets[(t.seconds_of_day() / HOUR) as usize].push(v);
+    }
+    let mut out = [None; 24];
+    for (h, b) in buckets.iter().enumerate() {
+        out[h] = mean(b);
+    }
+    out
+}
+
+/// The full Fig. 5 study output.
+#[derive(Debug, Clone)]
+pub struct DynamicsStudy {
+    /// Pearson correlation at lag 0.
+    pub pearson_r: f64,
+    /// Spearman rank correlation at lag 0.
+    pub spearman_r: f64,
+    /// Strongest lagged correlation `(lag, r)` within ±6 hours.
+    pub best_lag: (Span, f64),
+    /// Qualitative verdict on the lag-0 Pearson correlation.
+    pub verdict: CorrelationVerdict,
+    /// Diurnal profile of the pollutant.
+    pub pollutant_diurnal: [Option<f64>; 24],
+    /// Diurnal profile of the jam factor.
+    pub traffic_diurnal: [Option<f64>; 24],
+    /// Number of aligned samples.
+    pub n: usize,
+}
+
+impl DynamicsStudy {
+    /// The paper's sentence for this study.
+    pub fn conclusion(&self) -> String {
+        format!(
+            "r = {:.3} ({}); strongest lag {} at r = {:.3}; n = {}",
+            self.pearson_r,
+            self.verdict.phrase(),
+            self.best_lag.0,
+            self.best_lag.1,
+            self.n
+        )
+    }
+}
+
+/// Run the study on a pollutant series vs a jam-factor series sampled on
+/// the same grid (`step`). Returns `None` with fewer than 24 aligned
+/// samples.
+pub fn study(pollutant: &Series, jam: &Series, step: Span) -> Option<DynamicsStudy> {
+    // Align on equal timestamps.
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let jmap: std::collections::BTreeMap<i64, f64> = jam
+        .points
+        .iter()
+        .map(|&(t, v)| (t.as_seconds(), v))
+        .collect();
+    for &(t, v) in &pollutant.points {
+        if let Some(&w) = jmap.get(&t.as_seconds()) {
+            xs.push(v);
+            ys.push(w);
+        }
+    }
+    if xs.len() < 24 {
+        return None;
+    }
+    let pearson_r = pearson(&xs, &ys)?;
+    let spearman_r = spearman(&xs, &ys)?;
+    let max_lags = (6 * HOUR / step.as_seconds().max(1)) as usize;
+    let ccf = cross_correlation(pollutant, jam, step, max_lags.min(72));
+    let best = best_lag(&ccf)?;
+    Some(DynamicsStudy {
+        pearson_r,
+        spearman_r,
+        best_lag: best,
+        verdict: CorrelationVerdict::of(pearson_r),
+        pollutant_diurnal: diurnal_profile(pollutant),
+        traffic_diurnal: diurnal_profile(jam),
+        n: xs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctt_core::deployment::Deployment;
+    use ctt_core::emission::Site;
+    use ctt_core::time::{TimeRange, Timestamp};
+
+    /// Build one week of aligned CO2 / NO2 / jam-factor series from the
+    /// coupled models — the exact data flow behind Fig. 5.
+    fn week_series() -> (Series, Series, Series) {
+        let d = Deployment::trondheim();
+        let em = d.emission_model(42);
+        let site = Site::urban_background(d.center);
+        let from = Timestamp::from_civil(2017, 5, 1, 0, 0, 0);
+        let to = from + Span::days(7);
+        let step = Span::minutes(15);
+        let mut co2 = Series::new();
+        let mut no2 = Series::new();
+        let mut jam = Series::new();
+        for t in TimeRange::new(from, to, step) {
+            let p = em.sample(&site, t);
+            co2.push(t, p.co2_ppm);
+            no2.push(t, p.no2_ppb);
+            jam.push(t, em.traffic().jam_factor(t));
+        }
+        (co2, no2, jam)
+    }
+
+    #[test]
+    fn co2_vs_jam_reproduces_no_apparent_correlation() {
+        let (co2, _, jam) = week_series();
+        let s = study(&co2, &jam, Span::minutes(15)).unwrap();
+        // The headline qualitative result of Fig. 5.
+        assert!(
+            s.pearson_r.abs() < 0.35,
+            "CO2–jam correlation unexpectedly strong: {}",
+            s.pearson_r
+        );
+        assert_ne!(s.verdict, CorrelationVerdict::Strong);
+        assert_eq!(s.n, 7 * 24 * 4);
+        assert!(s.conclusion().contains("correlation"));
+    }
+
+    #[test]
+    fn no2_vs_jam_is_clearly_stronger() {
+        // Sanity check that the weak CO2 result is not an artifact: NO2,
+        // which *is* traffic-driven, correlates much better with congestion
+        // patterns at the same site.
+        let (co2, no2, jam) = week_series();
+        let s_co2 = study(&co2, &jam, Span::minutes(15)).unwrap();
+        let s_no2 = study(&no2, &jam, Span::minutes(15)).unwrap();
+        assert!(
+            s_no2.pearson_r > s_co2.pearson_r + 0.15,
+            "NO2 {} vs CO2 {}",
+            s_no2.pearson_r,
+            s_co2.pearson_r
+        );
+    }
+
+    #[test]
+    fn diurnal_profiles_differ_in_shape() {
+        // "they exhibit different patterns": CO2 peaks at night (shallow
+        // boundary layer), jam factor peaks at rush hours.
+        let (co2, _, jam) = week_series();
+        let s = study(&co2, &jam, Span::minutes(15)).unwrap();
+        let co2_profile: Vec<f64> = s.pollutant_diurnal.iter().map(|v| v.unwrap()).collect();
+        let jam_profile: Vec<f64> = s.traffic_diurnal.iter().map(|v| v.unwrap()).collect();
+        let co2_peak_hour = (0..24).max_by(|&a, &b| co2_profile[a].total_cmp(&co2_profile[b])).unwrap();
+        let jam_peak_hour = (0..24).max_by(|&a, &b| jam_profile[a].total_cmp(&jam_profile[b])).unwrap();
+        assert_ne!(co2_peak_hour, jam_peak_hour, "profiles should peak at different hours");
+        // Jam factor peaks during commuting hours (UTC 6–17 at 10°E).
+        assert!((5..18).contains(&jam_peak_hour), "jam peak at {jam_peak_hour}");
+    }
+
+    #[test]
+    fn diurnal_profile_basic() {
+        let mut s = Series::new();
+        // Two days: value = hour.
+        for day in 0..2i64 {
+            for h in 0..24i64 {
+                s.push(Timestamp(day * 86_400 + h * 3600), h as f64);
+            }
+        }
+        let p = diurnal_profile(&s);
+        for (h, v) in p.iter().enumerate() {
+            assert_eq!(*v, Some(h as f64));
+        }
+        // Sparse series leaves holes.
+        let sparse = Series {
+            points: vec![(Timestamp(0), 1.0)],
+        };
+        let p = diurnal_profile(&sparse);
+        assert_eq!(p[0], Some(1.0));
+        assert!(p[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn study_requires_enough_data() {
+        let tiny = Series {
+            points: (0..5).map(|i| (Timestamp(i * 900), 1.0 + i as f64)).collect(),
+        };
+        assert!(study(&tiny, &tiny, Span::minutes(15)).is_none());
+    }
+
+    #[test]
+    fn study_on_identical_series_is_perfect() {
+        let s = Series {
+            points: (0..200)
+                .map(|i| (Timestamp(i * 900), ((i as f64) * 0.1).sin() + 2.0))
+                .collect(),
+        };
+        let st = study(&s, &s, Span::minutes(15)).unwrap();
+        assert!((st.pearson_r - 1.0).abs() < 1e-12);
+        assert!((st.spearman_r - 1.0).abs() < 1e-12);
+        assert_eq!(st.best_lag.0, Span::seconds(0));
+        assert_eq!(st.verdict, CorrelationVerdict::Strong);
+    }
+}

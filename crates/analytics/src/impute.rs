@@ -1,0 +1,245 @@
+//! Missing-data handling.
+//!
+//! §2.2: "The sensor network has the usual issues of missing data that is
+//! ... being handled by standard methods in the analyses." Gap detection
+//! against the expected cadence, plus three imputers: LOCF, linear, and a
+//! diurnal-profile filler that respects the strong daily cycles of urban
+//! air quality.
+
+use crate::stats::mean;
+use ctt_core::measurement::Series;
+use ctt_core::time::{Span, Timestamp, HOUR};
+
+/// A detected gap in a series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gap {
+    /// Last timestamp before the gap.
+    pub before: Timestamp,
+    /// First timestamp after the gap.
+    pub after: Timestamp,
+    /// Number of expected-but-missing points.
+    pub missing_points: usize,
+}
+
+/// Find gaps where consecutive points are more than `tolerance ×
+/// expected_cadence` apart.
+pub fn find_gaps(series: &Series, expected_cadence: Span, tolerance: f64) -> Vec<Gap> {
+    assert!(expected_cadence.as_seconds() > 0);
+    let threshold = expected_cadence.as_seconds() as f64 * tolerance;
+    series
+        .points
+        .windows(2)
+        .filter_map(|w| {
+            let dt = (w[1].0 - w[0].0).as_seconds() as f64;
+            if dt > threshold {
+                Some(Gap {
+                    before: w[0].0,
+                    after: w[1].0,
+                    missing_points: (dt / expected_cadence.as_seconds() as f64).round() as usize - 1,
+                })
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Data completeness in [0, 1]: actual points / expected points over the
+/// series' own span at the given cadence.
+pub fn completeness(series: &Series, expected_cadence: Span) -> f64 {
+    let Some((first, last)) = series.time_span() else {
+        return 0.0;
+    };
+    let expected = (last - first).as_seconds() / expected_cadence.as_seconds() + 1;
+    (series.len() as f64 / expected as f64).min(1.0)
+}
+
+/// Imputation method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImputeMethod {
+    /// Last observation carried forward.
+    Locf,
+    /// Linear interpolation across the gap.
+    Linear,
+    /// Fill with the series' mean value at the same hour of day.
+    DiurnalProfile,
+}
+
+/// Fill gaps on the regular grid implied by `cadence`: inserts synthetic
+/// points at the missing grid positions. Returns the filled series and the
+/// number of imputed points. Original points are preserved exactly.
+pub fn impute(series: &Series, cadence: Span, method: ImputeMethod) -> (Series, usize) {
+    if series.len() < 2 {
+        return (series.clone(), 0);
+    }
+    // Diurnal profile: mean by hour-of-day from observed data.
+    let profile: Vec<Option<f64>> = if method == ImputeMethod::DiurnalProfile {
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); 24];
+        for &(t, v) in &series.points {
+            buckets[(t.seconds_of_day() / HOUR) as usize].push(v);
+        }
+        buckets.iter().map(|b| mean(b)).collect()
+    } else {
+        Vec::new()
+    };
+    let mut out = Vec::with_capacity(series.len());
+    let mut imputed = 0;
+    for w in series.points.windows(2) {
+        let (t0, v0) = w[0];
+        let (t1, v1) = w[1];
+        out.push((t0, v0));
+        let dt = (t1 - t0).as_seconds();
+        let step = cadence.as_seconds();
+        if dt > step {
+            let missing = dt / step - if dt % step == 0 { 1 } else { 0 };
+            for k in 1..=missing {
+                let t = Timestamp(t0.as_seconds() + k * step);
+                if t >= t1 {
+                    break;
+                }
+                let v = match method {
+                    ImputeMethod::Locf => v0,
+                    ImputeMethod::Linear => {
+                        let frac = (t - t0).as_seconds() as f64 / dt as f64;
+                        v0 + (v1 - v0) * frac
+                    }
+                    ImputeMethod::DiurnalProfile => {
+                        let hour = (t.seconds_of_day() / HOUR) as usize;
+                        profile[hour].unwrap_or_else(|| {
+                            // Fall back to linear when the hour was never
+                            // observed.
+                            let frac = (t - t0).as_seconds() as f64 / dt as f64;
+                            v0 + (v1 - v0) * frac
+                        })
+                    }
+                };
+                out.push((t, v));
+                imputed += 1;
+            }
+        }
+    }
+    out.push(*series.points.last().expect("len >= 2"));
+    (Series { points: out }, imputed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(pts: &[(i64, f64)]) -> Series {
+        Series::from_points(pts.iter().map(|&(t, v)| (Timestamp(t), v)).collect())
+    }
+
+    #[test]
+    fn find_gaps_basic() {
+        let s = series(&[(0, 1.0), (300, 2.0), (1500, 3.0), (1800, 4.0)]);
+        let gaps = find_gaps(&s, Span::minutes(5), 1.5);
+        assert_eq!(gaps.len(), 1);
+        assert_eq!(gaps[0].before, Timestamp(300));
+        assert_eq!(gaps[0].after, Timestamp(1500));
+        assert_eq!(gaps[0].missing_points, 3);
+    }
+
+    #[test]
+    fn no_gaps_in_regular_series() {
+        let s = series(&(0..10).map(|i| (i * 300, 1.0)).collect::<Vec<_>>());
+        assert!(find_gaps(&s, Span::minutes(5), 1.5).is_empty());
+    }
+
+    #[test]
+    fn completeness_metric() {
+        let full = series(&(0..10).map(|i| (i * 300, 1.0)).collect::<Vec<_>>());
+        assert!((completeness(&full, Span::minutes(5)) - 1.0).abs() < 1e-12);
+        // Half the points missing.
+        let half = series(&(0..10).filter(|i| i % 2 == 0).map(|i| (i * 300, 1.0)).collect::<Vec<_>>());
+        let c = completeness(&half, Span::minutes(5));
+        assert!((0.45..0.65).contains(&c), "completeness {c}");
+        assert_eq!(completeness(&Series::new(), Span::minutes(5)), 0.0);
+    }
+
+    #[test]
+    fn locf_fills_grid() {
+        let s = series(&[(0, 1.0), (1200, 5.0)]);
+        let (filled, n) = impute(&s, Span::minutes(5), ImputeMethod::Locf);
+        assert_eq!(n, 3);
+        assert_eq!(
+            filled.points,
+            vec![
+                (Timestamp(0), 1.0),
+                (Timestamp(300), 1.0),
+                (Timestamp(600), 1.0),
+                (Timestamp(900), 1.0),
+                (Timestamp(1200), 5.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn linear_fills_grid() {
+        let s = series(&[(0, 0.0), (1200, 4.0)]);
+        let (filled, n) = impute(&s, Span::minutes(5), ImputeMethod::Linear);
+        assert_eq!(n, 3);
+        assert_eq!(filled.points[1], (Timestamp(300), 1.0));
+        assert_eq!(filled.points[2], (Timestamp(600), 2.0));
+        assert_eq!(filled.points[3], (Timestamp(900), 3.0));
+    }
+
+    #[test]
+    fn diurnal_profile_uses_hourly_mean() {
+        // Two days of hourly data with a strong diurnal shape, then a gap on
+        // day 3 at a known hour.
+        let mut pts = Vec::new();
+        for day in 0..2i64 {
+            for hour in 0..24i64 {
+                let t = day * 86_400 + hour * 3600;
+                pts.push((t, hour as f64 * 10.0)); // value == hour×10
+            }
+        }
+        // Day 3: points at hour 0 and hour 6, gap between.
+        pts.push((2 * 86_400, 0.0));
+        pts.push((2 * 86_400 + 6 * 3600, 60.0));
+        let s = series(&pts);
+        let (filled, n) = impute(&s, Span::hours(1), ImputeMethod::DiurnalProfile);
+        assert_eq!(n, 5);
+        // The imputed value at hour 3 of day 3 is the profile mean = 30.
+        let v = filled
+            .points
+            .iter()
+            .find(|(t, _)| *t == Timestamp(2 * 86_400 + 3 * 3600))
+            .unwrap()
+            .1;
+        assert!((v - 30.0).abs() < 1e-9, "imputed {v}");
+    }
+
+    #[test]
+    fn original_points_preserved() {
+        let s = series(&[(0, 1.5), (900, 2.5), (1200, 3.5)]);
+        let (filled, _) = impute(&s, Span::minutes(5), ImputeMethod::Linear);
+        for p in &s.points {
+            assert!(filled.points.contains(p), "lost original {p:?}");
+        }
+    }
+
+    #[test]
+    fn short_series_untouched() {
+        let s = series(&[(0, 1.0)]);
+        let (filled, n) = impute(&s, Span::minutes(5), ImputeMethod::Locf);
+        assert_eq!(n, 0);
+        assert_eq!(filled, s);
+        let (filled, n) = impute(&Series::new(), Span::minutes(5), ImputeMethod::Locf);
+        assert_eq!(n, 0);
+        assert!(filled.is_empty());
+    }
+
+    #[test]
+    fn irregular_offset_gap() {
+        // Gap not aligned to the cadence grid: fill stays strictly inside.
+        let s = series(&[(100, 1.0), (1000, 2.0)]);
+        let (filled, n) = impute(&s, Span::seconds(300), ImputeMethod::Linear);
+        assert_eq!(n, 2); // at 400 and 700
+        assert!(filled
+            .points
+            .iter()
+            .all(|&(t, _)| t <= Timestamp(1000) && t >= Timestamp(100)));
+    }
+}

@@ -1,0 +1,221 @@
+//! Temporal pattern analysis and anomaly browsing.
+//!
+//! §2.4 names "understanding of patterns" and "daily and seasonal
+//! patterns" among the running analyses, and §3 lets citizens "browse
+//! historic data in the system to investigate anomalous emission levels".
+
+use crate::stats::{mean, std_dev};
+use ctt_core::measurement::Series;
+use ctt_core::time::Timestamp;
+
+/// Weekday-vs-weekend diurnal comparison.
+#[derive(Debug, Clone)]
+pub struct WeekSplit {
+    /// Mean by hour of day on weekdays.
+    pub weekday: [Option<f64>; 24],
+    /// Mean by hour of day on weekends.
+    pub weekend: [Option<f64>; 24],
+}
+
+/// Split a series into weekday/weekend diurnal profiles.
+pub fn week_split(series: &Series) -> WeekSplit {
+    let mut wd: Vec<Vec<f64>> = vec![Vec::new(); 24];
+    let mut we: Vec<Vec<f64>> = vec![Vec::new(); 24];
+    for &(t, v) in &series.points {
+        let h = (t.seconds_of_day() / 3600) as usize;
+        if t.weekday().is_weekend() {
+            we[h].push(v);
+        } else {
+            wd[h].push(v);
+        }
+    }
+    let collect = |b: Vec<Vec<f64>>| {
+        let mut out = [None; 24];
+        for (h, vals) in b.iter().enumerate() {
+            out[h] = mean(vals);
+        }
+        out
+    };
+    WeekSplit {
+        weekday: collect(wd),
+        weekend: collect(we),
+    }
+}
+
+/// Mean by calendar month (1..=12); `None` for unobserved months.
+pub fn monthly_means(series: &Series) -> [Option<f64>; 12] {
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); 12];
+    for &(t, v) in &series.points {
+        buckets[(t.civil().month - 1) as usize].push(v);
+    }
+    let mut out = [None; 12];
+    for (m, b) in buckets.iter().enumerate() {
+        out[m] = mean(b);
+    }
+    out
+}
+
+/// One day's aggregate with its anomaly score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DayScore {
+    /// Midnight of the day.
+    pub day: Timestamp,
+    /// Daily mean value.
+    pub mean: f64,
+    /// Standard score against the whole-period daily-mean distribution.
+    pub z: f64,
+}
+
+/// Daily means of a series.
+pub fn daily_means(series: &Series) -> Vec<(Timestamp, f64)> {
+    let mut out: Vec<(Timestamp, f64)> = Vec::new();
+    let mut cur_day: Option<Timestamp> = None;
+    let mut acc: Vec<f64> = Vec::new();
+    for &(t, v) in &series.points {
+        let day = t.midnight();
+        if Some(day) != cur_day {
+            if let (Some(d), Some(m)) = (cur_day, mean(&acc)) {
+                out.push((d, m));
+            }
+            cur_day = Some(day);
+            acc.clear();
+        }
+        acc.push(v);
+    }
+    if let (Some(d), Some(m)) = (cur_day, mean(&acc)) {
+        out.push((d, m));
+    }
+    out
+}
+
+/// Find anomalous days: daily means with |z| above `threshold` relative to
+/// the distribution of all daily means. This is the citizens' "investigate
+/// anomalous emission levels" browser.
+pub fn anomalous_days(series: &Series, threshold: f64) -> Vec<DayScore> {
+    let daily = daily_means(series);
+    let values: Vec<f64> = daily.iter().map(|&(_, v)| v).collect();
+    let (Some(m), Some(sd)) = (mean(&values), std_dev(&values)) else {
+        return Vec::new();
+    };
+    if sd == 0.0 {
+        return Vec::new();
+    }
+    daily
+        .into_iter()
+        .map(|(day, v)| DayScore {
+            day,
+            mean: v,
+            z: (v - m) / sd,
+        })
+        .filter(|d| d.z.abs() > threshold)
+        .collect()
+}
+
+/// Strength of the diurnal cycle: (max − min) of the hourly profile divided
+/// by the overall mean. Zero for flat series.
+pub fn diurnal_amplitude(series: &Series) -> Option<f64> {
+    let profile = crate::dynamics::diurnal_profile(series);
+    let vals: Vec<f64> = profile.iter().flatten().copied().collect();
+    if vals.is_empty() {
+        return None;
+    }
+    let overall = mean(&vals)?;
+    if overall == 0.0 {
+        return None;
+    }
+    let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    Some((max - min) / overall.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctt_core::time::Span;
+
+    /// Hourly series over `days` days starting Monday 2017-05-01, with a
+    /// value function of (day index, hour).
+    fn hourly(days: i64, f: impl Fn(i64, i64) -> f64) -> Series {
+        let start = Timestamp::from_civil(2017, 5, 1, 0, 0, 0); // a Monday
+        let mut s = Series::new();
+        for d in 0..days {
+            for h in 0..24 {
+                s.push(start + Span::days(d) + Span::hours(h), f(d, h));
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn week_split_separates_profiles() {
+        // Weekdays: value 10 at all hours; weekends: 3.
+        let s = hourly(14, |d, _| if (d % 7) >= 5 { 3.0 } else { 10.0 });
+        let split = week_split(&s);
+        assert_eq!(split.weekday[8], Some(10.0));
+        assert_eq!(split.weekend[8], Some(3.0));
+    }
+
+    #[test]
+    fn monthly_means_bucket_by_month() {
+        let mut s = Series::new();
+        s.push(Timestamp::from_civil(2017, 1, 5, 12, 0, 0), 10.0);
+        s.push(Timestamp::from_civil(2017, 1, 6, 12, 0, 0), 20.0);
+        s.push(Timestamp::from_civil(2017, 7, 5, 12, 0, 0), 40.0);
+        let m = monthly_means(&s);
+        assert_eq!(m[0], Some(15.0));
+        assert_eq!(m[6], Some(40.0));
+        assert!(m[1].is_none());
+    }
+
+    #[test]
+    fn daily_means_aggregate_days() {
+        let s = hourly(3, |d, _| d as f64);
+        let daily = daily_means(&s);
+        assert_eq!(daily.len(), 3);
+        assert_eq!(daily[0].1, 0.0);
+        assert_eq!(daily[2].1, 2.0);
+        for (day, _) in &daily {
+            assert_eq!(day.seconds_of_day(), 0);
+        }
+        assert!(daily_means(&Series::new()).is_empty());
+    }
+
+    #[test]
+    fn anomalous_day_detected() {
+        // 30 ordinary days plus one pollution-episode day.
+        let s = hourly(30, |d, h| {
+            let base = 20.0 + (h as f64 - 12.0).abs() * 0.1;
+            if d == 17 {
+                base + 30.0
+            } else {
+                base
+            }
+        });
+        let anomalies = anomalous_days(&s, 3.0);
+        assert_eq!(anomalies.len(), 1);
+        let a = anomalies[0];
+        assert_eq!(a.day, Timestamp::from_civil(2017, 5, 18, 0, 0, 0));
+        assert!(a.z > 3.0);
+        assert!((a.mean - 51.2).abs() < 1.0);
+    }
+
+    #[test]
+    fn clean_period_has_no_anomalies() {
+        let s = hourly(30, |_, h| 20.0 + (h as f64).sin());
+        assert!(anomalous_days(&s, 3.0).is_empty());
+        // Degenerate inputs.
+        assert!(anomalous_days(&Series::new(), 3.0).is_empty());
+    }
+
+    #[test]
+    fn diurnal_amplitude_measures_cycle_strength() {
+        let cyclic = hourly(7, |_, h| 10.0 + 5.0 * ((h as f64) / 24.0 * std::f64::consts::TAU).sin());
+        let flat = hourly(7, |_, _| 10.0);
+        let a_cyclic = diurnal_amplitude(&cyclic).unwrap();
+        let a_flat = diurnal_amplitude(&flat).unwrap();
+        assert!(a_cyclic > 0.5, "amplitude {a_cyclic}");
+        assert_eq!(a_flat, 0.0);
+        assert!(diurnal_amplitude(&Series::new()).is_none());
+    }
+
+}

@@ -1,0 +1,103 @@
+//! Broker benchmarks: publish fan-out throughput and the topic-trie vs
+//! linear-scan routing ablation from DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctt_broker::{Broker, Message, QoS, Topic, TopicFilter};
+use ctt_core::time::Timestamp;
+
+fn make_broker(subs: usize) -> (Broker, Vec<ctt_broker::Subscriber>) {
+    let broker = Broker::new();
+    let handles = (0..subs)
+        .map(|i| {
+            // A mix of exact, city-wide, and global subscriptions.
+            let filter = match i % 3 {
+                0 => format!("ctt/trondheim/devices/dev{i}/up"),
+                1 => "ctt/trondheim/devices/+/up".to_string(),
+                _ => "ctt/#".to_string(),
+            };
+            broker.subscribe(TopicFilter::new(filter).unwrap(), QoS::AtMostOnce, 1 << 14)
+        })
+        .collect();
+    (broker, handles)
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broker_publish");
+    for &subs in &[10usize, 100, 1000] {
+        let (broker, handles) = make_broker(subs);
+        let topic = Topic::new("ctt/trondheim/devices/dev1/up").unwrap();
+        g.bench_with_input(BenchmarkId::new("fanout", subs), &subs, |b, _| {
+            b.iter(|| {
+                let m = Message::new(topic.clone(), vec![0u8; 64], Timestamp(0));
+                black_box(broker.publish(m))
+            })
+        });
+        // Drain so queues don't fill (drops would change the cost profile).
+        for h in &handles {
+            h.drain();
+        }
+    }
+    g.finish();
+}
+
+/// Ablation: trie routing vs scanning every subscription filter.
+fn bench_routing_ablation(c: &mut Criterion) {
+    let n = 1000usize;
+    let filters: Vec<TopicFilter> = (0..n)
+        .map(|i| {
+            TopicFilter::new(match i % 3 {
+                0 => format!("ctt/trondheim/devices/dev{i}/up"),
+                1 => "ctt/trondheim/devices/+/up".to_string(),
+                _ => "ctt/#".to_string(),
+            })
+            .unwrap()
+        })
+        .collect();
+    let topic = Topic::new("ctt/trondheim/devices/dev42/up").unwrap();
+    let mut g = c.benchmark_group("broker_routing");
+    // Linear baseline: match the topic against every filter.
+    g.bench_function("linear_scan_1000", |b| {
+        b.iter(|| {
+            let hits = filters.iter().filter(|f| f.matches(&topic)).count();
+            black_box(hits)
+        })
+    });
+    // Trie: the broker's routing path (publish to a broker with these
+    // subscriptions but empty queues → routing dominates).
+    let broker = Broker::new();
+    let _handles: Vec<_> = filters
+        .iter()
+        .map(|f| broker.subscribe(f.clone(), QoS::AtMostOnce, 1))
+        .collect();
+    g.bench_function("trie_route_1000", |b| {
+        b.iter(|| {
+            let m = Message::new(topic.clone(), vec![], Timestamp(0));
+            black_box(broker.publish(m))
+        })
+    });
+    g.finish();
+}
+
+fn bench_qos1_ack_cycle(c: &mut Criterion) {
+    let broker = Broker::new();
+    let sub = broker.subscribe(
+        TopicFilter::new("t/#").unwrap(),
+        QoS::AtLeastOnce,
+        1 << 14,
+    );
+    let topic = Topic::new("t/x").unwrap();
+    c.bench_function("broker_qos1_publish_ack", |b| {
+        b.iter(|| {
+            broker.publish(Message::new(topic.clone(), vec![1, 2, 3], Timestamp(0)).with_qos(QoS::AtLeastOnce));
+            let d = sub.try_recv().expect("delivered");
+            broker.ack(sub.id, d.packet_id.expect("qos1"));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_publish, bench_routing_ablation, bench_qos1_ack_cycle
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! LoRaWAN simulator benchmarks: airtime math, a fleet-day of radio
+//! simulation, and the capture-effect ablation (PDR with vs without
+//! capture under contention).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ctt_core::geo::LatLon;
+use ctt_core::ids::{DevEui, GatewayId};
+use ctt_core::time::Timestamp;
+use ctt_lorawan::{
+    time_on_air_s, AirtimeParams, GatewayConfig, RadioSimulator, SimConfig, SpreadingFactor,
+    TxRequest, UplinkFrame,
+};
+
+const GW: LatLon = LatLon::new(63.4305, 10.3951);
+
+fn fleet_sim(nodes: u32, uplinks_per_node: u32, capture: bool) -> f64 {
+    let mut cfg = SimConfig::urban(7);
+    cfg.capture_effect = capture;
+    let mut sim = RadioSimulator::new(
+        cfg,
+        vec![GatewayConfig::standard(GatewayId::ctt(1), GW, 40.0)],
+    );
+    // Nodes on a ring; all transmit in a deliberately tight window so
+    // contention is meaningful. Submissions must be time-ordered, so the
+    // per-node offset grows with the node index within each round.
+    for round in 0..uplinks_per_node {
+        for n in 0..nodes {
+            let pos = GW.offset(f64::from(n) * 360.0 / f64::from(nodes), 600.0 + f64::from(n % 7) * 150.0);
+            let t = Timestamp(i64::from(round) * 60 + i64::from(n / 5));
+            let frame = UplinkFrame::new(DevEui::ctt(n), round as u16, 2, vec![0; 18]);
+            sim.submit(
+                t,
+                TxRequest {
+                    device: DevEui::ctt(n),
+                    position: pos,
+                    frame,
+                    sf: SpreadingFactor::Sf9,
+                    tx_power_dbm: 14.0,
+                    channel: n as usize,
+                },
+            );
+        }
+    }
+    sim.drain();
+    sim.stats().pdr()
+}
+
+fn bench_airtime(c: &mut Criterion) {
+    c.bench_function("lorawan_airtime", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for sf in SpreadingFactor::ALL {
+                acc += time_on_air_s(&AirtimeParams::lorawan_uplink(black_box(sf), 34));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_fleet_day(c: &mut Criterion) {
+    // 12 nodes × 288 uplinks = one Trondheim fleet-day of radio events.
+    c.bench_function("lorawan_fleet_day_12x288", |b| {
+        b.iter(|| black_box(fleet_sim(12, 288, true)))
+    });
+}
+
+/// Ablation: the capture effect's impact on PDR under heavy contention.
+fn bench_capture_ablation(c: &mut Criterion) {
+    let with = fleet_sim(60, 50, true);
+    let without = fleet_sim(60, 50, false);
+    println!(
+        "[ablation] PDR under contention: capture {:.3} vs no-capture {:.3} (Δ {:+.3})",
+        with,
+        without,
+        with - without
+    );
+    assert!(with >= without, "capture must never hurt PDR");
+    let mut g = c.benchmark_group("lorawan_capture");
+    g.sample_size(10);
+    g.bench_function("contended_60x50_capture", |b| {
+        b.iter(|| black_box(fleet_sim(60, 50, true)))
+    });
+    g.bench_function("contended_60x50_nocapture", |b| {
+        b.iter(|| black_box(fleet_sim(60, 50, false)))
+    });
+    g.finish();
+}
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let frame = UplinkFrame::new(DevEui::ctt(9), 777, 2, vec![0xAB; 18]);
+    let bytes = frame.encode();
+    c.bench_function("lorawan_frame_roundtrip", |b| {
+        b.iter(|| {
+            let enc = black_box(&frame).encode();
+            let dec = UplinkFrame::decode(black_box(&enc)).unwrap();
+            black_box(dec.fcnt)
+        })
+    });
+    let _ = bytes;
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_airtime, bench_fleet_day, bench_capture_ablation, bench_frame_codec
+}
+criterion_main!(benches);

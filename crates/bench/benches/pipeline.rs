@@ -1,0 +1,140 @@
+//! End-to-end pipeline and monitoring benchmarks, plus the twin-detector
+//! ablation (adaptive expected-interval vs fixed timeout).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ctt_core::battery::AdaptivePolicy;
+use ctt_core::deployment::Deployment;
+use ctt_core::ids::{DevEui, GatewayId};
+use ctt_core::time::{Span, Timestamp};
+use ctt_dataport::twin::{SensorTwin, SensorTwinConfig, TwinEvent};
+use ctt_dataport::{Dataport, DataportConfig};
+use ctt_viz::{LineChart, MapView, Marker, MarkerKind};
+
+fn bench_pipeline_hour(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("vejle_one_hour", |b| {
+        b.iter(|| {
+            let mut p = ctt::Pipeline::new(Deployment::vejle(), 42);
+            let start = p.deployment.started;
+            p.run_until(start + Span::hours(1));
+            black_box(p.stats().delivered)
+        })
+    });
+    g.bench_function("trondheim_one_hour", |b| {
+        b.iter(|| {
+            let mut p = ctt::Pipeline::new(Deployment::trondheim(), 42);
+            let start = p.deployment.started;
+            p.run_until(start + Span::hours(1));
+            black_box(p.stats().delivered)
+        })
+    });
+    g.finish();
+}
+
+fn bench_dataport_ingest(c: &mut Criterion) {
+    c.bench_function("dataport_uplinks_1000", |b| {
+        b.iter(|| {
+            let mut dp = Dataport::new(DataportConfig::default());
+            for i in 0..1000i64 {
+                dp.on_uplink(
+                    DevEui::ctt((i % 12) as u32),
+                    Timestamp(i * 25),
+                    90.0,
+                    GatewayId::ctt(1),
+                    -100.0,
+                );
+            }
+            black_box(dp.uplinks_processed())
+        })
+    });
+}
+
+/// Ablation (DESIGN.md `twin_detection`): false-alarm rate of the adaptive
+/// expected-interval detector vs a fixed 5-minute-based timeout when a
+/// node legitimately slows down on low battery.
+fn twin_false_alarms(adaptive: bool) -> usize {
+    let config = if adaptive {
+        SensorTwinConfig::default()
+    } else {
+        SensorTwinConfig {
+            policy: AdaptivePolicy::fixed(Span::minutes(5)),
+            ..SensorTwinConfig::default()
+        }
+    };
+    let mut twin = SensorTwin::new(DevEui::ctt(1), config);
+    let mut false_alarms = 0;
+    let mut t = 0i64;
+    // Healthy battery for a day, then low battery (15-minute cadence) for a
+    // day — all uplinks actually arrive on the slower schedule.
+    for _ in 0..288 {
+        twin.on_uplink(Timestamp(t), 80.0, GatewayId::ctt(1), -100.0);
+        t += 300;
+    }
+    for _ in 0..96 {
+        twin.on_uplink(Timestamp(t), 30.0, GatewayId::ctt(1), -100.0);
+        // Tick every 5 minutes between uplinks, as the dataport does.
+        for k in 1..=3 {
+            for ev in twin.tick(Timestamp(t + k * 300)) {
+                if matches!(ev, TwinEvent::WentOffline(_) | TwinEvent::WentLate(_)) {
+                    false_alarms += 1;
+                }
+            }
+        }
+        t += 900;
+    }
+    false_alarms
+}
+
+fn bench_twin_ablation(c: &mut Criterion) {
+    let adaptive = twin_false_alarms(true);
+    let fixed = twin_false_alarms(false);
+    println!(
+        "[ablation] false alarms under battery-adaptive cadence: adaptive-detector {adaptive} vs fixed-timeout {fixed}"
+    );
+    assert!(adaptive < fixed, "adaptive detector must beat fixed timeout");
+    let mut g = c.benchmark_group("twin_detection");
+    g.bench_function("adaptive", |b| b.iter(|| black_box(twin_false_alarms(true))));
+    g.bench_function("fixed", |b| b.iter(|| black_box(twin_false_alarms(false))));
+    g.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    // Dashboard/figure rendering cost (Fig. 6 path).
+    let series = ctt_bench::series_from(
+        Timestamp::from_civil(2017, 5, 1, 0, 0, 0),
+        Span::minutes(5),
+        288,
+        |i| 410.0 + (i as f64 * 0.1).sin() * 10.0,
+    );
+    c.bench_function("viz_line_chart_288", |b| {
+        b.iter(|| {
+            let mut ch = LineChart::new("bench", "ppm");
+            ch.add("s", series.clone());
+            black_box(ch.render().len())
+        })
+    });
+    let d = Deployment::trondheim();
+    c.bench_function("viz_network_map_12", |b| {
+        b.iter(|| {
+            let mut m = MapView::new("bench");
+            for n in &d.nodes {
+                m.markers.push(Marker {
+                    position: n.site.position,
+                    kind: MarkerKind::Sensor,
+                    color: "#2ca02c".to_string(),
+                    label: n.name.clone(),
+                    value: None,
+                });
+            }
+            black_box(m.render().len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline_hour, bench_dataport_ingest, bench_twin_ablation, bench_render
+}
+criterion_main!(benches);

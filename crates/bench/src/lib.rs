@@ -1,0 +1,93 @@
+//! Shared workload builders for the benchmarks and the figure-regeneration
+//! harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ctt_core::deployment::Deployment;
+use ctt_core::measurement::Series;
+use ctt_core::time::{Span, TimeRange, Timestamp};
+use ctt_tsdb::{DataPoint, Tsdb};
+
+/// Default seed used across the evaluation.
+pub const SEED: u64 = 42;
+
+/// `n` 5-minute CO2-like points for one device, for TSDB benches.
+pub fn synthetic_points(device: u32, day: i64, n: usize) -> Vec<DataPoint> {
+    let start = Timestamp::from_civil(2017, 1, 1, 0, 0, 0) + Span::days(day);
+    (0..n)
+        .map(|i| {
+            let t = start + Span::minutes(5 * i as i64);
+            let v = 410.0
+                + 25.0 * ((i as f64) * 0.02).sin()
+                + ((i * 7919 + device as usize * 31) % 13) as f64 * 0.1;
+            DataPoint::new(
+                "ctt.air.co2",
+                vec![
+                    ("city".to_string(), "trondheim".to_string()),
+                    ("device".to_string(), format!("n{device}")),
+                ],
+                t,
+                v,
+            )
+            .expect("valid point")
+        })
+        .collect()
+}
+
+/// A TSDB pre-loaded with `devices × points` synthetic points.
+pub fn loaded_tsdb(devices: u32, points: usize) -> Tsdb {
+    let mut db = Tsdb::new();
+    for d in 0..devices {
+        for p in &synthetic_points(d, 0, points) {
+            db.put(p);
+        }
+    }
+    db
+}
+
+/// Sorted sample series on a fixed cadence from a closure.
+pub fn series_from(start: Timestamp, step: Span, n: usize, f: impl Fn(usize) -> f64) -> Series {
+    TimeRange::new(
+        start,
+        start + Span::seconds(step.as_seconds() * n as i64),
+        step,
+    )
+    .enumerate()
+    .map(|(i, t)| (t, f(i)))
+    .collect()
+}
+
+/// Run a full city pipeline for a span and return it.
+pub fn run_pipeline(deployment: Deployment, hours: i64) -> ctt::Pipeline {
+    let mut p = ctt::Pipeline::new(deployment, SEED);
+    let start = p.deployment.started;
+    p.run_until(start + Span::hours(hours));
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_points_are_valid() {
+        let pts = synthetic_points(1, 0, 288);
+        assert_eq!(pts.len(), 288);
+        assert!(pts.windows(2).all(|w| w[0].time < w[1].time));
+    }
+
+    #[test]
+    fn loaded_tsdb_counts() {
+        let db = loaded_tsdb(3, 100);
+        assert_eq!(db.stats().points, 300);
+        assert_eq!(db.stats().series, 3);
+    }
+
+    #[test]
+    fn series_from_shape() {
+        let s = series_from(Timestamp(0), Span::minutes(5), 10, |i| i as f64);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.points[9], (Timestamp(45 * 60), 9.0));
+    }
+}

@@ -1,0 +1,254 @@
+//! TTN-style MQTT bridge.
+//!
+//! In the CTT architecture the network server forwards uplinks into MQTT
+//! (§2.1: "Data forwarding and cloud sensor management was built through
+//! the event-driven MQTT communication protocol"). This bridge defines the
+//! topic scheme and a line-oriented text encoding of uplink events —
+//! human-readable like TTN's JSON but dependency-free — plus the decoder
+//! the storage/dataport consumers use.
+
+use crate::broker::Broker;
+use crate::message::{Message, QoS};
+use crate::topic::{Topic, TopicFilter};
+use ctt_core::ids::{DevEui, GatewayId};
+use ctt_core::time::Timestamp;
+use std::fmt;
+
+/// An uplink event as carried over MQTT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UplinkEvent {
+    /// City/application id (lower-case, e.g. `trondheim`).
+    pub city: String,
+    /// Device identity.
+    pub device: DevEui,
+    /// Frame counter.
+    pub fcnt: u16,
+    /// Application port.
+    pub port: u8,
+    /// Reception time.
+    pub time: Timestamp,
+    /// Best gateway.
+    pub gateway: GatewayId,
+    /// RSSI at the best gateway, dBm.
+    pub rssi_dbm: f64,
+    /// SNR at the best gateway, dB.
+    pub snr_db: f64,
+    /// How many gateways heard the frame.
+    pub gateway_count: usize,
+    /// Application payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Errors decoding an uplink event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BridgeDecodeError(String);
+
+impl fmt::Display for BridgeDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid uplink event: {}", self.0)
+    }
+}
+
+impl std::error::Error for BridgeDecodeError {}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, BridgeDecodeError> {
+    if s.len() % 2 != 0 {
+        return Err(BridgeDecodeError(format!("odd hex length {}", s.len())));
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16)
+                .map_err(|_| BridgeDecodeError(format!("bad hex at {i}")))
+        })
+        .collect()
+}
+
+impl UplinkEvent {
+    /// Topic this event is published to:
+    /// `ctt/{city}/devices/{dev-eui}/up`.
+    pub fn topic(&self) -> Topic {
+        Topic::new(format!(
+            "ctt/{}/devices/{}/up",
+            self.city,
+            self.device.0
+        ))
+        .expect("constructed topic is valid")
+    }
+
+    /// Subscription filter for all uplinks of a city.
+    pub fn city_filter(city: &str) -> TopicFilter {
+        TopicFilter::new(format!("ctt/{city}/devices/+/up")).expect("valid filter")
+    }
+
+    /// Subscription filter for all uplinks of all cities.
+    pub fn all_filter() -> TopicFilter {
+        TopicFilter::new("ctt/+/devices/+/up").expect("valid filter")
+    }
+
+    /// Encode to the line format.
+    pub fn encode(&self) -> Vec<u8> {
+        format!(
+            "v1 city={} dev={:016x} fcnt={} port={} time={} gw={:016x} rssi={:.1} snr={:.1} gws={} data={}",
+            self.city,
+            self.device.0,
+            self.fcnt,
+            self.port,
+            self.time.as_seconds(),
+            self.gateway.0,
+            self.rssi_dbm,
+            self.snr_db,
+            self.gateway_count,
+            hex_encode(&self.payload),
+        )
+        .into_bytes()
+    }
+
+    /// Decode from the line format.
+    pub fn decode(bytes: &[u8]) -> Result<UplinkEvent, BridgeDecodeError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| BridgeDecodeError("not UTF-8".to_string()))?;
+        let mut parts = text.split_whitespace();
+        if parts.next() != Some("v1") {
+            return Err(BridgeDecodeError("missing v1 marker".to_string()));
+        }
+        let mut city = None;
+        let mut dev = None;
+        let mut fcnt = None;
+        let mut port = None;
+        let mut time = None;
+        let mut gw = None;
+        let mut rssi = None;
+        let mut snr = None;
+        let mut gws = None;
+        let mut data = None;
+        for kv in parts {
+            let (k, v) = kv
+                .split_once('=')
+                .ok_or_else(|| BridgeDecodeError(format!("bad field {kv:?}")))?;
+            let err = |what: &str| BridgeDecodeError(format!("bad {what}: {v:?}"));
+            match k {
+                "city" => city = Some(v.to_string()),
+                "dev" => dev = Some(u64::from_str_radix(v, 16).map_err(|_| err("dev"))?),
+                "fcnt" => fcnt = Some(v.parse().map_err(|_| err("fcnt"))?),
+                "port" => port = Some(v.parse().map_err(|_| err("port"))?),
+                "time" => time = Some(v.parse().map_err(|_| err("time"))?),
+                "gw" => gw = Some(u64::from_str_radix(v, 16).map_err(|_| err("gw"))?),
+                "rssi" => rssi = Some(v.parse().map_err(|_| err("rssi"))?),
+                "snr" => snr = Some(v.parse().map_err(|_| err("snr"))?),
+                "gws" => gws = Some(v.parse().map_err(|_| err("gws"))?),
+                "data" => data = Some(hex_decode(v)?),
+                _ => {} // forward compatible: ignore unknown fields
+            }
+        }
+        let missing = |what: &str| BridgeDecodeError(format!("missing {what}"));
+        Ok(UplinkEvent {
+            city: city.ok_or_else(|| missing("city"))?,
+            device: DevEui(dev.ok_or_else(|| missing("dev"))?),
+            fcnt: fcnt.ok_or_else(|| missing("fcnt"))?,
+            port: port.ok_or_else(|| missing("port"))?,
+            time: Timestamp(time.ok_or_else(|| missing("time"))?),
+            gateway: GatewayId(gw.ok_or_else(|| missing("gw"))?),
+            rssi_dbm: rssi.ok_or_else(|| missing("rssi"))?,
+            snr_db: snr.ok_or_else(|| missing("snr"))?,
+            gateway_count: gws.ok_or_else(|| missing("gws"))?,
+            payload: data.ok_or_else(|| missing("data"))?,
+        })
+    }
+
+    /// Publish this event to a broker (QoS1, since measurement loss after
+    /// successful radio reception would be self-inflicted).
+    pub fn publish(&self, broker: &Broker) -> usize {
+        broker.publish(
+            Message::new(self.topic(), self.encode(), self.time).with_qos(QoS::AtLeastOnce),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event() -> UplinkEvent {
+        UplinkEvent {
+            city: "trondheim".to_string(),
+            device: DevEui::ctt(7),
+            fcnt: 1234,
+            port: 2,
+            time: Timestamp(1_490_000_000),
+            gateway: GatewayId::ctt(1),
+            rssi_dbm: -103.4,
+            snr_db: 5.2,
+            gateway_count: 2,
+            payload: vec![0x01, 0xAB, 0xFF, 0x00],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let e = event();
+        let decoded = UplinkEvent::decode(&e.encode()).unwrap();
+        assert_eq!(decoded, e);
+    }
+
+    #[test]
+    fn topic_shape() {
+        let e = event();
+        let t = e.topic();
+        assert!(t.as_str().starts_with("ctt/trondheim/devices/"));
+        assert!(t.as_str().ends_with("/up"));
+        assert!(UplinkEvent::city_filter("trondheim").matches(&t));
+        assert!(UplinkEvent::all_filter().matches(&t));
+        assert!(!UplinkEvent::city_filter("vejle").matches(&t));
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let mut e = event();
+        e.payload = vec![];
+        assert_eq!(UplinkEvent::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(UplinkEvent::decode(b"").is_err());
+        assert!(UplinkEvent::decode(b"v2 city=x").is_err());
+        assert!(UplinkEvent::decode(&[0xFF, 0xFE]).is_err());
+        assert!(UplinkEvent::decode(b"v1 city=x dev=zz").is_err());
+        // Missing fields.
+        assert!(UplinkEvent::decode(b"v1 city=x dev=1 fcnt=0").is_err());
+    }
+
+    #[test]
+    fn decode_ignores_unknown_fields() {
+        let mut line = String::from_utf8(event().encode()).unwrap();
+        line.push_str(" future=stuff");
+        let decoded = UplinkEvent::decode(line.as_bytes()).unwrap();
+        assert_eq!(decoded, event());
+    }
+
+    #[test]
+    fn hex_codec() {
+        assert_eq!(hex_encode(&[0x00, 0xFF, 0x1a]), "00ff1a");
+        assert_eq!(hex_decode("00ff1a").unwrap(), vec![0x00, 0xFF, 0x1a]);
+        assert!(hex_decode("0f0").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+
+    #[test]
+    fn publish_reaches_subscriber() {
+        let broker = Broker::new();
+        let sub = broker.subscribe(UplinkEvent::all_filter(), QoS::AtLeastOnce, 8);
+        let e = event();
+        assert_eq!(e.publish(&broker), 1);
+        let d = sub.try_recv().unwrap();
+        assert!(d.packet_id.is_some());
+        let decoded = UplinkEvent::decode(&d.message.payload).unwrap();
+        assert_eq!(decoded, e);
+        broker.ack(sub.id, d.packet_id.unwrap());
+    }
+}

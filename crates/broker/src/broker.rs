@@ -1,0 +1,495 @@
+//! The event-driven message broker.
+//!
+//! A thread-safe MQTT-style broker: subscriptions live in a topic trie so
+//! publishing is O(topic depth) rather than O(subscriptions); retained
+//! messages provide "last known good" values to late subscribers (this is
+//! how the dashboards warm up, §2.4); QoS 1 subscriptions get packet ids,
+//! an in-flight store, acknowledgements, and redelivery.
+
+use crate::message::{Message, QoS};
+use crate::topic::{Topic, TopicFilter};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifies one subscription inside the broker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriptionId(u64);
+
+/// A message as delivered to a subscriber.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// The message.
+    pub message: Message,
+    /// Packet id, present iff the effective QoS is `AtLeastOnce`;
+    /// the subscriber must [`Broker::ack`] it.
+    pub packet_id: Option<u16>,
+}
+
+/// Aggregate broker counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Messages published.
+    pub published: u64,
+    /// Deliveries enqueued to subscribers.
+    pub delivered: u64,
+    /// QoS0 deliveries dropped because a subscriber queue was full.
+    pub dropped_qos0: u64,
+    /// QoS1 deliveries deferred to the in-flight store on full queues.
+    pub deferred_qos1: u64,
+    /// Redeliveries performed.
+    pub redelivered: u64,
+    /// Messages currently retained.
+    pub retained: usize,
+    /// Active subscriptions.
+    pub subscriptions: usize,
+}
+
+#[derive(Debug, Default)]
+struct TrieNode {
+    children: HashMap<String, TrieNode>,
+    /// Subscriptions attached via a `+` at this level.
+    plus: Option<Box<TrieNode>>,
+    /// Subscriptions attached via a trailing `#` here.
+    hash_subs: Vec<SubscriptionId>,
+    /// Subscriptions terminating exactly here.
+    subs: Vec<SubscriptionId>,
+}
+
+impl TrieNode {
+    fn insert(&mut self, mut levels: std::str::Split<'_, char>, id: SubscriptionId) {
+        match levels.next() {
+            None => self.subs.push(id),
+            Some("#") => self.hash_subs.push(id),
+            Some("+") => self
+                .plus
+                .get_or_insert_with(Default::default)
+                .insert(levels, id),
+            Some(level) => self
+                .children
+                .entry(level.to_string())
+                .or_default()
+                .insert(levels, id),
+        }
+    }
+
+    fn remove(&mut self, mut levels: std::str::Split<'_, char>, id: SubscriptionId) {
+        match levels.next() {
+            None => self.subs.retain(|s| *s != id),
+            Some("#") => self.hash_subs.retain(|s| *s != id),
+            Some("+") => {
+                if let Some(p) = self.plus.as_mut() {
+                    p.remove(levels, id);
+                }
+            }
+            Some(level) => {
+                if let Some(c) = self.children.get_mut(level) {
+                    c.remove(levels, id);
+                }
+            }
+        }
+    }
+
+    fn collect<'a>(&self, levels: &[&'a str], out: &mut Vec<SubscriptionId>) {
+        out.extend_from_slice(&self.hash_subs);
+        match levels.split_first() {
+            None => out.extend_from_slice(&self.subs),
+            Some((first, rest)) => {
+                if let Some(child) = self.children.get(*first) {
+                    child.collect(rest, out);
+                }
+                if let Some(plus) = &self.plus {
+                    plus.collect(rest, out);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Session {
+    filter: TopicFilter,
+    qos: QoS,
+    tx: Sender<Delivery>,
+    next_pid: u16,
+    inflight: HashMap<u16, Message>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    trie: TrieNode,
+    sessions: HashMap<SubscriptionId, Session>,
+    retained: HashMap<String, Message>,
+    next_id: u64,
+    stats: BrokerStats,
+}
+
+/// The broker. Cheaply clonable handle (`Arc` inside).
+#[derive(Debug, Clone, Default)]
+pub struct Broker {
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// A subscriber handle: the receiving end of one subscription.
+#[derive(Debug)]
+pub struct Subscriber {
+    /// Subscription identity (needed for acks).
+    pub id: SubscriptionId,
+    rx: Receiver<Delivery>,
+}
+
+impl Subscriber {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Delivery> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drain everything currently queued.
+    pub fn drain(&self) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while let Ok(d) = self.rx.try_recv() {
+            out.push(d);
+        }
+        out
+    }
+
+    /// Blocking receive with timeout (for threaded consumers).
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Delivery> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Number of deliveries currently waiting.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl Broker {
+    /// New empty broker.
+    pub fn new() -> Self {
+        Broker::default()
+    }
+
+    /// Subscribe to `filter` with the given QoS and queue capacity.
+    /// Retained messages matching the filter are delivered immediately.
+    pub fn subscribe(&self, filter: TopicFilter, qos: QoS, capacity: usize) -> Subscriber {
+        let (tx, rx) = bounded(capacity.max(1));
+        let mut inner = self.inner.lock();
+        let id = SubscriptionId(inner.next_id);
+        inner.next_id += 1;
+        inner.trie.insert(filter.as_str().split('/'), id);
+        let mut session = Session {
+            filter: filter.clone(),
+            qos,
+            tx,
+            next_pid: 1,
+            inflight: HashMap::new(),
+        };
+        // Replay retained messages.
+        let retained: Vec<Message> = inner
+            .retained
+            .values()
+            .filter(|m| filter.matches(&m.topic))
+            .cloned()
+            .collect();
+        for m in retained {
+            Self::deliver_to(&mut session, m, &mut inner.stats);
+        }
+        inner.sessions.insert(id, session);
+        inner.stats.subscriptions = inner.sessions.len();
+        Subscriber { id, rx }
+    }
+
+    /// Remove a subscription entirely.
+    pub fn unsubscribe(&self, sub: &Subscriber) {
+        let mut inner = self.inner.lock();
+        if let Some(session) = inner.sessions.remove(&sub.id) {
+            inner.trie.remove(session.filter.as_str().split('/'), sub.id);
+        }
+        inner.stats.subscriptions = inner.sessions.len();
+    }
+
+    fn deliver_to(session: &mut Session, message: Message, stats: &mut BrokerStats) {
+        let effective = message.qos.min(session.qos);
+        let packet_id = if effective == QoS::AtLeastOnce {
+            let pid = session.next_pid;
+            session.next_pid = session.next_pid.wrapping_add(1).max(1);
+            session.inflight.insert(pid, message.clone());
+            Some(pid)
+        } else {
+            None
+        };
+        match session.tx.try_send(Delivery { message, packet_id }) {
+            Ok(()) => stats.delivered += 1,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                if packet_id.is_some() {
+                    // Still in the in-flight store: will be redelivered.
+                    stats.deferred_qos1 += 1;
+                } else {
+                    stats.dropped_qos0 += 1;
+                }
+            }
+        }
+    }
+
+    /// Publish a message; returns the number of subscriptions it was routed
+    /// to (before any queue-full drops).
+    pub fn publish(&self, message: Message) -> usize {
+        let mut inner = self.inner.lock();
+        inner.stats.published += 1;
+        if message.retain {
+            if message.payload.is_empty() {
+                // MQTT: empty retained payload clears the retained message.
+                inner.retained.remove(message.topic.as_str());
+            } else {
+                inner
+                    .retained
+                    .insert(message.topic.as_str().to_string(), message.clone());
+            }
+            inner.stats.retained = inner.retained.len();
+        }
+        let levels: Vec<&str> = message.topic.levels().collect();
+        let mut ids = Vec::new();
+        inner.trie.collect(&levels, &mut ids);
+        ids.sort_unstable();
+        ids.dedup();
+        let count = ids.len();
+        // Split borrows: move stats out, restore after.
+        let mut stats = inner.stats;
+        for id in ids {
+            if let Some(session) = inner.sessions.get_mut(&id) {
+                Self::deliver_to(session, message.clone(), &mut stats);
+            }
+        }
+        inner.stats = stats;
+        count
+    }
+
+    /// Acknowledge a QoS1 delivery.
+    pub fn ack(&self, sub: SubscriptionId, packet_id: u16) -> bool {
+        let mut inner = self.inner.lock();
+        inner
+            .sessions
+            .get_mut(&sub)
+            .map(|s| s.inflight.remove(&packet_id).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Redeliver all unacknowledged QoS1 messages of a subscription.
+    /// Returns how many were re-enqueued.
+    pub fn redeliver(&self, sub: SubscriptionId) -> usize {
+        let mut inner = self.inner.lock();
+        let Some(session) = inner.sessions.get_mut(&sub) else {
+            return 0;
+        };
+        let mut pids: Vec<u16> = session.inflight.keys().copied().collect();
+        pids.sort_unstable();
+        let mut n = 0;
+        let mut redelivered = 0u64;
+        for pid in pids {
+            let msg = session.inflight[&pid].clone();
+            if session
+                .tx
+                .try_send(Delivery {
+                    message: msg,
+                    packet_id: Some(pid),
+                })
+                .is_ok()
+            {
+                n += 1;
+                redelivered += 1;
+            }
+        }
+        inner.stats.redelivered += redelivered;
+        inner.stats.delivered += redelivered;
+        n
+    }
+
+    /// Number of unacknowledged in-flight messages for a subscription.
+    pub fn inflight_count(&self, sub: SubscriptionId) -> usize {
+        self.inner
+            .lock()
+            .sessions
+            .get(&sub)
+            .map(|s| s.inflight.len())
+            .unwrap_or(0)
+    }
+
+    /// The retained message for a topic, if any.
+    pub fn retained(&self, topic: &Topic) -> Option<Message> {
+        self.inner.lock().retained.get(topic.as_str()).cloned()
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> BrokerStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctt_core::time::Timestamp;
+
+    fn topic(s: &str) -> Topic {
+        Topic::new(s).unwrap()
+    }
+    fn filter(s: &str) -> TopicFilter {
+        TopicFilter::new(s).unwrap()
+    }
+    fn msg(t: &str, body: &str) -> Message {
+        Message::new(topic(t), body.as_bytes().to_vec(), Timestamp(0))
+    }
+
+    #[test]
+    fn publish_routes_to_matching_subscribers() {
+        let b = Broker::new();
+        let s1 = b.subscribe(filter("ctt/+/up"), QoS::AtMostOnce, 16);
+        let s2 = b.subscribe(filter("ctt/node1/#"), QoS::AtMostOnce, 16);
+        let s3 = b.subscribe(filter("other/#"), QoS::AtMostOnce, 16);
+        let n = b.publish(msg("ctt/node1/up", "x"));
+        assert_eq!(n, 2);
+        assert!(s1.try_recv().is_some());
+        assert!(s2.try_recv().is_some());
+        assert!(s3.try_recv().is_none());
+    }
+
+    #[test]
+    fn overlapping_filters_deliver_once_per_subscription() {
+        let b = Broker::new();
+        let s = b.subscribe(filter("a/#"), QoS::AtMostOnce, 16);
+        // Same subscriber id also matches via the trie only once.
+        b.publish(msg("a/b", "x"));
+        assert_eq!(s.drain().len(), 1);
+    }
+
+    #[test]
+    fn qos0_dropped_when_queue_full() {
+        let b = Broker::new();
+        let s = b.subscribe(filter("t"), QoS::AtMostOnce, 2);
+        for i in 0..5 {
+            b.publish(msg("t", &format!("{i}")));
+        }
+        assert_eq!(s.drain().len(), 2);
+        let st = b.stats();
+        assert_eq!(st.dropped_qos0, 3);
+        assert_eq!(st.delivered, 2);
+    }
+
+    #[test]
+    fn qos1_requires_ack_and_redelivers() {
+        let b = Broker::new();
+        let s = b.subscribe(filter("t"), QoS::AtLeastOnce, 16);
+        b.publish(msg("t", "important").with_qos(QoS::AtLeastOnce));
+        let d = s.try_recv().unwrap();
+        let pid = d.packet_id.expect("QoS1 must carry a packet id");
+        assert_eq!(b.inflight_count(s.id), 1);
+        // Unacked: redeliver queues it again.
+        assert_eq!(b.redeliver(s.id), 1);
+        let again = s.try_recv().unwrap();
+        assert_eq!(again.packet_id, Some(pid));
+        // Ack clears it.
+        assert!(b.ack(s.id, pid));
+        assert_eq!(b.inflight_count(s.id), 0);
+        assert_eq!(b.redeliver(s.id), 0);
+        assert!(!b.ack(s.id, pid), "double ack must fail");
+    }
+
+    #[test]
+    fn qos1_deferred_on_full_queue_then_redelivered() {
+        let b = Broker::new();
+        let s = b.subscribe(filter("t"), QoS::AtLeastOnce, 1);
+        b.publish(msg("t", "a").with_qos(QoS::AtLeastOnce));
+        b.publish(msg("t", "b").with_qos(QoS::AtLeastOnce));
+        // Queue held one; the other was deferred but is in flight.
+        assert_eq!(b.stats().deferred_qos1, 1);
+        assert_eq!(b.inflight_count(s.id), 2);
+        let first = s.try_recv().unwrap();
+        b.ack(s.id, first.packet_id.unwrap());
+        // Space freed: redelivery brings the deferred one through.
+        assert_eq!(b.redeliver(s.id), 1);
+        let second = s.try_recv().unwrap();
+        b.ack(s.id, second.packet_id.unwrap());
+        assert_eq!(b.inflight_count(s.id), 0);
+    }
+
+    #[test]
+    fn effective_qos_is_min_of_pub_and_sub() {
+        let b = Broker::new();
+        let s0 = b.subscribe(filter("t"), QoS::AtMostOnce, 4);
+        let s1 = b.subscribe(filter("t"), QoS::AtLeastOnce, 4);
+        b.publish(msg("t", "x").with_qos(QoS::AtLeastOnce));
+        assert!(s0.try_recv().unwrap().packet_id.is_none());
+        assert!(s1.try_recv().unwrap().packet_id.is_some());
+        // QoS0 publish to QoS1 subscription is still QoS0.
+        b.publish(msg("t", "y"));
+        assert!(s1.try_recv().unwrap().packet_id.is_none());
+    }
+
+    #[test]
+    fn retained_message_replayed_to_new_subscriber() {
+        let b = Broker::new();
+        b.publish(msg("status/node1", "online").retained());
+        let s = b.subscribe(filter("status/#"), QoS::AtMostOnce, 4);
+        let d = s.try_recv().expect("retained replay");
+        assert_eq!(d.message.payload_str(), Some("online"));
+        assert_eq!(
+            b.retained(&topic("status/node1")).unwrap().payload_str(),
+            Some("online")
+        );
+    }
+
+    #[test]
+    fn empty_retained_payload_clears() {
+        let b = Broker::new();
+        b.publish(msg("status/node1", "online").retained());
+        assert_eq!(b.stats().retained, 1);
+        b.publish(Message::new(topic("status/node1"), vec![], Timestamp(1)).retained());
+        assert_eq!(b.stats().retained, 0);
+        let s = b.subscribe(filter("status/#"), QoS::AtMostOnce, 4);
+        assert!(s.try_recv().is_none());
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let b = Broker::new();
+        let s = b.subscribe(filter("t"), QoS::AtMostOnce, 4);
+        b.publish(msg("t", "1"));
+        b.unsubscribe(&s);
+        b.publish(msg("t", "2"));
+        assert_eq!(s.drain().len(), 1);
+        assert_eq!(b.stats().subscriptions, 0);
+    }
+
+    #[test]
+    fn concurrent_publish_and_consume() {
+        let b = Broker::new();
+        let s = b.subscribe(filter("load/#"), QoS::AtMostOnce, 100_000);
+        let publishers: Vec<_> = (0..4)
+            .map(|p| {
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        b.publish(msg(&format!("load/{p}"), &format!("{i}")));
+                    }
+                })
+            })
+            .collect();
+        for p in publishers {
+            p.join().unwrap();
+        }
+        assert_eq!(s.drain().len(), 4000);
+        assert_eq!(b.stats().published, 4000);
+    }
+
+    #[test]
+    fn pending_counts_queue_depth() {
+        let b = Broker::new();
+        let s = b.subscribe(filter("t"), QoS::AtMostOnce, 8);
+        assert_eq!(s.pending(), 0);
+        b.publish(msg("t", "a"));
+        b.publish(msg("t", "b"));
+        assert_eq!(s.pending(), 2);
+    }
+}

@@ -1,0 +1,353 @@
+//! CityGML-subset XML serialization.
+//!
+//! The municipal model arrives as GML; this module writes and reads a
+//! compact LOD1 subset with the same structure (a `CityModel` of
+//! `Building` elements carrying class, height, and a footprint ring):
+//!
+//! ```xml
+//! <CityModel name="Vejle LOD1" lat="55.71130" lon="9.53650">
+//!   <Building id="bldg-1" class="residential" height="12.5">
+//!     <footprint>
+//!       <pos x="0.0" y="0.0"/>
+//!       ...
+//!     </footprint>
+//!   </Building>
+//! </CityModel>
+//! ```
+
+use crate::geometry::{Polygon, P2};
+use crate::model::{Building, BuildingClass, CityModel};
+use ctt_core::geo::LatLon;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors reading the GML subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GmlError {
+    /// Syntax error at byte offset.
+    Syntax(usize, String),
+    /// A required attribute is missing.
+    MissingAttribute(&'static str, String),
+    /// An attribute failed to parse.
+    BadAttribute(&'static str, String),
+    /// Structural problem (wrong root, footprint too small, ...).
+    Structure(String),
+}
+
+impl fmt::Display for GmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GmlError::Syntax(at, what) => write!(f, "GML syntax error at byte {at}: {what}"),
+            GmlError::MissingAttribute(name, tag) => {
+                write!(f, "missing attribute {name:?} on <{tag}>")
+            }
+            GmlError::BadAttribute(name, value) => {
+                write!(f, "unparseable attribute {name}={value:?}")
+            }
+            GmlError::Structure(what) => write!(f, "GML structure error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GmlError {}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&quot;", "\"").replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+}
+
+/// Serialize a model to the GML subset.
+pub fn write_gml(model: &CityModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    let _ = writeln!(
+        out,
+        "<CityModel name=\"{}\" lat=\"{:.6}\" lon=\"{:.6}\">",
+        escape(&model.name),
+        model.origin.lat_deg,
+        model.origin.lon_deg
+    );
+    for b in &model.buildings {
+        let _ = writeln!(
+            out,
+            "  <Building id=\"{}\" class=\"{}\" height=\"{:.2}\">",
+            escape(&b.id),
+            b.class.token(),
+            b.height_m
+        );
+        let _ = writeln!(out, "    <footprint>");
+        for v in &b.footprint.vertices {
+            let _ = writeln!(out, "      <pos x=\"{:.3}\" y=\"{:.3}\"/>", v.x, v.y);
+        }
+        let _ = writeln!(out, "    </footprint>");
+        let _ = writeln!(out, "  </Building>");
+    }
+    let _ = writeln!(out, "</CityModel>");
+    out
+}
+
+/// One parsed tag.
+#[derive(Debug, Clone, PartialEq)]
+struct Tag {
+    name: String,
+    attrs: Vec<(String, String)>,
+    closing: bool,
+    self_closing: bool,
+    offset: usize,
+}
+
+impl Tag {
+    fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Tokenize the XML subset into tags (text content is ignored; the format
+/// carries everything in attributes).
+fn tokenize(input: &str) -> Result<Vec<Tag>, GmlError> {
+    let bytes = input.as_bytes();
+    let mut tags = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let end = input[i..]
+            .find('>')
+            .map(|off| i + off)
+            .ok_or_else(|| GmlError::Syntax(start, "unterminated tag".to_string()))?;
+        let inner = &input[i + 1..end];
+        i = end + 1;
+        if inner.starts_with('?') || inner.starts_with('!') {
+            continue; // declaration or comment
+        }
+        let closing = inner.starts_with('/');
+        let body = inner.trim_start_matches('/').trim_end_matches('/').trim();
+        let self_closing = inner.ends_with('/');
+        let mut parts = body.splitn(2, char::is_whitespace);
+        let name = parts
+            .next()
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| GmlError::Syntax(start, "empty tag".to_string()))?
+            .to_string();
+        let mut attrs = Vec::new();
+        if let Some(rest) = parts.next() {
+            let mut rest = rest.trim();
+            while !rest.is_empty() {
+                let eq = rest.find('=').ok_or_else(|| {
+                    GmlError::Syntax(start, format!("attribute without '=' in <{name}>"))
+                })?;
+                let key = rest[..eq].trim().to_string();
+                let after = rest[eq + 1..].trim_start();
+                if !after.starts_with('"') {
+                    return Err(GmlError::Syntax(start, format!("unquoted attribute {key}")));
+                }
+                let close = after[1..].find('"').ok_or_else(|| {
+                    GmlError::Syntax(start, format!("unterminated attribute {key}"))
+                })?;
+                let value = unescape(&after[1..1 + close]);
+                attrs.push((key, value));
+                rest = after[close + 2..].trim_start();
+            }
+        }
+        tags.push(Tag {
+            name,
+            attrs,
+            closing,
+            self_closing,
+            offset: start,
+        });
+    }
+    Ok(tags)
+}
+
+fn f64_attr(tag: &Tag, name: &'static str) -> Result<f64, GmlError> {
+    let raw = tag
+        .attr(name)
+        .ok_or_else(|| GmlError::MissingAttribute(name, tag.name.clone()))?;
+    raw.parse()
+        .map_err(|_| GmlError::BadAttribute(name, raw.to_string()))
+}
+
+/// Parse the GML subset into a model.
+pub fn parse_gml(input: &str) -> Result<CityModel, GmlError> {
+    let tags = tokenize(input)?;
+    let mut iter = tags.into_iter().peekable();
+    let root = iter
+        .next()
+        .ok_or_else(|| GmlError::Structure("empty document".to_string()))?;
+    if root.name != "CityModel" || root.closing {
+        return Err(GmlError::Structure(format!(
+            "expected <CityModel> root, found <{}>",
+            root.name
+        )));
+    }
+    let origin = LatLon::new(f64_attr(&root, "lat")?, f64_attr(&root, "lon")?);
+    let name = root.attr("name").unwrap_or("unnamed").to_string();
+    let mut model = CityModel::new(name, origin);
+    let mut current: Option<(String, BuildingClass, f64, Vec<P2>)> = None;
+    let mut in_footprint = false;
+    for tag in iter {
+        match (tag.name.as_str(), tag.closing) {
+            ("Building", false) => {
+                let id = tag
+                    .attr("id")
+                    .ok_or(GmlError::MissingAttribute("id", "Building".to_string()))?
+                    .to_string();
+                let class_raw = tag
+                    .attr("class")
+                    .ok_or(GmlError::MissingAttribute("class", "Building".to_string()))?;
+                let class = BuildingClass::parse(class_raw)
+                    .ok_or_else(|| GmlError::BadAttribute("class", class_raw.to_string()))?;
+                let height = f64_attr(&tag, "height")?;
+                if height <= 0.0 || !height.is_finite() {
+                    return Err(GmlError::BadAttribute("height", height.to_string()));
+                }
+                current = Some((id, class, height, Vec::new()));
+            }
+            ("Building", true) => {
+                let (id, class, height_m, verts) = current.take().ok_or_else(|| {
+                    GmlError::Structure("</Building> without <Building>".to_string())
+                })?;
+                if verts.len() < 3 {
+                    return Err(GmlError::Structure(format!(
+                        "building {id} footprint has {} vertices",
+                        verts.len()
+                    )));
+                }
+                model.buildings.push(Building {
+                    id,
+                    footprint: Polygon::new(verts),
+                    height_m,
+                    class,
+                });
+            }
+            ("footprint", closing) => in_footprint = !closing,
+            ("pos", false) => {
+                if !in_footprint {
+                    return Err(GmlError::Structure("<pos> outside <footprint>".to_string()));
+                }
+                let x = f64_attr(&tag, "x")?;
+                let y = f64_attr(&tag, "y")?;
+                if let Some((_, _, _, verts)) = current.as_mut() {
+                    verts.push(P2::new(x, y));
+                } else {
+                    return Err(GmlError::Structure("<pos> outside <Building>".to_string()));
+                }
+            }
+            ("CityModel", true) => break,
+            _ => {
+                if !tag.self_closing && !tag.closing {
+                    // Unknown container: tolerated for forward compatibility.
+                }
+            }
+        }
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procedural::generate_district;
+
+    #[test]
+    fn roundtrip_procedural_model() {
+        let model = generate_district("Vejle LOD1", LatLon::new(55.7113, 9.5365), 7, 5);
+        let gml = write_gml(&model);
+        let parsed = parse_gml(&gml).unwrap();
+        assert_eq!(parsed.name, model.name);
+        assert_eq!(parsed.buildings.len(), model.buildings.len());
+        for (a, b) in parsed.buildings.iter().zip(&model.buildings) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.class, b.class);
+            assert!((a.height_m - b.height_m).abs() < 0.01);
+            assert_eq!(a.footprint.vertices.len(), b.footprint.vertices.len());
+        }
+        assert!((parsed.origin.lat_deg - model.origin.lat_deg).abs() < 1e-5);
+    }
+
+    #[test]
+    fn minimal_document() {
+        let gml = r#"<?xml version="1.0"?>
+<CityModel name="tiny" lat="55.0" lon="9.0">
+  <Building id="b1" class="public" height="8">
+    <footprint>
+      <pos x="0" y="0"/><pos x="10" y="0"/><pos x="10" y="10"/>
+    </footprint>
+  </Building>
+</CityModel>"#;
+        let m = parse_gml(gml).unwrap();
+        assert_eq!(m.buildings.len(), 1);
+        assert_eq!(m.buildings[0].class, BuildingClass::Public);
+        assert_eq!(m.buildings[0].footprint.vertices.len(), 3);
+    }
+
+    #[test]
+    fn name_escaping() {
+        let mut m = CityModel::new("A \"model\" <with> & stuff", LatLon::new(1.0, 2.0));
+        m.buildings.push(Building {
+            id: "x<>&\"".to_string(),
+            footprint: Polygon::rect(P2::new(0.0, 0.0), P2::new(1.0, 1.0)),
+            height_m: 1.0,
+            class: BuildingClass::Commercial,
+        });
+        let parsed = parse_gml(&write_gml(&m)).unwrap();
+        assert_eq!(parsed.name, m.name);
+        assert_eq!(parsed.buildings[0].id, m.buildings[0].id);
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(matches!(parse_gml(""), Err(GmlError::Structure(_))));
+        assert!(matches!(
+            parse_gml("<NotACity lat=\"1\" lon=\"2\">"),
+            Err(GmlError::Structure(_))
+        ));
+        // Missing lat.
+        assert!(matches!(
+            parse_gml("<CityModel name=\"x\" lon=\"2\"></CityModel>"),
+            Err(GmlError::MissingAttribute("lat", _))
+        ));
+        // Too few vertices.
+        let bad = r#"<CityModel name="x" lat="1" lon="2">
+<Building id="b" class="public" height="5"><footprint><pos x="0" y="0"/></footprint></Building>
+</CityModel>"#;
+        assert!(matches!(parse_gml(bad), Err(GmlError::Structure(_))));
+        // Negative height.
+        let bad = r#"<CityModel name="x" lat="1" lon="2">
+<Building id="b" class="public" height="-5"><footprint>
+<pos x="0" y="0"/><pos x="1" y="0"/><pos x="0" y="1"/></footprint></Building>
+</CityModel>"#;
+        assert!(matches!(parse_gml(bad), Err(GmlError::BadAttribute("height", _))));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(matches!(
+            parse_gml("<CityModel lat=\"1\" lon=\"2\"><Building id=broken"),
+            Err(GmlError::Syntax(..))
+        ));
+        assert!(matches!(
+            parse_gml("<CityModel lat=\"1 lon=\"2\"></CityModel>"),
+            Err(GmlError::Syntax(..)) | Err(GmlError::Structure(_)) | Err(GmlError::MissingAttribute(..))
+        ));
+    }
+
+    #[test]
+    fn unknown_class_rejected() {
+        let bad = r#"<CityModel name="x" lat="1" lon="2">
+<Building id="b" class="castle" height="5"><footprint>
+<pos x="0" y="0"/><pos x="1" y="0"/><pos x="0" y="1"/></footprint></Building>
+</CityModel>"#;
+        assert!(matches!(parse_gml(bad), Err(GmlError::BadAttribute("class", _))));
+    }
+}

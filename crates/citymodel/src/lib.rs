@@ -1,0 +1,31 @@
+//! # ctt-citymodel — LOD1 CityGML-style 3D city model
+//!
+//! Reproduces the Fig. 7 substrate: "the 3D CityGML model integrating
+//! different measuring points of air quality". The municipal Vejle model is
+//! proprietary, so a procedural district with the same LOD1 structure
+//! stands in (see DESIGN.md).
+//!
+//! * [`geometry`] — footprint polygons (area, centroid, containment).
+//! * [`model`] — buildings, classes, the city model and spatial queries.
+//! * [`gml`] — CityGML-subset XML read/write.
+//! * [`procedural`] — deterministic district generator.
+//! * [`overlay`] — sensor placement, nearest-sensor attribution, AQI
+//!   colouring (the Fig. 7 content).
+//! * [`project`] — isometric projection to depth-sorted shaded faces.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod geometry;
+pub mod gml;
+pub mod model;
+pub mod overlay;
+pub mod procedural;
+pub mod project;
+
+pub use geometry::{Polygon, P2};
+pub use gml::{parse_gml, write_gml, GmlError};
+pub use model::{Building, BuildingClass, CityModel};
+pub use overlay::{overlay, AttributedBuilding, Overlay, PlacedSensor};
+pub use procedural::generate_district;
+pub use project::{project_model, Face};

@@ -1,0 +1,200 @@
+//! Isometric projection of LOD1 prisms for rendering.
+//!
+//! Produces depth-sorted shaded faces (painter's algorithm) that the viz
+//! crate turns into the Fig. 7 SVG. The projection is a standard 2:1
+//! isometric: `u = (x − y)·cos30°, v = (x + y)·sin30° − z`.
+
+use crate::geometry::P2;
+use crate::model::{Building, CityModel};
+
+/// A projected polygonal face ready for drawing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Face {
+    /// 2D outline in screen space (y grows downward).
+    pub outline: Vec<(f64, f64)>,
+    /// Brightness multiplier: roof 1.0, left wall 0.8, right wall 0.6.
+    pub shade: f64,
+    /// Index of the source building in the model.
+    pub building_index: usize,
+    /// Painter's depth (larger = nearer; draw in ascending order).
+    pub depth: f64,
+}
+
+const COS30: f64 = 0.866_025_403_784_438_6;
+const SIN30: f64 = 0.5;
+
+/// Project a 3D model-space point to screen space.
+pub fn project_point(p: P2, z: f64) -> (f64, f64) {
+    let u = (p.x - p.y) * COS30;
+    let v = (p.x + p.y) * SIN30 - z;
+    (u, v)
+}
+
+/// Project one building to faces (roof + the two camera-facing walls of
+/// its bounding outline). LOD1 prisms with rectangular footprints produce
+/// exact results; general footprints use the footprint ring for the roof
+/// and per-edge walls for south/east-facing edges.
+pub fn project_building(b: &Building, index: usize) -> Vec<Face> {
+    let mut faces = Vec::new();
+    let verts = &b.footprint.vertices;
+    let n = verts.len();
+    // Depth: larger x+y is nearer the camera in this projection.
+    let c = b.footprint.centroid();
+    let depth = c.x + c.y;
+    // Walls for edges facing the camera (outward normal with positive
+    // x+y component). Ensure consistent CCW orientation for the normal
+    // computation.
+    let ccw = b.footprint.signed_area() > 0.0;
+    for i in 0..n {
+        let (a, d) = if ccw {
+            (verts[i], verts[(i + 1) % n])
+        } else {
+            (verts[(i + 1) % n], verts[i])
+        };
+        // Outward normal of edge a→d for CCW polygon is (dy, -dx).
+        let nx = d.y - a.y;
+        let ny = -(d.x - a.x);
+        if nx + ny <= 0.0 {
+            continue; // back-facing
+        }
+        let shade = if nx.abs() >= ny.abs() { 0.8 } else { 0.62 };
+        let base_a = project_point(a, 0.0);
+        let base_d = project_point(d, 0.0);
+        let top_d = project_point(d, b.height_m);
+        let top_a = project_point(a, b.height_m);
+        faces.push(Face {
+            outline: vec![base_a, base_d, top_d, top_a],
+            shade,
+            building_index: index,
+            depth: depth + (a.x + a.y + d.x + d.y) / 4.0 * 1e-6,
+        });
+    }
+    // Roof last within the building (drawn on top of its own walls).
+    let roof: Vec<(f64, f64)> = verts.iter().map(|&v| project_point(v, b.height_m)).collect();
+    faces.push(Face {
+        outline: roof,
+        shade: 1.0,
+        building_index: index,
+        depth: depth + 1e-3,
+    });
+    faces
+}
+
+/// Project the whole model, depth-sorted for the painter's algorithm.
+pub fn project_model(model: &CityModel) -> Vec<Face> {
+    let mut faces: Vec<Face> = model
+        .buildings
+        .iter()
+        .enumerate()
+        .flat_map(|(i, b)| project_building(b, i))
+        .collect();
+    faces.sort_by(|a, b| a.depth.total_cmp(&b.depth));
+    faces
+}
+
+/// Screen-space bounding box of a face set: `(min_u, min_v, max_u, max_v)`.
+pub fn faces_bbox(faces: &[Face]) -> Option<(f64, f64, f64, f64)> {
+    let mut min_u = f64::INFINITY;
+    let mut min_v = f64::INFINITY;
+    let mut max_u = f64::NEG_INFINITY;
+    let mut max_v = f64::NEG_INFINITY;
+    let mut any = false;
+    for f in faces {
+        for &(u, v) in &f.outline {
+            any = true;
+            min_u = min_u.min(u);
+            min_v = min_v.min(v);
+            max_u = max_u.max(u);
+            max_v = max_v.max(v);
+        }
+    }
+    any.then_some((min_u, min_v, max_u, max_v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Polygon;
+    use crate::model::BuildingClass;
+    use crate::procedural::generate_district;
+    use ctt_core::geo::LatLon;
+
+    fn cube() -> Building {
+        Building {
+            id: "c".to_string(),
+            footprint: Polygon::rect(P2::new(0.0, 0.0), P2::new(10.0, 10.0)),
+            height_m: 10.0,
+            class: BuildingClass::Public,
+        }
+    }
+
+    #[test]
+    fn projection_formula() {
+        let (u, v) = project_point(P2::new(0.0, 0.0), 0.0);
+        assert_eq!((u, v), (0.0, 0.0));
+        // +x moves right and down; +y moves left and down; +z moves up.
+        let (ux, vx) = project_point(P2::new(10.0, 0.0), 0.0);
+        assert!(ux > 0.0 && vx > 0.0);
+        let (uy, vy) = project_point(P2::new(0.0, 10.0), 0.0);
+        assert!(uy < 0.0 && vy > 0.0);
+        let (_, vz) = project_point(P2::new(0.0, 0.0), 10.0);
+        assert!(vz < 0.0);
+    }
+
+    #[test]
+    fn cube_has_roof_and_two_walls() {
+        let faces = project_building(&cube(), 0);
+        assert_eq!(faces.len(), 3, "two camera-facing walls + roof");
+        let shades: Vec<f64> = faces.iter().map(|f| f.shade).collect();
+        assert!(shades.contains(&1.0), "roof present");
+        assert!(shades.contains(&0.8) && shades.contains(&0.62), "both wall shades: {shades:?}");
+        // Roof is drawn last within the building.
+        assert_eq!(faces.last().unwrap().shade, 1.0);
+        // All faces are quads except the roof which mirrors the footprint.
+        for f in &faces {
+            assert_eq!(f.outline.len(), 4);
+            assert_eq!(f.building_index, 0);
+        }
+    }
+
+    #[test]
+    fn clockwise_footprint_projects_identically() {
+        let b = cube();
+        let mut cw = b.clone();
+        cw.footprint = Polygon::new(b.footprint.vertices.iter().rev().copied().collect());
+        let f_ccw = project_building(&b, 0);
+        let f_cw = project_building(&cw, 0);
+        assert_eq!(f_ccw.len(), f_cw.len());
+        let shades = |fs: &[Face]| {
+            let mut v: Vec<u64> = fs.iter().map(|f| (f.shade * 100.0) as u64).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(shades(&f_ccw), shades(&f_cw));
+    }
+
+    #[test]
+    fn model_faces_sorted_by_depth() {
+        let m = generate_district("depth-test", LatLon::new(55.0, 9.0), 5, 5);
+        let faces = project_model(&m);
+        assert!(!faces.is_empty());
+        assert!(faces.windows(2).all(|w| w[0].depth <= w[1].depth));
+        // Every building contributed at least a roof.
+        let buildings: std::collections::HashSet<usize> =
+            faces.iter().map(|f| f.building_index).collect();
+        assert_eq!(buildings.len(), m.buildings.len());
+    }
+
+    #[test]
+    fn bbox_covers_outlines() {
+        let faces = project_building(&cube(), 0);
+        let (min_u, min_v, max_u, max_v) = faces_bbox(&faces).unwrap();
+        for f in &faces {
+            for &(u, v) in &f.outline {
+                assert!(u >= min_u && u <= max_u);
+                assert!(v >= min_v && v <= max_v);
+            }
+        }
+        assert!(faces_bbox(&[]).is_none());
+    }
+}

@@ -1,0 +1,215 @@
+//! Common Air Quality Index (CAQI) computation.
+//!
+//! The dashboards of Fig. 6 show per-location "air quality indicators". We
+//! use the European Common Air Quality Index (CAQI, hourly "background"
+//! variant) — the index used by European city dashboards of the paper's era —
+//! computed from NO2, PM10 and PM2.5 sub-indices. CO2 is a greenhouse gas,
+//! not a CAQI pollutant, so it does not enter the index.
+
+use crate::quantity::Pollutant;
+use std::fmt;
+
+/// CAQI band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AqiBand {
+    /// 0–25: very low pollution.
+    VeryLow,
+    /// 25–50: low pollution.
+    Low,
+    /// 50–75: medium pollution.
+    Medium,
+    /// 75–100: high pollution.
+    High,
+    /// >100: very high pollution.
+    VeryHigh,
+}
+
+impl AqiBand {
+    /// Band for a CAQI value.
+    pub fn from_index(idx: f64) -> Self {
+        if idx < 25.0 {
+            AqiBand::VeryLow
+        } else if idx < 50.0 {
+            AqiBand::Low
+        } else if idx < 75.0 {
+            AqiBand::Medium
+        } else if idx <= 100.0 {
+            AqiBand::High
+        } else {
+            AqiBand::VeryHigh
+        }
+    }
+
+    /// Dashboard label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AqiBand::VeryLow => "Very low",
+            AqiBand::Low => "Low",
+            AqiBand::Medium => "Medium",
+            AqiBand::High => "High",
+            AqiBand::VeryHigh => "Very high",
+        }
+    }
+
+    /// Conventional CAQI display colour (hex) used by the dashboards.
+    pub fn color(self) -> &'static str {
+        match self {
+            AqiBand::VeryLow => "#79bc6a",
+            AqiBand::Low => "#bbcf4c",
+            AqiBand::Medium => "#eec20b",
+            AqiBand::High => "#f29305",
+            AqiBand::VeryHigh => "#e8416f",
+        }
+    }
+}
+
+impl fmt::Display for AqiBand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Piecewise-linear interpolation through `(concentration, index)` breakpoints.
+fn interpolate(breakpoints: &[(f64, f64)], c: f64) -> f64 {
+    debug_assert!(breakpoints.len() >= 2);
+    if c <= breakpoints[0].0 {
+        return breakpoints[0].1;
+    }
+    for w in breakpoints.windows(2) {
+        let (c0, i0) = w[0];
+        let (c1, i1) = w[1];
+        if c <= c1 {
+            return i0 + (i1 - i0) * (c - c0) / (c1 - c0);
+        }
+    }
+    // Above the top breakpoint: extrapolate along the last segment.
+    let (c0, i0) = breakpoints[breakpoints.len() - 2];
+    let (c1, i1) = breakpoints[breakpoints.len() - 1];
+    i1 + (i1 - i0) * (c - c1) / (c1 - c0)
+}
+
+/// CAQI hourly background-grid breakpoints: concentration µg/m³ → index.
+fn breakpoints(p: Pollutant) -> Option<&'static [(f64, f64)]> {
+    match p {
+        Pollutant::No2 => Some(&[(0.0, 0.0), (50.0, 25.0), (100.0, 50.0), (200.0, 75.0), (400.0, 100.0)]),
+        Pollutant::Pm10 => Some(&[(0.0, 0.0), (25.0, 25.0), (50.0, 50.0), (90.0, 75.0), (180.0, 100.0)]),
+        Pollutant::Pm25 => Some(&[(0.0, 0.0), (15.0, 25.0), (30.0, 50.0), (55.0, 75.0), (110.0, 100.0)]),
+        Pollutant::Co2 => None,
+    }
+}
+
+/// Sub-index for a single pollutant concentration in µg/m³.
+///
+/// Returns `None` for pollutants that are not part of CAQI (CO2).
+pub fn sub_index(p: Pollutant, concentration_ug_m3: f64) -> Option<f64> {
+    breakpoints(p).map(|bp| interpolate(bp, concentration_ug_m3.max(0.0)))
+}
+
+/// A computed air-quality index with its dominant pollutant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Caqi {
+    /// Overall index value (max of sub-indices).
+    pub index: f64,
+    /// Pollutant that determined the index.
+    pub dominant: Pollutant,
+}
+
+impl Caqi {
+    /// The CAQI band for this index value.
+    pub fn band(&self) -> AqiBand {
+        AqiBand::from_index(self.index)
+    }
+}
+
+/// Overall CAQI from per-pollutant concentrations in µg/m³.
+///
+/// The overall index is the maximum of the sub-indices; `None` if no CAQI
+/// pollutant is present.
+pub fn caqi(concentrations: &[(Pollutant, f64)]) -> Option<Caqi> {
+    concentrations
+        .iter()
+        .filter_map(|&(p, c)| sub_index(p, c).map(|idx| (p, idx)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(dominant, index)| Caqi { index, dominant })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakpoint_values_exact() {
+        assert_eq!(sub_index(Pollutant::No2, 0.0), Some(0.0));
+        assert_eq!(sub_index(Pollutant::No2, 50.0), Some(25.0));
+        assert_eq!(sub_index(Pollutant::No2, 400.0), Some(100.0));
+        assert_eq!(sub_index(Pollutant::Pm10, 50.0), Some(50.0));
+        assert_eq!(sub_index(Pollutant::Pm25, 110.0), Some(100.0));
+    }
+
+    #[test]
+    fn interpolation_between_breakpoints() {
+        // Halfway between 50 (→25) and 100 (→50) is 75 → 37.5.
+        let idx = sub_index(Pollutant::No2, 75.0).unwrap();
+        assert!((idx - 37.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrapolation_above_top() {
+        let idx = sub_index(Pollutant::No2, 600.0).unwrap();
+        assert!(idx > 100.0);
+    }
+
+    #[test]
+    fn negative_concentration_clamps_to_zero() {
+        assert_eq!(sub_index(Pollutant::Pm10, -3.0), Some(0.0));
+    }
+
+    #[test]
+    fn co2_is_not_a_caqi_pollutant() {
+        assert_eq!(sub_index(Pollutant::Co2, 800.0), None);
+        assert!(caqi(&[(Pollutant::Co2, 800.0)]).is_none());
+    }
+
+    #[test]
+    fn overall_takes_worst_subindex() {
+        let c = caqi(&[
+            (Pollutant::No2, 40.0),  // → 20
+            (Pollutant::Pm10, 60.0), // → 56.25
+            (Pollutant::Pm25, 10.0), // → ~16.7
+        ])
+        .unwrap();
+        assert_eq!(c.dominant, Pollutant::Pm10);
+        assert!((c.index - 56.25).abs() < 1e-9);
+        assert_eq!(c.band(), AqiBand::Medium);
+    }
+
+    #[test]
+    fn bands_cover_the_scale() {
+        assert_eq!(AqiBand::from_index(0.0), AqiBand::VeryLow);
+        assert_eq!(AqiBand::from_index(25.0), AqiBand::Low);
+        assert_eq!(AqiBand::from_index(49.9), AqiBand::Low);
+        assert_eq!(AqiBand::from_index(74.9), AqiBand::Medium);
+        assert_eq!(AqiBand::from_index(100.0), AqiBand::High);
+        assert_eq!(AqiBand::from_index(140.0), AqiBand::VeryHigh);
+    }
+
+    #[test]
+    fn band_metadata() {
+        assert_eq!(AqiBand::VeryLow.label(), "Very low");
+        assert!(AqiBand::High.color().starts_with('#'));
+        assert_eq!(AqiBand::Medium.to_string(), "Medium");
+    }
+
+    #[test]
+    fn monotonic_in_concentration() {
+        for p in [Pollutant::No2, Pollutant::Pm10, Pollutant::Pm25] {
+            let mut prev = -1.0;
+            for step in 0..100 {
+                let c = step as f64 * 5.0;
+                let idx = sub_index(p, c).unwrap();
+                assert!(idx >= prev, "{p:?} not monotone at {c}");
+                prev = idx;
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Identifier newtypes for devices and infrastructure.
+//!
+//! LoRaWAN devices are identified by a 64-bit `DevEui` (device extended
+//! unique identifier); gateways by a 64-bit [`GatewayId`]. Both are rendered
+//! in the conventional hyphenated hex form (`70-B3-D5-...`) used by The
+//! Things Network consoles.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// 64-bit LoRaWAN device EUI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DevEui(pub u64);
+
+/// 64-bit gateway identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GatewayId(pub u64);
+
+fn fmt_eui(v: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let b = v.to_be_bytes();
+    for (i, byte) in b.iter().enumerate() {
+        if i > 0 {
+            write!(f, "-")?;
+        }
+        write!(f, "{byte:02X}")?;
+    }
+    Ok(())
+}
+
+fn parse_eui(s: &str) -> Result<u64, ParseIdError> {
+    let hex: String = s.chars().filter(|c| *c != '-' && *c != ':').collect();
+    if hex.len() != 16 {
+        return Err(ParseIdError {
+            input: s.to_string(),
+        });
+    }
+    u64::from_str_radix(&hex, 16).map_err(|_| ParseIdError {
+        input: s.to_string(),
+    })
+}
+
+/// Error returned when parsing a [`DevEui`] or [`GatewayId`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIdError {
+    input: String,
+}
+
+impl fmt::Display for ParseIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid EUI-64 identifier: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseIdError {}
+
+impl fmt::Display for DevEui {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_eui(self.0, f)
+    }
+}
+
+impl fmt::Display for GatewayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_eui(self.0, f)
+    }
+}
+
+impl FromStr for DevEui {
+    type Err = ParseIdError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_eui(s).map(DevEui)
+    }
+}
+
+impl FromStr for GatewayId {
+    type Err = ParseIdError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_eui(s).map(GatewayId)
+    }
+}
+
+impl DevEui {
+    /// Well-known pseudo-EUI representing an official reference station's
+    /// instrument (not a LoRaWAN device, but it flows through the same
+    /// measurement pipeline).
+    pub const REFERENCE_STATION: DevEui = DevEui(0x0EF0_0000_0000_0001);
+
+    /// CTT-project device EUIs use the NTNU experimental OUI prefix; devices
+    /// are numbered sequentially within a deployment.
+    pub fn ctt(seq: u32) -> Self {
+        DevEui(0x70B3_D500_0000_0000 | u64::from(seq))
+    }
+
+    /// Sequence number within the CTT prefix (low 32 bits).
+    pub fn seq(self) -> u32 {
+        (self.0 & 0xFFFF_FFFF) as u32
+    }
+}
+
+impl GatewayId {
+    /// CTT-project gateway ids.
+    pub fn ctt(seq: u32) -> Self {
+        GatewayId(0xB827_EB00_0000_0000 | u64::from(seq))
+    }
+
+    /// Sequence number within the CTT prefix (low 32 bits).
+    pub fn seq(self) -> u32 {
+        (self.0 & 0xFFFF_FFFF) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dev_eui_roundtrip_display_parse() {
+        let eui = DevEui(0x70B3_D500_0000_002A);
+        let s = eui.to_string();
+        assert_eq!(s, "70-B3-D5-00-00-00-00-2A");
+        let parsed: DevEui = s.parse().unwrap();
+        assert_eq!(parsed, eui);
+    }
+
+    #[test]
+    fn gateway_id_roundtrip() {
+        let gw = GatewayId::ctt(3);
+        let parsed: GatewayId = gw.to_string().parse().unwrap();
+        assert_eq!(parsed, gw);
+        assert_eq!(gw.seq(), 3);
+    }
+
+    #[test]
+    fn parse_accepts_colons_and_bare_hex() {
+        let a: DevEui = "70:B3:D5:00:00:00:00:01".parse().unwrap();
+        let b: DevEui = "70B3D50000000001".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_rejects_bad_lengths() {
+        assert!("70B3".parse::<DevEui>().is_err());
+        assert!("".parse::<DevEui>().is_err());
+        assert!("zzB3D50000000001".parse::<DevEui>().is_err());
+    }
+
+    #[test]
+    fn ctt_sequence_is_recoverable() {
+        for seq in [0u32, 1, 7, 250, u32::MAX] {
+            assert_eq!(DevEui::ctt(seq).seq(), seq);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Measurement records flowing through the pipeline.
+//!
+//! A [`SensorReading`] is one complete uplink from a node: all eight
+//! quantities sampled at the same instant. A [`Measurement`] is the flattened
+//! per-quantity record that the time-series database and analytics operate
+//! on. Quality flags track provenance through validation and calibration.
+
+use crate::ids::DevEui;
+use crate::quantity::{Pollutant, Quantity};
+use crate::time::Timestamp;
+
+/// Quality/provenance flag for a measurement value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QualityFlag {
+    /// Raw value as received from the device.
+    #[default]
+    Raw,
+    /// Passed plausibility validation.
+    Validated,
+    /// Adjusted by the calibration model.
+    Calibrated,
+    /// Gap-filled by imputation (not an actual observation).
+    Imputed,
+    /// Flagged as an outlier by QC.
+    Suspect,
+}
+
+impl QualityFlag {
+    /// Short code for CSV export.
+    pub fn code(self) -> &'static str {
+        match self {
+            QualityFlag::Raw => "raw",
+            QualityFlag::Validated => "ok",
+            QualityFlag::Calibrated => "cal",
+            QualityFlag::Imputed => "imp",
+            QualityFlag::Suspect => "sus",
+        }
+    }
+}
+
+/// One quantity observed by one device at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Originating device.
+    pub device: DevEui,
+    /// Which quantity.
+    pub quantity: Quantity,
+    /// Value in the quantity's native unit.
+    pub value: f64,
+    /// Observation time (UTC).
+    pub time: Timestamp,
+    /// Quality flag.
+    pub flag: QualityFlag,
+}
+
+impl Measurement {
+    /// A raw measurement.
+    pub fn raw(device: DevEui, quantity: Quantity, value: f64, time: Timestamp) -> Self {
+        Measurement {
+            device,
+            quantity,
+            value,
+            time,
+            flag: QualityFlag::Raw,
+        }
+    }
+
+    /// Copy with a new flag.
+    pub fn with_flag(mut self, flag: QualityFlag) -> Self {
+        self.flag = flag;
+        self
+    }
+
+    /// True if the value passes the quantity's plausibility check.
+    pub fn is_plausible(&self) -> bool {
+        self.quantity.is_plausible(self.value)
+    }
+}
+
+/// One full multi-quantity reading from a node (payload of one uplink).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorReading {
+    /// Originating device.
+    pub device: DevEui,
+    /// Observation time (UTC).
+    pub time: Timestamp,
+    /// CO2 in ppm.
+    pub co2_ppm: f64,
+    /// NO2 in ppb.
+    pub no2_ppb: f64,
+    /// PM2.5 in µg/m³.
+    pub pm25_ug_m3: f64,
+    /// PM10 in µg/m³.
+    pub pm10_ug_m3: f64,
+    /// Temperature in °C.
+    pub temperature_c: f64,
+    /// Pressure in hPa.
+    pub pressure_hpa: f64,
+    /// Relative humidity in %.
+    pub humidity_pct: f64,
+    /// Battery level in % of capacity.
+    pub battery_pct: f64,
+}
+
+impl SensorReading {
+    /// Value of a given quantity.
+    pub fn value(&self, q: Quantity) -> f64 {
+        match q {
+            Quantity::Pollutant(Pollutant::Co2) => self.co2_ppm,
+            Quantity::Pollutant(Pollutant::No2) => self.no2_ppb,
+            Quantity::Pollutant(Pollutant::Pm25) => self.pm25_ug_m3,
+            Quantity::Pollutant(Pollutant::Pm10) => self.pm10_ug_m3,
+            Quantity::Temperature => self.temperature_c,
+            Quantity::Pressure => self.pressure_hpa,
+            Quantity::Humidity => self.humidity_pct,
+            Quantity::Battery => self.battery_pct,
+        }
+    }
+
+    /// Set the value of a given quantity.
+    pub fn set_value(&mut self, q: Quantity, v: f64) {
+        match q {
+            Quantity::Pollutant(Pollutant::Co2) => self.co2_ppm = v,
+            Quantity::Pollutant(Pollutant::No2) => self.no2_ppb = v,
+            Quantity::Pollutant(Pollutant::Pm25) => self.pm25_ug_m3 = v,
+            Quantity::Pollutant(Pollutant::Pm10) => self.pm10_ug_m3 = v,
+            Quantity::Temperature => self.temperature_c = v,
+            Quantity::Pressure => self.pressure_hpa = v,
+            Quantity::Humidity => self.humidity_pct = v,
+            Quantity::Battery => self.battery_pct = v,
+        }
+    }
+
+    /// Flatten to one [`Measurement`] per quantity.
+    pub fn measurements(&self) -> Vec<Measurement> {
+        Quantity::ALL
+            .iter()
+            .map(|&q| Measurement::raw(self.device, q, self.value(q), self.time))
+            .collect()
+    }
+
+    /// True if every quantity is plausible.
+    pub fn is_plausible(&self) -> bool {
+        Quantity::ALL.iter().all(|&q| q.is_plausible(self.value(q)))
+    }
+
+    /// A neutral reading with background values, useful as a test fixture.
+    pub fn background(device: DevEui, time: Timestamp) -> Self {
+        SensorReading {
+            device,
+            time,
+            co2_ppm: 405.0,
+            no2_ppb: 8.0,
+            pm25_ug_m3: 6.0,
+            pm10_ug_m3: 12.0,
+            temperature_c: 10.0,
+            pressure_hpa: 1013.0,
+            humidity_pct: 70.0,
+            battery_pct: 90.0,
+        }
+    }
+}
+
+/// A time-ordered series of `(time, value)` points for one device+quantity.
+///
+/// This is the exchange format between the TSDB query layer and analytics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Series {
+    /// Data points, ascending in time.
+    pub points: Vec<(Timestamp, f64)>,
+}
+
+impl Series {
+    /// Empty series.
+    pub fn new() -> Self {
+        Series::default()
+    }
+
+    /// From raw points; sorts by time.
+    pub fn from_points(mut points: Vec<(Timestamp, f64)>) -> Self {
+        points.sort_by_key(|(t, _)| *t);
+        Series { points }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Push a point; must be at or after the last time (panics otherwise —
+    /// out-of-order appends indicate a pipeline bug).
+    pub fn push(&mut self, t: Timestamp, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "out-of-order append: {t} < {last}");
+        }
+        self.points.push((t, v));
+    }
+
+    /// Values only.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|&(_, v)| v)
+    }
+
+    /// Times only.
+    pub fn times(&self) -> impl Iterator<Item = Timestamp> + '_ {
+        self.points.iter().map(|&(t, _)| t)
+    }
+
+    /// First and last timestamps, if any.
+    pub fn time_span(&self) -> Option<(Timestamp, Timestamp)> {
+        Some((self.points.first()?.0, self.points.last()?.0))
+    }
+}
+
+impl FromIterator<(Timestamp, f64)> for Series {
+    fn from_iter<I: IntoIterator<Item = (Timestamp, f64)>>(iter: I) -> Self {
+        Series::from_points(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Span;
+
+    fn reading() -> SensorReading {
+        SensorReading::background(DevEui::ctt(1), Timestamp::from_civil(2017, 5, 1, 12, 0, 0))
+    }
+
+    #[test]
+    fn value_set_value_roundtrip_all_quantities() {
+        let mut r = reading();
+        for (i, &q) in Quantity::ALL.iter().enumerate() {
+            let v = 1.5 * (i as f64 + 1.0);
+            r.set_value(q, v);
+            assert_eq!(r.value(q), v);
+        }
+    }
+
+    #[test]
+    fn measurements_flatten_in_payload_order() {
+        let r = reading();
+        let ms = r.measurements();
+        assert_eq!(ms.len(), 8);
+        assert_eq!(ms[0].quantity, Quantity::ALL[0]);
+        assert!(ms.iter().all(|m| m.device == r.device && m.time == r.time));
+        assert!(ms.iter().all(|m| m.flag == QualityFlag::Raw));
+    }
+
+    #[test]
+    fn background_reading_is_plausible() {
+        assert!(reading().is_plausible());
+        let mut bad = reading();
+        bad.co2_ppm = -5.0;
+        assert!(!bad.is_plausible());
+    }
+
+    #[test]
+    fn measurement_flag_transitions() {
+        let m = Measurement::raw(
+            DevEui::ctt(1),
+            Quantity::Temperature,
+            12.0,
+            Timestamp(0),
+        );
+        assert_eq!(m.flag, QualityFlag::Raw);
+        let c = m.with_flag(QualityFlag::Calibrated);
+        assert_eq!(c.flag, QualityFlag::Calibrated);
+        assert_eq!(c.value, m.value);
+        assert_eq!(QualityFlag::Imputed.code(), "imp");
+    }
+
+    #[test]
+    fn series_from_points_sorts() {
+        let t0 = Timestamp(100);
+        let s = Series::from_points(vec![(Timestamp(300), 3.0), (t0, 1.0), (Timestamp(200), 2.0)]);
+        let times: Vec<_> = s.times().collect();
+        assert_eq!(times, vec![Timestamp(100), Timestamp(200), Timestamp(300)]);
+        assert_eq!(s.time_span(), Some((Timestamp(100), Timestamp(300))));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order append")]
+    fn series_push_rejects_out_of_order() {
+        let mut s = Series::new();
+        s.push(Timestamp(100), 1.0);
+        s.push(Timestamp(50), 2.0);
+    }
+
+    #[test]
+    fn series_push_accepts_equal_times() {
+        let mut s = Series::new();
+        s.push(Timestamp(100), 1.0);
+        s.push(Timestamp(100), 2.0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn series_collect_and_iterators() {
+        let start = Timestamp::from_civil(2017, 1, 1, 0, 0, 0);
+        let s: Series = (0..5).map(|i| (start + Span::minutes(5 * i), i as f64)).collect();
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        let sum: f64 = s.values().sum();
+        assert_eq!(sum, 10.0);
+        assert!(Series::new().time_span().is_none());
+    }
+}

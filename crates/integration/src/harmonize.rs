@@ -1,0 +1,305 @@
+//! Harmonization of heterogeneous sources.
+//!
+//! §2.2: "The sources contain highly heterogeneous data, with different
+//! timescales, measurement frequencies, spatial distributions and
+//! granularities ... and a complex set of related uncertainties." Before
+//! any joint analysis the series must be brought onto a common time grid
+//! and measurement points joined to the sensors that represent them.
+
+use ctt_core::geo::LatLon;
+use ctt_core::measurement::Series;
+use ctt_core::time::{Span, Timestamp};
+
+/// How to produce a grid value from the points near a grid instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResampleMethod {
+    /// Mean of points inside the bucket `[t, t+step)`.
+    BucketMean,
+    /// Linear interpolation between the bracketing points.
+    Linear,
+    /// Last observation carried forward.
+    Locf,
+}
+
+/// Resample a series onto the aligned grid `[start, end)` with `step`.
+/// Grid instants with no defined value are omitted (never invented).
+pub fn resample(series: &Series, start: Timestamp, end: Timestamp, step: Span, method: ResampleMethod) -> Series {
+    assert!(step.as_seconds() > 0);
+    let mut out = Vec::new();
+    let grid_start = start.align_down(step);
+    let pts = &series.points;
+    let mut t = grid_start;
+    while t < end {
+        let value = match method {
+            ResampleMethod::BucketMean => {
+                let bucket_end = t + step;
+                let vals: Vec<f64> = pts
+                    .iter()
+                    .filter(|&&(pt, _)| pt >= t && pt < bucket_end)
+                    .map(|&(_, v)| v)
+                    .collect();
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+                }
+            }
+            ResampleMethod::Linear => {
+                let after = pts.iter().position(|&(pt, _)| pt >= t);
+                match after {
+                    Some(0) => (pts[0].0 == t).then_some(pts[0].1),
+                    Some(i) => {
+                        let (t0, v0) = pts[i - 1];
+                        let (t1, v1) = pts[i];
+                        if t1 == t0 {
+                            Some(v1)
+                        } else {
+                            let frac =
+                                (t - t0).as_seconds() as f64 / (t1 - t0).as_seconds() as f64;
+                            Some(v0 + (v1 - v0) * frac)
+                        }
+                    }
+                    None => None, // past the last point: undefined
+                }
+            }
+            ResampleMethod::Locf => pts
+                .iter()
+                .rev()
+                .find(|&&(pt, _)| pt <= t)
+                .map(|&(_, v)| v),
+        };
+        if let Some(v) = value {
+            out.push((t, v));
+        }
+        t = t + step;
+    }
+    Series { points: out }
+}
+
+/// Inner-join two series on exactly-equal timestamps, returning aligned
+/// value pairs. Run both through [`resample`] first when their native grids
+/// differ.
+pub fn align_pairs(a: &Series, b: &Series) -> Vec<(Timestamp, f64, f64)> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.points.len() && j < b.points.len() {
+        let (ta, va) = a.points[i];
+        let (tb, vb) = b.points[j];
+        match ta.cmp(&tb) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push((ta, va, vb));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Spatial join: index of the nearest candidate to `target`, with the
+/// distance in metres. `None` when `candidates` is empty or the nearest is
+/// farther than `max_distance_m`.
+pub fn nearest(
+    target: LatLon,
+    candidates: &[LatLon],
+    max_distance_m: f64,
+) -> Option<(usize, f64)> {
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (i, target.distance_m(c)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .filter(|&(_, d)| d <= max_distance_m)
+}
+
+/// A value with propagated 1σ uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uncertain {
+    /// Central value.
+    pub value: f64,
+    /// One standard deviation.
+    pub sigma: f64,
+}
+
+impl Uncertain {
+    /// Exact value.
+    pub fn exact(value: f64) -> Self {
+        Uncertain { value, sigma: 0.0 }
+    }
+
+    /// Sum with independent-error propagation (σ² adds).
+    pub fn add(self, other: Uncertain) -> Uncertain {
+        Uncertain {
+            value: self.value + other.value,
+            sigma: (self.sigma.powi(2) + other.sigma.powi(2)).sqrt(),
+        }
+    }
+
+    /// Difference with independent-error propagation.
+    pub fn sub(self, other: Uncertain) -> Uncertain {
+        Uncertain {
+            value: self.value - other.value,
+            sigma: (self.sigma.powi(2) + other.sigma.powi(2)).sqrt(),
+        }
+    }
+
+    /// Scale by a constant.
+    pub fn scale(self, k: f64) -> Uncertain {
+        Uncertain {
+            value: self.value * k,
+            sigma: self.sigma * k.abs(),
+        }
+    }
+
+    /// Inverse-variance weighted mean of several estimates — how the
+    /// pipeline merges a sensor value with a reference value.
+    pub fn combine(estimates: &[Uncertain]) -> Option<Uncertain> {
+        if estimates.is_empty() {
+            return None;
+        }
+        if let Some(exact) = estimates.iter().find(|e| e.sigma == 0.0) {
+            return Some(*exact);
+        }
+        let mut wsum = 0.0;
+        let mut vsum = 0.0;
+        for e in estimates {
+            let w = 1.0 / e.sigma.powi(2);
+            wsum += w;
+            vsum += w * e.value;
+        }
+        Some(Uncertain {
+            value: vsum / wsum,
+            sigma: (1.0 / wsum).sqrt(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(pts: &[(i64, f64)]) -> Series {
+        Series::from_points(pts.iter().map(|&(t, v)| (Timestamp(t), v)).collect())
+    }
+
+    #[test]
+    fn bucket_mean_resampling() {
+        let s = series(&[(0, 1.0), (100, 3.0), (700, 10.0)]);
+        let r = resample(&s, Timestamp(0), Timestamp(1200), Span::seconds(600), ResampleMethod::BucketMean);
+        assert_eq!(r.points, vec![(Timestamp(0), 2.0), (Timestamp(600), 10.0)]);
+    }
+
+    #[test]
+    fn bucket_mean_skips_empty() {
+        let s = series(&[(0, 1.0), (1900, 5.0)]);
+        let r = resample(&s, Timestamp(0), Timestamp(2400), Span::seconds(600), ResampleMethod::BucketMean);
+        let times: Vec<i64> = r.points.iter().map(|(t, _)| t.as_seconds()).collect();
+        assert_eq!(times, vec![0, 1800]);
+    }
+
+    #[test]
+    fn linear_interpolation() {
+        let s = series(&[(0, 0.0), (1000, 10.0)]);
+        let r = resample(&s, Timestamp(0), Timestamp(1001), Span::seconds(250), ResampleMethod::Linear);
+        assert_eq!(
+            r.points,
+            vec![
+                (Timestamp(0), 0.0),
+                (Timestamp(250), 2.5),
+                (Timestamp(500), 5.0),
+                (Timestamp(750), 7.5),
+                (Timestamp(1000), 10.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn linear_undefined_outside_support() {
+        let s = series(&[(500, 1.0), (1000, 2.0)]);
+        let r = resample(&s, Timestamp(0), Timestamp(2000), Span::seconds(500), ResampleMethod::Linear);
+        // t=0 before first point: undefined; t=1500 after last: undefined.
+        let times: Vec<i64> = r.points.iter().map(|(t, _)| t.as_seconds()).collect();
+        assert_eq!(times, vec![500, 1000]);
+    }
+
+    #[test]
+    fn locf_carries_forward() {
+        let s = series(&[(100, 1.0), (1100, 2.0)]);
+        let r = resample(&s, Timestamp(0), Timestamp(2000), Span::seconds(500), ResampleMethod::Locf);
+        assert_eq!(
+            r.points,
+            vec![
+                (Timestamp(500), 1.0),
+                (Timestamp(1000), 1.0),
+                (Timestamp(1500), 2.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn grid_alignment() {
+        let s = series(&[(0, 1.0), (3600, 2.0)]);
+        // Unaligned start aligns down to the step grid.
+        let r = resample(&s, Timestamp(17), Timestamp(7200), Span::seconds(3600), ResampleMethod::BucketMean);
+        assert_eq!(r.points[0].0, Timestamp(0));
+    }
+
+    #[test]
+    fn align_pairs_inner_join() {
+        let a = series(&[(0, 1.0), (300, 2.0), (600, 3.0)]);
+        let b = series(&[(300, 20.0), (600, 30.0), (900, 40.0)]);
+        let pairs = align_pairs(&a, &b);
+        assert_eq!(
+            pairs,
+            vec![(Timestamp(300), 2.0, 20.0), (Timestamp(600), 3.0, 30.0)]
+        );
+        assert!(align_pairs(&a, &series(&[])).is_empty());
+    }
+
+    #[test]
+    fn nearest_join() {
+        let origin = LatLon::new(63.43, 10.39);
+        let candidates = [
+            origin.offset(0.0, 500.0),
+            origin.offset(90.0, 100.0),
+            origin.offset(180.0, 2000.0),
+        ];
+        let (idx, d) = nearest(origin, &candidates, 10_000.0).unwrap();
+        assert_eq!(idx, 1);
+        assert!((d - 100.0).abs() < 2.0);
+        // Max-distance cutoff.
+        assert!(nearest(origin, &candidates, 50.0).is_none());
+        assert!(nearest(origin, &[], 1e9).is_none());
+    }
+
+    #[test]
+    fn uncertainty_propagation() {
+        let a = Uncertain { value: 10.0, sigma: 3.0 };
+        let b = Uncertain { value: 20.0, sigma: 4.0 };
+        let sum = a.add(b);
+        assert_eq!(sum.value, 30.0);
+        assert!((sum.sigma - 5.0).abs() < 1e-12);
+        let diff = b.sub(a);
+        assert_eq!(diff.value, 10.0);
+        assert!((diff.sigma - 5.0).abs() < 1e-12);
+        let scaled = a.scale(-2.0);
+        assert_eq!(scaled.value, -20.0);
+        assert_eq!(scaled.sigma, 6.0);
+    }
+
+    #[test]
+    fn inverse_variance_combination() {
+        let precise = Uncertain { value: 10.0, sigma: 1.0 };
+        let rough = Uncertain { value: 20.0, sigma: 10.0 };
+        let c = Uncertain::combine(&[precise, rough]).unwrap();
+        // Dominated by the precise estimate.
+        assert!((c.value - 10.0).abs() < 0.2, "combined {c:?}");
+        assert!(c.sigma < 1.0);
+        // Exact value short-circuits.
+        let e = Uncertain::combine(&[Uncertain::exact(5.0), rough]).unwrap();
+        assert_eq!(e, Uncertain::exact(5.0));
+        assert!(Uncertain::combine(&[]).is_none());
+    }
+}

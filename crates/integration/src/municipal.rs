@@ -1,0 +1,280 @@
+//! Municipal traffic counts and national GHG statistics.
+//!
+//! Two Table 1 rows with opposite failure modes: tube counters are
+//! accurate but "only available for short periods" (campaigns), while the
+//! national GHG inventory covers everything but is an annual, downscaled
+//! estimate "often with high uncertainties".
+
+use ctt_core::time::{Span, Timestamp};
+use ctt_core::traffic::TrafficModel;
+
+/// A short municipal counting campaign at one site.
+#[derive(Debug, Clone, Copy)]
+pub struct CountingCampaign {
+    /// First day (midnight) of the campaign.
+    pub start: Timestamp,
+    /// Number of days counted.
+    pub days: u16,
+}
+
+impl CountingCampaign {
+    /// Daily total counts for each campaign day: `(midnight, vehicles)`.
+    /// Tube counters are accurate to ~2% (deterministic truncation error
+    /// here, to keep it reproducible).
+    pub fn daily_counts(&self, model: &TrafficModel) -> Vec<(Timestamp, f64)> {
+        (0..self.days)
+            .map(|d| {
+                let day = self.start.midnight() + Span::days(i64::from(d));
+                let count = model.daily_count(day + Span::hours(12));
+                (day, (count / 10.0).round() * 10.0) // counter reports in tens
+            })
+            .collect()
+    }
+
+    /// Whether a timestamp falls inside the campaign.
+    pub fn covers(&self, t: Timestamp) -> bool {
+        let start = self.start.midnight();
+        t >= start && t < start + Span::days(i64::from(self.days))
+    }
+}
+
+/// Validation of the commercial feed against campaign counts: mean relative
+/// deviation of model-estimated daily flow vs counted, over campaign days.
+pub fn validate_feed_against_counts(
+    counts: &[(Timestamp, f64)],
+    estimated: &[(Timestamp, f64)],
+) -> Option<f64> {
+    let mut devs = Vec::new();
+    for &(day, counted) in counts {
+        if counted <= 0.0 {
+            continue;
+        }
+        if let Some(&(_, est)) = estimated.iter().find(|(d, _)| *d == day) {
+            devs.push((est - counted).abs() / counted);
+        }
+    }
+    if devs.is_empty() {
+        None
+    } else {
+        Some(devs.iter().sum::<f64>() / devs.len() as f64)
+    }
+}
+
+/// GHG emission sectors of a national inventory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sector {
+    /// Road transport.
+    Transport,
+    /// Residential/commercial heating.
+    Heating,
+    /// Industry.
+    Industry,
+    /// Agriculture.
+    Agriculture,
+    /// Waste.
+    Waste,
+}
+
+impl Sector {
+    /// All sectors.
+    pub const ALL: [Sector; 5] = [
+        Sector::Transport,
+        Sector::Heating,
+        Sector::Industry,
+        Sector::Agriculture,
+        Sector::Waste,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sector::Transport => "Transport",
+            Sector::Heating => "Heating",
+            Sector::Industry => "Industry",
+            Sector::Agriculture => "Agriculture",
+            Sector::Waste => "Waste",
+        }
+    }
+}
+
+/// An annual national inventory entry downscaled to a city.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DownscaledEmission {
+    /// Sector.
+    pub sector: Sector,
+    /// Year.
+    pub year: i32,
+    /// Central estimate, kilotonnes CO2-equivalent per year for the city.
+    pub ktco2e: f64,
+    /// Relative uncertainty (1σ / central), e.g. 0.35.
+    pub rel_uncertainty: f64,
+}
+
+impl DownscaledEmission {
+    /// 95% confidence interval (±2σ), clamped at zero.
+    pub fn ci95(&self) -> (f64, f64) {
+        let sigma = self.ktco2e * self.rel_uncertainty;
+        ((self.ktco2e - 2.0 * sigma).max(0.0), self.ktco2e + 2.0 * sigma)
+    }
+}
+
+/// The national statistics office inventory, downscaled by population.
+#[derive(Debug, Clone, Copy)]
+pub struct NationalInventory {
+    /// National total per sector, ktCO2e/yr (rough Norway-like numbers).
+    national: [(Sector, f64); 5],
+    /// City share of national population.
+    pub population_share: f64,
+}
+
+impl NationalInventory {
+    /// Inventory for a city holding `population_share` of the nation.
+    pub fn new(population_share: f64) -> Self {
+        assert!((0.0..=1.0).contains(&population_share));
+        NationalInventory {
+            national: [
+                (Sector::Transport, 16_000.0),
+                (Sector::Heating, 4_500.0),
+                (Sector::Industry, 24_000.0),
+                (Sector::Agriculture, 4_800.0),
+                (Sector::Waste, 1_300.0),
+            ],
+            population_share,
+        }
+    }
+
+    /// Downscaled estimates for a year. Downscaling by population share is
+    /// exactly the crude method the paper flags: uncertainty is high and
+    /// differs per sector (industry does not follow population at all).
+    pub fn downscale(&self, year: i32) -> Vec<DownscaledEmission> {
+        self.national
+            .iter()
+            .map(|&(sector, national_kt)| {
+                let rel_uncertainty = match sector {
+                    Sector::Transport => 0.25,
+                    Sector::Heating => 0.35,
+                    Sector::Industry => 0.60,
+                    Sector::Agriculture => 0.50,
+                    Sector::Waste => 0.40,
+                };
+                // Mild national trend: −1%/yr decarbonisation after 2015.
+                let trend = 1.0 - 0.01 * f64::from(year - 2015);
+                DownscaledEmission {
+                    sector,
+                    year,
+                    ktco2e: national_kt * self.population_share * trend,
+                    rel_uncertainty,
+                }
+            })
+            .collect()
+    }
+
+    /// City total for a year (central estimate).
+    pub fn city_total_ktco2e(&self, year: i32) -> f64 {
+        self.downscale(year).iter().map(|d| d.ktco2e).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctt_core::traffic::RoadClass;
+
+    fn model() -> TrafficModel {
+        TrafficModel::new(7, RoadClass::Arterial, 10.4)
+    }
+
+    #[test]
+    fn campaign_produces_one_count_per_day() {
+        let c = CountingCampaign {
+            start: Timestamp::from_civil(2017, 5, 1, 9, 0, 0),
+            days: 7,
+        };
+        let counts = c.daily_counts(&model());
+        assert_eq!(counts.len(), 7);
+        // Counts are rounded to tens and plausible for an arterial.
+        for (day, n) in &counts {
+            assert_eq!(day.seconds_of_day(), 0, "not midnight: {day}");
+            assert_eq!(*n % 10.0, 0.0);
+            assert!((3_000.0..40_000.0).contains(n), "count {n}");
+        }
+    }
+
+    #[test]
+    fn campaign_coverage_window() {
+        let c = CountingCampaign {
+            start: Timestamp::from_civil(2017, 5, 1, 0, 0, 0),
+            days: 3,
+        };
+        assert!(c.covers(Timestamp::from_civil(2017, 5, 1, 12, 0, 0)));
+        assert!(c.covers(Timestamp::from_civil(2017, 5, 3, 23, 59, 59)));
+        assert!(!c.covers(Timestamp::from_civil(2017, 5, 4, 0, 0, 0)));
+        assert!(!c.covers(Timestamp::from_civil(2017, 4, 30, 23, 0, 0)));
+    }
+
+    #[test]
+    fn feed_validation_close_when_same_model() {
+        let m = model();
+        let c = CountingCampaign {
+            start: Timestamp::from_civil(2017, 5, 1, 0, 0, 0),
+            days: 5,
+        };
+        let counts = c.daily_counts(&m);
+        // "Estimate" from the same model (perfect feed): deviation ≈ 0.
+        let estimates: Vec<(Timestamp, f64)> = counts
+            .iter()
+            .map(|&(d, _)| (d, m.daily_count(d + Span::hours(12))))
+            .collect();
+        let dev = validate_feed_against_counts(&counts, &estimates).unwrap();
+        assert!(dev < 0.01, "deviation {dev}");
+        // A biased estimate shows up.
+        let biased: Vec<(Timestamp, f64)> =
+            estimates.iter().map(|&(d, v)| (d, v * 1.3)).collect();
+        let dev = validate_feed_against_counts(&counts, &biased).unwrap();
+        assert!((dev - 0.3).abs() < 0.02, "deviation {dev}");
+    }
+
+    #[test]
+    fn validation_handles_no_overlap() {
+        let counts = vec![(Timestamp(0), 100.0)];
+        let est = vec![(Timestamp(86_400), 100.0)];
+        assert!(validate_feed_against_counts(&counts, &est).is_none());
+    }
+
+    #[test]
+    fn downscaling_by_population_share() {
+        let inv = NationalInventory::new(0.035); // Trondheim ≈ 3.5% of Norway
+        let d = inv.downscale(2017);
+        assert_eq!(d.len(), 5);
+        let total = inv.city_total_ktco2e(2017);
+        // 3.5% of ~50,000 kt ≈ 1,700 kt, minus the small trend.
+        assert!((1_500.0..2_000.0).contains(&total), "total {total}");
+        // Industry is the most uncertain.
+        let industry = d.iter().find(|e| e.sector == Sector::Industry).unwrap();
+        assert!(d.iter().all(|e| e.rel_uncertainty <= industry.rel_uncertainty));
+    }
+
+    #[test]
+    fn confidence_intervals() {
+        let e = DownscaledEmission {
+            sector: Sector::Transport,
+            year: 2017,
+            ktco2e: 100.0,
+            rel_uncertainty: 0.25,
+        };
+        let (lo, hi) = e.ci95();
+        assert_eq!((lo, hi), (50.0, 150.0));
+        // Clamped at zero for huge uncertainty.
+        let e = DownscaledEmission {
+            rel_uncertainty: 0.8,
+            ..e
+        };
+        assert_eq!(e.ci95().0, 0.0);
+    }
+
+    #[test]
+    fn trend_declines() {
+        let inv = NationalInventory::new(0.035);
+        assert!(inv.city_total_ktco2e(2020) < inv.city_total_ktco2e(2016));
+    }
+}

@@ -1,0 +1,135 @@
+//! LoRa time-on-air computation (Semtech AN1200.13).
+//!
+//! Airtime drives both the duty-cycle budget and the collision window, and
+//! dominates node energy per uplink. The formula: a preamble of
+//! `n_preamble + 4.25` symbols plus a payload of
+//! `8 + max(ceil((8PL - 4SF + 28 + 16CRC - 20H) / (4(SF - 2DE))) (CR + 4), 0)`
+//! symbols, each lasting `2^SF / BW` seconds.
+
+use crate::region::SpreadingFactor;
+
+/// Parameters of one LoRa transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AirtimeParams {
+    /// Spreading factor.
+    pub sf: SpreadingFactor,
+    /// Bandwidth in Hz (125 kHz in EU868).
+    pub bandwidth_hz: u32,
+    /// PHY payload length in bytes.
+    pub payload_len: usize,
+    /// Preamble symbols (8 for LoRaWAN).
+    pub preamble_symbols: u32,
+    /// Coding rate 4/(4+cr); LoRaWAN uses cr = 1 (4/5).
+    pub coding_rate: u32,
+    /// Explicit header enabled (LoRaWAN uplinks: yes).
+    pub explicit_header: bool,
+    /// CRC on (LoRaWAN uplinks: yes).
+    pub crc_on: bool,
+}
+
+impl AirtimeParams {
+    /// Standard LoRaWAN EU868 uplink parameters for a PHY payload.
+    pub fn lorawan_uplink(sf: SpreadingFactor, payload_len: usize) -> Self {
+        AirtimeParams {
+            sf,
+            bandwidth_hz: 125_000,
+            payload_len,
+            preamble_symbols: 8,
+            coding_rate: 1,
+            explicit_header: true,
+            crc_on: true,
+        }
+    }
+}
+
+/// Symbol duration in seconds.
+pub fn symbol_time_s(sf: SpreadingFactor, bandwidth_hz: u32) -> f64 {
+    f64::from(1u32 << sf.value()) / f64::from(bandwidth_hz)
+}
+
+/// Time on air in seconds.
+pub fn time_on_air_s(p: &AirtimeParams) -> f64 {
+    let sf = p.sf.value() as i64;
+    let t_sym = symbol_time_s(p.sf, p.bandwidth_hz);
+    // Low data rate optimization is mandated for SF11/SF12 at 125 kHz.
+    let de = i64::from(sf >= 11 && p.bandwidth_hz == 125_000);
+    let h = i64::from(!p.explicit_header);
+    let crc = i64::from(p.crc_on);
+    let pl = p.payload_len as i64;
+    let numerator = 8 * pl - 4 * sf + 28 + 16 * crc - 20 * h;
+    let denominator = 4 * (sf - 2 * de);
+    let ceil_div = if numerator <= 0 {
+        0
+    } else {
+        (numerator + denominator - 1) / denominator
+    };
+    let payload_symbols = 8 + (ceil_div * (p.coding_rate as i64 + 4)).max(0);
+    let t_preamble = (f64::from(p.preamble_symbols) + 4.25) * t_sym;
+    let t_payload = payload_symbols as f64 * t_sym;
+    t_preamble + t_payload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_time_scales_with_sf() {
+        let t7 = symbol_time_s(SpreadingFactor::Sf7, 125_000);
+        let t12 = symbol_time_s(SpreadingFactor::Sf12, 125_000);
+        assert!((t7 - 1.024e-3).abs() < 1e-9);
+        assert!((t12 - 32.768e-3).abs() < 1e-9);
+        assert!((t12 / t7 - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_airtime_values() {
+        // Reference values from the TTN airtime calculator (125 kHz, CR4/5,
+        // explicit header, CRC, 8-symbol preamble).
+        // 13-byte PHY payload at SF7 ≈ 46.3 ms.
+        let t = time_on_air_s(&AirtimeParams::lorawan_uplink(SpreadingFactor::Sf7, 13));
+        assert!((t - 0.046336).abs() < 2e-4, "SF7/13B airtime {t}");
+        // 13-byte PHY payload at SF12 ≈ 1155 ms (with LDRO).
+        let t = time_on_air_s(&AirtimeParams::lorawan_uplink(SpreadingFactor::Sf12, 13));
+        assert!((t - 1.155072).abs() < 5e-3, "SF12/13B airtime {t}");
+    }
+
+    #[test]
+    fn airtime_monotone_in_payload() {
+        let mut prev = 0.0;
+        for len in [0usize, 5, 13, 32, 51, 120, 222] {
+            let t = time_on_air_s(&AirtimeParams::lorawan_uplink(SpreadingFactor::Sf9, len));
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn airtime_monotone_in_sf() {
+        let mut prev = 0.0;
+        for sf in SpreadingFactor::ALL {
+            let t = time_on_air_s(&AirtimeParams::lorawan_uplink(sf, 30));
+            assert!(t > prev, "{sf} airtime {t} not > {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn ctt_payload_airtime_fits_duty_cycle() {
+        // The CTT uplink (18 B app payload + 13 B LoRaWAN overhead = 31 B
+        // PHY) every 5 minutes must stay far below the 1% duty cycle even
+        // at SF12.
+        let t = time_on_air_s(&AirtimeParams::lorawan_uplink(SpreadingFactor::Sf12, 31));
+        let duty = t / 300.0;
+        assert!(duty < 0.01, "duty {duty}");
+        // At SF7 it is vastly below.
+        let t7 = time_on_air_s(&AirtimeParams::lorawan_uplink(SpreadingFactor::Sf7, 31));
+        assert!(t7 / 300.0 < 0.001);
+    }
+
+    #[test]
+    fn zero_payload_has_preamble_plus_header() {
+        let t = time_on_air_s(&AirtimeParams::lorawan_uplink(SpreadingFactor::Sf7, 0));
+        assert!(t > 0.0);
+    }
+}

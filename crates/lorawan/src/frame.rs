@@ -1,0 +1,199 @@
+//! Simplified LoRaWAN uplink frame format.
+//!
+//! Real LoRaWAN carries a DevAddr assigned at join plus AES-CMAC MIC; the
+//! CTT reproduction uses a simplified unconfirmed-uplink frame carrying the
+//! DevEUI directly and a CRC32 integrity code, which preserves everything
+//! the rest of the system observes (identity, frame counter, port, payload,
+//! corruption detection):
+//!
+//! | bytes | field   |
+//! |-------|---------|
+//! | 0     | MHDR (`0x40` = unconfirmed data up)   |
+//! | 1–8   | DevEUI, big-endian                    |
+//! | 9–10  | FCnt, big-endian                      |
+//! | 11    | FPort                                 |
+//! | 12–   | FRMPayload                            |
+//! | last 4| MIC = CRC32 of all preceding bytes    |
+
+use ctt_core::ids::DevEui;
+use std::fmt;
+
+/// MHDR for unconfirmed data up.
+pub const MHDR_UNCONFIRMED_UP: u8 = 0x40;
+/// Frame overhead in bytes (everything except FRMPayload).
+pub const FRAME_OVERHEAD: usize = 1 + 8 + 2 + 1 + 4;
+
+/// A decoded uplink frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UplinkFrame {
+    /// Transmitting device.
+    pub dev_eui: DevEui,
+    /// Frame counter (wraps at 2^16 in this simplified format).
+    pub fcnt: u16,
+    /// Application port.
+    pub port: u8,
+    /// Application payload.
+    pub payload: Vec<u8>,
+}
+
+/// Errors from [`UplinkFrame::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the fixed overhead.
+    TooShort(usize),
+    /// Unknown MHDR byte.
+    BadMhdr(u8),
+    /// MIC (CRC32) mismatch.
+    BadMic,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooShort(n) => write!(f, "frame too short: {n} bytes"),
+            FrameError::BadMhdr(m) => write!(f, "unexpected MHDR 0x{m:02X}"),
+            FrameError::BadMic => f.write_str("frame MIC mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// CRC-32 (IEEE 802.3, reflected), bitwise implementation.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+impl UplinkFrame {
+    /// Construct an unconfirmed uplink.
+    pub fn new(dev_eui: DevEui, fcnt: u16, port: u8, payload: Vec<u8>) -> Self {
+        UplinkFrame {
+            dev_eui,
+            fcnt,
+            port,
+            payload,
+        }
+    }
+
+    /// Total PHY payload length after encoding.
+    pub fn phy_len(&self) -> usize {
+        FRAME_OVERHEAD + self.payload.len()
+    }
+
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.phy_len());
+        out.push(MHDR_UNCONFIRMED_UP);
+        out.extend_from_slice(&self.dev_eui.0.to_be_bytes());
+        out.extend_from_slice(&self.fcnt.to_be_bytes());
+        out.push(self.port);
+        out.extend_from_slice(&self.payload);
+        let mic = crc32(&out);
+        out.extend_from_slice(&mic.to_be_bytes());
+        out
+    }
+
+    /// Decode from wire bytes, verifying the MIC.
+    pub fn decode(bytes: &[u8]) -> Result<UplinkFrame, FrameError> {
+        if bytes.len() < FRAME_OVERHEAD {
+            return Err(FrameError::TooShort(bytes.len()));
+        }
+        if bytes[0] != MHDR_UNCONFIRMED_UP {
+            return Err(FrameError::BadMhdr(bytes[0]));
+        }
+        let body_len = bytes.len() - 4;
+        let stored = u32::from_be_bytes(bytes[body_len..].try_into().expect("4 bytes"));
+        if crc32(&bytes[..body_len]) != stored {
+            return Err(FrameError::BadMic);
+        }
+        let dev_eui = DevEui(u64::from_be_bytes(bytes[1..9].try_into().expect("8 bytes")));
+        let fcnt = u16::from_be_bytes([bytes[9], bytes[10]]);
+        let port = bytes[11];
+        let payload = bytes[12..body_len].to_vec();
+        Ok(UplinkFrame {
+            dev_eui,
+            fcnt,
+            port,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> UplinkFrame {
+        UplinkFrame::new(DevEui::ctt(42), 1234, 2, vec![1, 2, 3, 4, 5])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = frame();
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), f.phy_len());
+        let decoded = UplinkFrame::decode(&bytes).unwrap();
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn roundtrip_empty_payload() {
+        let f = UplinkFrame::new(DevEui::ctt(1), 0, 1, vec![]);
+        assert_eq!(UplinkFrame::decode(&f.encode()).unwrap(), f);
+        assert_eq!(f.phy_len(), FRAME_OVERHEAD);
+    }
+
+    #[test]
+    fn rejects_short_frames() {
+        assert_eq!(UplinkFrame::decode(&[0x40; 5]), Err(FrameError::TooShort(5)));
+    }
+
+    #[test]
+    fn rejects_bad_mhdr() {
+        let mut bytes = frame().encode();
+        bytes[0] = 0x20;
+        assert_eq!(UplinkFrame::decode(&bytes), Err(FrameError::BadMhdr(0x20)));
+    }
+
+    #[test]
+    fn rejects_corruption_anywhere() {
+        let clean = frame().encode();
+        for i in 0..clean.len() {
+            let mut corrupt = clean.clone();
+            corrupt[i] ^= 0x5A;
+            let r = UplinkFrame::decode(&corrupt);
+            assert!(r.is_err(), "corruption at byte {i} not detected");
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn phy_len_for_ctt_payload() {
+        // The 18-byte CTT payload yields a 34-byte PHY frame — within the
+        // 51-byte DR0 limit, so any SF can carry it.
+        let f = UplinkFrame::new(DevEui::ctt(1), 0, 2, vec![0; 18]);
+        assert_eq!(f.phy_len(), 34);
+        assert!(f.phy_len() <= 51);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(FrameError::TooShort(3).to_string().contains('3'));
+        assert!(FrameError::BadMhdr(0x20).to_string().contains("0x20"));
+        assert_eq!(FrameError::BadMic.to_string(), "frame MIC mismatch");
+    }
+}

@@ -1,0 +1,167 @@
+//! Bit-level reader/writer used by the Gorilla codec.
+
+/// Append-only bit writer over a byte vector (MSB-first within bytes).
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the final byte (0..8; 0 means byte-aligned).
+    used: u8,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Total bits written.
+    pub fn len_bits(&self) -> usize {
+        if self.used == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + usize::from(self.used)
+        }
+    }
+
+    /// Write a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.used == 0 || self.used == 8 {
+            self.bytes.push(0);
+            self.used = 0;
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= 1 << (7 - self.used);
+        }
+        self.used += 1;
+    }
+
+    /// Write the lowest `n` bits of `value`, most significant first.
+    pub fn write_bits(&mut self, value: u64, n: u8) {
+        debug_assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Finish, returning the underlying bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Byte length so far (including the partial final byte).
+    pub fn len_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// Bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos_bits: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos_bits: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.pos_bits
+    }
+
+    /// Read one bit; `None` at end of stream.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        let byte = self.bytes.get(self.pos_bits / 8)?;
+        let bit = (byte >> (7 - (self.pos_bits % 8))) & 1 == 1;
+        self.pos_bits += 1;
+        Some(bit)
+    }
+
+    /// Read `n` bits into the low bits of a u64.
+    pub fn read_bits(&mut self, n: u8) -> Option<u64> {
+        debug_assert!(n <= 64);
+        if self.remaining_bits() < usize::from(n) {
+            return None;
+        }
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | u64::from(self.read_bit()?);
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.len_bits(), 9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn multi_bit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0xDEAD_BEEF, 32);
+        w.write_bits(1, 1);
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4), Some(0b1011));
+        assert_eq!(r.read_bits(32), Some(0xDEAD_BEEF));
+        assert_eq!(r.read_bits(1), Some(1));
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn read_past_end_is_none() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        // The padding bits of the final byte are readable zeros...
+        assert_eq!(r.remaining_bits(), 5);
+        assert_eq!(r.read_bits(5), Some(0));
+        // ...but beyond that, end of stream.
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn zero_bit_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFFFF, 0);
+        assert_eq!(w.len_bits(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn len_bytes_tracks_partial() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.len_bytes(), 0);
+        w.write_bit(true);
+        assert_eq!(w.len_bytes(), 1);
+        w.write_bits(0, 7);
+        assert_eq!(w.len_bytes(), 1);
+        w.write_bit(false);
+        assert_eq!(w.len_bytes(), 2);
+    }
+}

@@ -1,0 +1,392 @@
+//! Gorilla compression for time-series chunks (Facebook's in-memory TSDB,
+//! VLDB 2015) — delta-of-delta timestamps and XOR-encoded float values.
+//!
+//! Sensor uplinks arrive on a nearly regular cadence (5 minutes) with
+//! slowly-varying values, which is exactly the regime Gorilla exploits: a
+//! stable cadence makes almost every timestamp a single `0` bit, and small
+//! value changes share exponent/mantissa prefixes so XORs have long
+//! zero runs.
+//!
+//! Encoding details (as in the paper, with 64-bit timestamps):
+//! * first timestamp: 64 bits raw; first delta: 27-bit signed
+//! * delta-of-delta: `0` | `10`+7 bit | `110`+9 bit | `1110`+12 bit |
+//!   `1111`+32 bit (signed, zigzag-free, offset encoded)
+//! * first value: 64 bits raw
+//! * value XOR: `0` (same) | `10` (within previous leading/trailing window)
+//!   | `11` + 5-bit leading + 6-bit length + meaningful bits
+
+use crate::bits::{BitReader, BitWriter};
+use ctt_core::time::Timestamp;
+
+/// Streaming Gorilla encoder for one chunk.
+#[derive(Debug, Clone)]
+pub struct GorillaEncoder {
+    w: BitWriter,
+    count: u32,
+    prev_ts: i64,
+    prev_delta: i64,
+    prev_value_bits: u64,
+    prev_leading: u8,
+    prev_trailing: u8,
+}
+
+impl Default for GorillaEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GorillaEncoder {
+    /// Fresh encoder.
+    pub fn new() -> Self {
+        GorillaEncoder {
+            w: BitWriter::new(),
+            count: 0,
+            prev_ts: 0,
+            prev_delta: 0,
+            prev_value_bits: 0,
+            prev_leading: u8::MAX, // "no window yet"
+            prev_trailing: 0,
+        }
+    }
+
+    /// Number of points appended.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Compressed size so far, in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.w.len_bytes()
+    }
+
+    /// Append one point. Timestamps must be non-decreasing.
+    pub fn append(&mut self, t: Timestamp, value: f64) {
+        let ts = t.as_seconds();
+        let vbits = value.to_bits();
+        if self.count == 0 {
+            self.w.write_bits(ts as u64, 64);
+            self.w.write_bits(vbits, 64);
+        } else {
+            assert!(ts >= self.prev_ts, "out-of-order append to chunk");
+            let delta = ts - self.prev_ts;
+            if self.count == 1 {
+                // First delta: 27-bit offset-encoded (supports up to ~2 years).
+                debug_assert!(delta < (1 << 26));
+                self.w.write_bits((delta + (1 << 26)) as u64, 27);
+            } else {
+                let dod = delta - self.prev_delta;
+                match dod {
+                    0 => self.w.write_bit(false),
+                    -63..=64 => {
+                        self.w.write_bits(0b10, 2);
+                        self.w.write_bits((dod + 63) as u64, 7);
+                    }
+                    -255..=256 => {
+                        self.w.write_bits(0b110, 3);
+                        self.w.write_bits((dod + 255) as u64, 9);
+                    }
+                    -2047..=2048 => {
+                        self.w.write_bits(0b1110, 4);
+                        self.w.write_bits((dod + 2047) as u64, 12);
+                    }
+                    _ => {
+                        self.w.write_bits(0b1111, 4);
+                        self.w.write_bits((dod as i32) as u32 as u64, 32);
+                    }
+                }
+            }
+            self.prev_delta = delta;
+            // Value XOR encoding.
+            let xor = vbits ^ self.prev_value_bits;
+            if xor == 0 {
+                self.w.write_bit(false);
+            } else {
+                self.w.write_bit(true);
+                let leading = (xor.leading_zeros() as u8).min(31);
+                let trailing = xor.trailing_zeros() as u8;
+                if self.prev_leading != u8::MAX
+                    && leading >= self.prev_leading
+                    && trailing >= self.prev_trailing
+                {
+                    // Fits the previous window.
+                    self.w.write_bit(false);
+                    let sig = 64 - self.prev_leading - self.prev_trailing;
+                    self.w.write_bits(xor >> self.prev_trailing, sig);
+                } else {
+                    self.w.write_bit(true);
+                    let sig = 64 - leading - trailing;
+                    self.w.write_bits(u64::from(leading), 5);
+                    // sig is 1..=64; store sig-1 in 6 bits.
+                    self.w.write_bits(u64::from(sig - 1), 6);
+                    self.w.write_bits(xor >> trailing, sig);
+                    self.prev_leading = leading;
+                    self.prev_trailing = trailing;
+                }
+            }
+        }
+        self.prev_ts = ts;
+        self.prev_value_bits = vbits;
+        self.count += 1;
+    }
+
+    /// Finish, producing the sealed chunk bytes (header + bitstream).
+    pub fn finish(self) -> CompressedChunk {
+        CompressedChunk {
+            count: self.count,
+            data: self.w.into_bytes(),
+        }
+    }
+}
+
+/// A sealed compressed chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedChunk {
+    count: u32,
+    data: Vec<u8>,
+}
+
+impl CompressedChunk {
+    /// Number of points in the chunk.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Compressed byte size.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Decode all points.
+    pub fn decode(&self) -> Vec<(Timestamp, f64)> {
+        let mut out = Vec::with_capacity(self.count as usize);
+        if self.count == 0 {
+            return out;
+        }
+        let mut r = BitReader::new(&self.data);
+        let err = "corrupt gorilla chunk";
+        let mut ts = r.read_bits(64).expect(err) as i64;
+        let mut vbits = r.read_bits(64).expect(err);
+        out.push((Timestamp(ts), f64::from_bits(vbits)));
+        let mut delta: i64 = 0;
+        let mut leading: u8 = 0;
+        let mut trailing: u8 = 0;
+        for i in 1..self.count {
+            if i == 1 {
+                delta = r.read_bits(27).expect(err) as i64 - (1 << 26);
+            } else {
+                let dod = if !r.read_bit().expect(err) {
+                    0
+                } else if !r.read_bit().expect(err) {
+                    r.read_bits(7).expect(err) as i64 - 63
+                } else if !r.read_bit().expect(err) {
+                    r.read_bits(9).expect(err) as i64 - 255
+                } else if !r.read_bit().expect(err) {
+                    r.read_bits(12).expect(err) as i64 - 2047
+                } else {
+                    i64::from(r.read_bits(32).expect(err) as u32 as i32)
+                };
+                delta += dod;
+            }
+            ts += delta;
+            // Value.
+            if r.read_bit().expect(err) {
+                if r.read_bit().expect(err) {
+                    leading = r.read_bits(5).expect(err) as u8;
+                    let sig = r.read_bits(6).expect(err) as u8 + 1;
+                    trailing = 64 - leading - sig;
+                    let bits = r.read_bits(sig).expect(err);
+                    vbits ^= bits << trailing;
+                } else {
+                    let sig = 64 - leading - trailing;
+                    let bits = r.read_bits(sig).expect(err);
+                    vbits ^= bits << trailing;
+                }
+            }
+            out.push((Timestamp(ts), f64::from_bits(vbits)));
+        }
+        out
+    }
+
+    /// Serialize to bytes (length-prefixed) for export.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.data.len());
+        out.extend_from_slice(&self.count.to_be_bytes());
+        out.extend_from_slice(&(self.data.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Deserialize from [`Self::to_bytes`] output; returns the chunk and the
+    /// bytes consumed.
+    pub fn from_bytes(bytes: &[u8]) -> Option<(CompressedChunk, usize)> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let count = u32::from_be_bytes(bytes[0..4].try_into().ok()?);
+        let len = u32::from_be_bytes(bytes[4..8].try_into().ok()?) as usize;
+        if bytes.len() < 8 + len {
+            return None;
+        }
+        Some((
+            CompressedChunk {
+                count,
+                data: bytes[8..8 + len].to_vec(),
+            },
+            8 + len,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctt_core::time::Span;
+
+    fn roundtrip(points: &[(Timestamp, f64)]) {
+        let mut enc = GorillaEncoder::new();
+        for &(t, v) in points {
+            enc.append(t, v);
+        }
+        let chunk = enc.finish();
+        assert_eq!(chunk.count() as usize, points.len());
+        let decoded = chunk.decode();
+        assert_eq!(decoded.len(), points.len());
+        for (i, (&(t, v), &(dt, dv))) in points.iter().zip(&decoded).enumerate() {
+            assert_eq!(t, dt, "timestamp {i}");
+            assert!(
+                v == dv || (v.is_nan() && dv.is_nan()),
+                "value {i}: {v} != {dv}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_chunk() {
+        let chunk = GorillaEncoder::new().finish();
+        assert_eq!(chunk.count(), 0);
+        assert!(chunk.decode().is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        roundtrip(&[(Timestamp(1_483_228_800), 412.5)]);
+    }
+
+    #[test]
+    fn two_points() {
+        roundtrip(&[(Timestamp(100), 1.0), (Timestamp(400), 2.0)]);
+    }
+
+    #[test]
+    fn regular_cadence_roundtrip() {
+        let start = Timestamp::from_civil(2017, 1, 1, 0, 0, 0);
+        let pts: Vec<_> = (0..500)
+            .map(|i| (start + Span::minutes(5 * i), 400.0 + (i as f64 * 0.1).sin() * 20.0))
+            .collect();
+        roundtrip(&pts);
+    }
+
+    #[test]
+    fn irregular_cadence_roundtrip() {
+        // Adaptive sampling: cadence switches 5 → 15 → 60 minutes.
+        let start = Timestamp::from_civil(2017, 1, 1, 0, 0, 0);
+        let mut t = start;
+        let mut pts = Vec::new();
+        for i in 0..300i64 {
+            let step = if i < 100 { 5 } else if i < 200 { 15 } else { 60 };
+            t = t + Span::minutes(step);
+            pts.push((t, f64::from(i as i32) * 0.25 - 3.0));
+        }
+        roundtrip(&pts);
+    }
+
+    #[test]
+    fn large_time_jumps() {
+        roundtrip(&[
+            (Timestamp(0), 1.0),
+            (Timestamp(5), 2.0),
+            (Timestamp(1_000_000), 3.0), // huge delta-of-delta → 32-bit path
+            (Timestamp(1_000_005), 4.0),
+        ]);
+    }
+
+    #[test]
+    fn constant_values_compress_to_single_bits() {
+        let start = Timestamp(0);
+        let mut enc = GorillaEncoder::new();
+        for i in 0..1000i64 {
+            enc.append(start + Span::seconds(300 * i), 42.0);
+        }
+        let chunk = enc.finish();
+        // 1000 points × 16 B raw = 16 kB; constant series ≈ 2 bits/point.
+        assert!(
+            chunk.size_bytes() < 450,
+            "constant series took {} bytes",
+            chunk.size_bytes()
+        );
+        roundtrip(
+            &(0..1000i64)
+                .map(|i| (start + Span::seconds(300 * i), 42.0))
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn sensor_like_series_compresses_well() {
+        // Realistic CO2 series: regular cadence, smooth value changes.
+        let start = Timestamp::from_civil(2017, 3, 1, 0, 0, 0);
+        let mut enc = GorillaEncoder::new();
+        let n = 2016; // one week at 5 min
+        for i in 0..n {
+            let v = 410.0 + 25.0 * ((i as f64) * 0.02).sin() + ((i * 7919) % 13) as f64 * 0.1;
+            enc.append(start + Span::minutes(5 * i), v);
+        }
+        let chunk = enc.finish();
+        let raw = n as usize * 16;
+        let ratio = raw as f64 / chunk.size_bytes() as f64;
+        assert!(ratio > 1.8, "compression ratio {ratio:.2} too low");
+    }
+
+    #[test]
+    fn special_values() {
+        roundtrip(&[
+            (Timestamp(0), 0.0),
+            (Timestamp(10), -0.0),
+            (Timestamp(20), f64::INFINITY),
+            (Timestamp(30), f64::NEG_INFINITY),
+            (Timestamp(40), f64::NAN),
+            (Timestamp(50), f64::MIN_POSITIVE),
+            (Timestamp(60), f64::MAX),
+        ]);
+    }
+
+    #[test]
+    fn equal_timestamps_allowed() {
+        roundtrip(&[(Timestamp(5), 1.0), (Timestamp(5), 2.0), (Timestamp(5), 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn out_of_order_panics() {
+        let mut enc = GorillaEncoder::new();
+        enc.append(Timestamp(100), 1.0);
+        enc.append(Timestamp(50), 2.0);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut enc = GorillaEncoder::new();
+        for i in 0..100i64 {
+            enc.append(Timestamp(i * 300), i as f64);
+        }
+        let chunk = enc.finish();
+        let bytes = chunk.to_bytes();
+        let (restored, consumed) = CompressedChunk::from_bytes(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(restored, chunk);
+        // Truncated input fails cleanly.
+        assert!(CompressedChunk::from_bytes(&bytes[..4]).is_none());
+        assert!(CompressedChunk::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+    }
+}

@@ -1,0 +1,27 @@
+//! # ctt-tsdb — OpenTSDB-style time-series database
+//!
+//! The CTT dashboards "access the data from the OpenTSDB time series
+//! database" (§2.4). This crate reproduces that storage layer:
+//!
+//! * [`model`] — metric + tag data model with OpenTSDB naming rules.
+//! * [`bits`] / [`gorilla`] — bit-packed Gorilla chunk compression
+//!   (delta-of-delta timestamps, XOR floats).
+//! * [`store`] — interned series, chunked storage, retention, stats.
+//! * [`query`] — tag filters, group-by, downsampling (`1h-avg`),
+//!   cross-series aggregation, rate.
+//! * [`text`] — telnet-style `put` import/export and table rendering.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bits;
+pub mod gorilla;
+pub mod model;
+pub mod query;
+pub mod store;
+pub mod text;
+
+pub use gorilla::{CompressedChunk, GorillaEncoder};
+pub use model::{DataPoint, ModelError, TagFilter, TagSet};
+pub use query::{execute, Aggregator, Downsample, FillPolicy, Query, QueryResult};
+pub use store::{SeriesId, StoreStats, Tsdb};

@@ -1,0 +1,559 @@
+//! Query engine: tag filtering, group-by, downsampling, aggregation, rate.
+//!
+//! Mirrors the OpenTSDB query surface the Zeppelin dashboards use (§2.4):
+//! a query names a metric, tag filters (exact / `*` / `a|b`), a time range,
+//! an optional downsample (`interval-aggregator`, e.g. `1h-avg`), and a
+//! cross-series aggregator. Wildcarded tag keys become group-by dimensions,
+//! so `device=*` yields one result series per device.
+
+use crate::model::{TagFilter, TagSet};
+use crate::store::{SeriesId, Tsdb};
+use ctt_core::measurement::Series as OutSeries;
+use ctt_core::time::{Span, Timestamp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregation function over a bucket or across series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggregator {
+    /// Arithmetic mean.
+    Avg,
+    /// Sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Number of points.
+    Count,
+    /// First value in time order.
+    First,
+    /// Last value in time order.
+    Last,
+    /// Median (p50).
+    Median,
+    /// 95th percentile (nearest-rank).
+    P95,
+    /// Sample standard deviation.
+    Dev,
+}
+
+impl Aggregator {
+    /// Parse the OpenTSDB token (`avg`, `sum`, ...).
+    pub fn parse(s: &str) -> Option<Aggregator> {
+        Some(match s {
+            "avg" => Aggregator::Avg,
+            "sum" => Aggregator::Sum,
+            "min" => Aggregator::Min,
+            "max" => Aggregator::Max,
+            "count" => Aggregator::Count,
+            "first" => Aggregator::First,
+            "last" => Aggregator::Last,
+            "median" | "p50" => Aggregator::Median,
+            "p95" => Aggregator::P95,
+            "dev" => Aggregator::Dev,
+            _ => return None,
+        })
+    }
+
+    /// Apply to a non-empty slice of values (time-ordered).
+    pub fn apply(self, values: &[f64]) -> f64 {
+        debug_assert!(!values.is_empty());
+        match self {
+            Aggregator::Avg => values.iter().sum::<f64>() / values.len() as f64,
+            Aggregator::Sum => values.iter().sum(),
+            Aggregator::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregator::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregator::Count => values.len() as f64,
+            Aggregator::First => values[0],
+            Aggregator::Last => values[values.len() - 1],
+            Aggregator::Median => percentile(values, 0.50),
+            Aggregator::P95 => percentile(values, 0.95),
+            Aggregator::Dev => {
+                if values.len() < 2 {
+                    return 0.0;
+                }
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+                    / (values.len() - 1) as f64)
+                    .sqrt()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Aggregator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Aggregator::Avg => "avg",
+            Aggregator::Sum => "sum",
+            Aggregator::Min => "min",
+            Aggregator::Max => "max",
+            Aggregator::Count => "count",
+            Aggregator::First => "first",
+            Aggregator::Last => "last",
+            Aggregator::Median => "median",
+            Aggregator::P95 => "p95",
+            Aggregator::Dev => "dev",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Nearest-rank percentile of an unsorted slice.
+fn percentile(values: &[f64], p: f64) -> f64 {
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let rank = ((p * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    v[rank - 1]
+}
+
+/// Missing-bucket fill policy for downsampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FillPolicy {
+    /// Skip empty buckets (default).
+    #[default]
+    None,
+    /// Emit zero for empty buckets.
+    Zero,
+    /// Carry the previous bucket's value forward.
+    Previous,
+}
+
+/// Downsampling specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Downsample {
+    /// Bucket width.
+    pub interval: Span,
+    /// In-bucket aggregator.
+    pub aggregator: Aggregator,
+    /// Fill policy for empty buckets.
+    pub fill: FillPolicy,
+}
+
+impl Downsample {
+    /// Parse `"1h-avg"`, `"15m-max"`, `"300s-sum"` (OpenTSDB style).
+    pub fn parse(s: &str) -> Option<Downsample> {
+        let (interval, agg) = s.split_once('-')?;
+        let (num, unit) = interval.split_at(interval.len().checked_sub(1)?);
+        let n: i64 = num.parse().ok()?;
+        let interval = match unit {
+            "s" => Span::seconds(n),
+            "m" => Span::minutes(n),
+            "h" => Span::hours(n),
+            "d" => Span::days(n),
+            _ => return None,
+        };
+        Some(Downsample {
+            interval,
+            aggregator: Aggregator::parse(agg)?,
+            fill: FillPolicy::None,
+        })
+    }
+}
+
+/// A query against the database.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Metric name.
+    pub metric: String,
+    /// Tag predicates. `Wildcard` keys also become group-by dimensions.
+    pub filters: BTreeMap<String, TagFilter>,
+    /// Range start (inclusive).
+    pub start: Timestamp,
+    /// Range end (exclusive).
+    pub end: Timestamp,
+    /// Optional per-series downsample.
+    pub downsample: Option<Downsample>,
+    /// Aggregator across the series of one group.
+    pub aggregator: Aggregator,
+    /// Convert values to per-second rate before aggregation.
+    pub rate: bool,
+}
+
+impl Query {
+    /// A simple average query over everything with the metric.
+    pub fn range(metric: impl Into<String>, start: Timestamp, end: Timestamp) -> Query {
+        Query {
+            metric: metric.into(),
+            filters: BTreeMap::new(),
+            start,
+            end,
+            downsample: None,
+            aggregator: Aggregator::Avg,
+            rate: false,
+        }
+    }
+
+    /// Add an exact-match tag filter.
+    pub fn with_tag(mut self, key: impl Into<String>, value: impl Into<String>) -> Query {
+        self.filters
+            .insert(key.into(), TagFilter::Equals(value.into()));
+        self
+    }
+
+    /// Add a wildcard (group-by) tag.
+    pub fn group_by(mut self, key: impl Into<String>) -> Query {
+        self.filters.insert(key.into(), TagFilter::Wildcard);
+        self
+    }
+
+    /// Set the downsample.
+    pub fn downsample(mut self, ds: Downsample) -> Query {
+        self.downsample = Some(ds);
+        self
+    }
+
+    /// Set the cross-series aggregator.
+    pub fn aggregate(mut self, agg: Aggregator) -> Query {
+        self.aggregator = agg;
+        self
+    }
+
+    /// Request per-second rate conversion.
+    pub fn as_rate(mut self) -> Query {
+        self.rate = true;
+        self
+    }
+}
+
+/// One result group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Values of the group-by tags for this group.
+    pub group: TagSet,
+    /// The aggregated series.
+    pub series: OutSeries,
+    /// How many stored series contributed.
+    pub source_series: usize,
+}
+
+/// Downsample a sorted point list.
+fn downsample_points(points: &[(Timestamp, f64)], ds: Downsample, start: Timestamp, end: Timestamp) -> Vec<(Timestamp, f64)> {
+    let mut out = Vec::new();
+    if points.is_empty() && ds.fill == FillPolicy::None {
+        return out;
+    }
+    let first_bucket = start.align_down(ds.interval);
+    let mut bucket_start = first_bucket;
+    let mut idx = 0usize;
+    let mut prev_value: Option<f64> = None;
+    while bucket_start < end {
+        let bucket_end = bucket_start + ds.interval;
+        let mut vals = Vec::new();
+        while idx < points.len() && points[idx].0 < bucket_end {
+            if points[idx].0 >= bucket_start {
+                vals.push(points[idx].1);
+            }
+            idx += 1;
+        }
+        if vals.is_empty() {
+            match ds.fill {
+                FillPolicy::None => {}
+                FillPolicy::Zero => out.push((bucket_start, 0.0)),
+                FillPolicy::Previous => {
+                    if let Some(v) = prev_value {
+                        out.push((bucket_start, v));
+                    }
+                }
+            }
+        } else {
+            let v = ds.aggregator.apply(&vals);
+            prev_value = Some(v);
+            out.push((bucket_start, v));
+        }
+        bucket_start = bucket_end;
+    }
+    out
+}
+
+/// Convert a point list to per-second rates (length n-1).
+fn to_rate(points: &[(Timestamp, f64)]) -> Vec<(Timestamp, f64)> {
+    points
+        .windows(2)
+        .filter_map(|w| {
+            let dt = (w[1].0 - w[0].0).as_seconds();
+            if dt <= 0 {
+                None
+            } else {
+                Some((w[1].0, (w[1].1 - w[0].1) / dt as f64))
+            }
+        })
+        .collect()
+}
+
+/// Execute a query.
+pub fn execute(db: &Tsdb, q: &Query) -> Vec<QueryResult> {
+    // 1. Find matching series.
+    let matching: Vec<SeriesId> = db
+        .series_for_metric(&q.metric)
+        .iter()
+        .copied()
+        .filter(|&id| {
+            q.filters.iter().all(|(k, f)| {
+                db.tags(id).get(k).map(|v| f.matches(v)).unwrap_or(false)
+            })
+        })
+        .collect();
+    // 2. Group by wildcard tags.
+    let group_keys: Vec<&String> = q
+        .filters
+        .iter()
+        .filter(|(_, f)| matches!(f, TagFilter::Wildcard))
+        .map(|(k, _)| k)
+        .collect();
+    let mut groups: BTreeMap<TagSet, Vec<SeriesId>> = BTreeMap::new();
+    for id in matching {
+        let mut group = TagSet::new();
+        for &k in &group_keys {
+            if let Some(v) = db.tags(id).get(k) {
+                group.insert(k.clone(), v.clone());
+            }
+        }
+        groups.entry(group).or_default().push(id);
+    }
+    // 3. Per group: fetch, rate, downsample, cross-series aggregate.
+    let mut results = Vec::with_capacity(groups.len());
+    for (group, ids) in groups {
+        let mut per_series: Vec<Vec<(Timestamp, f64)>> = ids
+            .iter()
+            .map(|&id| {
+                let mut pts = db.read(id, q.start, q.end);
+                if q.rate {
+                    pts = to_rate(&pts);
+                }
+                if let Some(ds) = q.downsample {
+                    pts = downsample_points(&pts, ds, q.start, q.end);
+                }
+                pts
+            })
+            .collect();
+        let series = if per_series.len() == 1 {
+            OutSeries::from_points(per_series.pop().expect("len 1"))
+        } else {
+            // Merge: aggregate equal timestamps across series.
+            let mut merged: BTreeMap<Timestamp, Vec<f64>> = BTreeMap::new();
+            for pts in per_series {
+                for (t, v) in pts {
+                    merged.entry(t).or_default().push(v);
+                }
+            }
+            OutSeries::from_points(
+                merged
+                    .into_iter()
+                    .map(|(t, vals)| (t, q.aggregator.apply(&vals)))
+                    .collect(),
+            )
+        };
+        results.push(QueryResult {
+            group,
+            series,
+            source_series: ids.len(),
+        });
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DataPoint;
+
+    fn dp(metric: &str, device: &str, city: &str, t: i64, v: f64) -> DataPoint {
+        DataPoint::new(
+            metric,
+            vec![
+                ("device".to_string(), device.to_string()),
+                ("city".to_string(), city.to_string()),
+            ],
+            Timestamp(t),
+            v,
+        )
+        .unwrap()
+    }
+
+    fn sample_db() -> Tsdb {
+        let mut db = Tsdb::new();
+        for i in 0..12 {
+            db.put(&dp("co2", "n1", "trd", i * 300, 400.0 + i as f64));
+            db.put(&dp("co2", "n2", "trd", i * 300, 500.0 + i as f64));
+            db.put(&dp("co2", "n3", "vejle", i * 300, 600.0 + i as f64));
+        }
+        db
+    }
+
+    #[test]
+    fn aggregator_functions() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(Aggregator::Avg.apply(&v), 2.5);
+        assert_eq!(Aggregator::Sum.apply(&v), 10.0);
+        assert_eq!(Aggregator::Min.apply(&v), 1.0);
+        assert_eq!(Aggregator::Max.apply(&v), 4.0);
+        assert_eq!(Aggregator::Count.apply(&v), 4.0);
+        assert_eq!(Aggregator::First.apply(&v), 4.0);
+        assert_eq!(Aggregator::Last.apply(&v), 2.0);
+        assert_eq!(Aggregator::Median.apply(&v), 2.0);
+        assert_eq!(Aggregator::P95.apply(&v), 4.0);
+        let dev = Aggregator::Dev.apply(&v);
+        assert!((dev - 1.29099).abs() < 1e-4);
+        assert_eq!(Aggregator::Dev.apply(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn aggregator_parse_display_roundtrip() {
+        for name in ["avg", "sum", "min", "max", "count", "first", "last", "median", "p95", "dev"] {
+            let a = Aggregator::parse(name).unwrap();
+            let shown = a.to_string();
+            assert_eq!(Aggregator::parse(&shown), Some(a));
+        }
+        assert_eq!(Aggregator::parse("bogus"), None);
+    }
+
+    #[test]
+    fn downsample_parse() {
+        let ds = Downsample::parse("1h-avg").unwrap();
+        assert_eq!(ds.interval, Span::hours(1));
+        assert_eq!(ds.aggregator, Aggregator::Avg);
+        assert_eq!(Downsample::parse("15m-max").unwrap().interval, Span::minutes(15));
+        assert!(Downsample::parse("nope").is_none());
+        assert!(Downsample::parse("1x-avg").is_none());
+        assert!(Downsample::parse("1h-bogus").is_none());
+    }
+
+    #[test]
+    fn single_series_query() {
+        let db = sample_db();
+        let q = Query::range("co2", Timestamp(0), Timestamp(3600)).with_tag("device", "n1");
+        let rs = execute(&db, &q);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].source_series, 1);
+        assert_eq!(rs[0].series.len(), 12);
+        assert_eq!(rs[0].series.points[0], (Timestamp(0), 400.0));
+    }
+
+    #[test]
+    fn cross_series_average() {
+        let db = sample_db();
+        let q = Query::range("co2", Timestamp(0), Timestamp(3600)).with_tag("city", "trd");
+        let rs = execute(&db, &q);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].source_series, 2);
+        // avg(400, 500) = 450 at t=0.
+        assert_eq!(rs[0].series.points[0], (Timestamp(0), 450.0));
+    }
+
+    #[test]
+    fn group_by_device() {
+        let db = sample_db();
+        let q = Query::range("co2", Timestamp(0), Timestamp(3600)).group_by("device");
+        let rs = execute(&db, &q);
+        assert_eq!(rs.len(), 3);
+        let groups: Vec<String> = rs
+            .iter()
+            .map(|r| r.group.get("device").unwrap().clone())
+            .collect();
+        assert_eq!(groups, vec!["n1", "n2", "n3"]);
+    }
+
+    #[test]
+    fn filter_and_group_compose() {
+        let db = sample_db();
+        let q = Query::range("co2", Timestamp(0), Timestamp(3600))
+            .with_tag("city", "trd")
+            .group_by("device");
+        let rs = execute(&db, &q);
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn one_of_filter() {
+        let db = sample_db();
+        let mut q = Query::range("co2", Timestamp(0), Timestamp(3600));
+        q.filters.insert(
+            "device".to_string(),
+            TagFilter::OneOf(vec!["n1".to_string(), "n3".to_string()]),
+        );
+        let rs = execute(&db, &q);
+        assert_eq!(rs[0].source_series, 2);
+    }
+
+    #[test]
+    fn downsample_avg_buckets() {
+        let db = sample_db();
+        let q = Query::range("co2", Timestamp(0), Timestamp(3600))
+            .with_tag("device", "n1")
+            .downsample(Downsample {
+                interval: Span::minutes(15),
+                aggregator: Aggregator::Avg,
+                fill: FillPolicy::None,
+            });
+        let rs = execute(&db, &q);
+        // 12 points over 60 min → 4 buckets of 3.
+        assert_eq!(rs[0].series.len(), 4);
+        // First bucket: avg(400,401,402) = 401.
+        assert_eq!(rs[0].series.points[0], (Timestamp(0), 401.0));
+        assert_eq!(rs[0].series.points[1].0, Timestamp(900));
+    }
+
+    #[test]
+    fn downsample_fill_policies() {
+        let pts = vec![(Timestamp(0), 1.0), (Timestamp(2000), 5.0)];
+        let mk = |fill| Downsample {
+            interval: Span::seconds(1000),
+            aggregator: Aggregator::Avg,
+            fill,
+        };
+        let none = downsample_points(&pts, mk(FillPolicy::None), Timestamp(0), Timestamp(3000));
+        assert_eq!(none.len(), 2);
+        let zero = downsample_points(&pts, mk(FillPolicy::Zero), Timestamp(0), Timestamp(3000));
+        assert_eq!(zero, vec![(Timestamp(0), 1.0), (Timestamp(1000), 0.0), (Timestamp(2000), 5.0)]);
+        let prev = downsample_points(&pts, mk(FillPolicy::Previous), Timestamp(0), Timestamp(3000));
+        assert_eq!(prev[1], (Timestamp(1000), 1.0));
+    }
+
+    #[test]
+    fn rate_conversion() {
+        let mut db = Tsdb::new();
+        // A counter increasing 60 per 300 s → rate 0.2/s.
+        for i in 0..5 {
+            db.put(&dp("ctr", "n1", "trd", i * 300, i as f64 * 60.0));
+        }
+        let q = Query::range("ctr", Timestamp(0), Timestamp(3000))
+            .with_tag("device", "n1")
+            .as_rate();
+        let rs = execute(&db, &q);
+        assert_eq!(rs[0].series.len(), 4);
+        for &(_, v) in &rs[0].series.points {
+            assert!((v - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_results() {
+        let db = sample_db();
+        let q = Query::range("nope", Timestamp(0), Timestamp(3600));
+        assert!(execute(&db, &q).is_empty());
+        let q = Query::range("co2", Timestamp(0), Timestamp(3600)).with_tag("device", "nope");
+        assert!(execute(&db, &q).is_empty());
+    }
+
+    #[test]
+    fn filter_requires_tag_presence() {
+        let mut db = sample_db();
+        // A series without the "city" tag.
+        db.put(
+            &DataPoint::new(
+                "co2",
+                vec![("device".to_string(), "n9".to_string())],
+                Timestamp(0),
+                1.0,
+            )
+            .unwrap(),
+        );
+        let q = Query::range("co2", Timestamp(0), Timestamp(3600)).group_by("city");
+        let rs = execute(&db, &q);
+        // n9 has no city tag: excluded by the wildcard filter.
+        let total: usize = rs.iter().map(|r| r.source_series).sum();
+        assert_eq!(total, 3);
+    }
+}

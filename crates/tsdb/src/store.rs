@@ -1,0 +1,422 @@
+//! The series store: interned series, Gorilla-chunked storage, retention.
+//!
+//! Writes go to a per-series open buffer that tolerates out-of-order
+//! arrival (radio and broker hops reorder); when the buffer reaches the
+//! chunk size it is sorted and sealed into an immutable compressed chunk.
+//! Reads merge sealed chunks and the open buffer.
+
+use crate::gorilla::{CompressedChunk, GorillaEncoder};
+use crate::model::{series_key, DataPoint, TagSet};
+use ctt_core::time::Timestamp;
+use std::collections::HashMap;
+
+/// Identifies a series within one [`Tsdb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeriesId(pub u32);
+
+/// Default points per sealed chunk (one day of 5-minute data is 288).
+pub const DEFAULT_CHUNK_SIZE: usize = 512;
+
+#[derive(Debug, Clone)]
+struct SealedChunk {
+    chunk: CompressedChunk,
+    start: Timestamp,
+    end: Timestamp,
+}
+
+/// One stored series.
+#[derive(Debug, Clone)]
+pub(crate) struct Series {
+    pub(crate) metric: String,
+    pub(crate) tags: TagSet,
+    sealed: Vec<SealedChunk>,
+    open: Vec<(Timestamp, f64)>,
+    points: u64,
+}
+
+impl Series {
+    fn new(metric: String, tags: TagSet) -> Self {
+        Series {
+            metric,
+            tags,
+            sealed: Vec::new(),
+            open: Vec::new(),
+            points: 0,
+        }
+    }
+
+    fn seal_open(&mut self) {
+        if self.open.is_empty() {
+            return;
+        }
+        self.open.sort_by_key(|&(t, _)| t);
+        let mut enc = GorillaEncoder::new();
+        for &(t, v) in &self.open {
+            enc.append(t, v);
+        }
+        let start = self.open.first().expect("non-empty").0;
+        let end = self.open.last().expect("non-empty").0;
+        self.sealed.push(SealedChunk {
+            chunk: enc.finish(),
+            start,
+            end,
+        });
+        self.open.clear();
+    }
+
+    /// Collect points within `[start, end)`, sorted by time.
+    fn collect(&self, start: Timestamp, end: Timestamp) -> Vec<(Timestamp, f64)> {
+        let mut out = Vec::new();
+        for sc in &self.sealed {
+            if sc.end < start || sc.start >= end {
+                continue;
+            }
+            out.extend(
+                sc.chunk
+                    .decode()
+                    .into_iter()
+                    .filter(|&(t, _)| t >= start && t < end),
+            );
+        }
+        out.extend(self.open.iter().copied().filter(|&(t, _)| t >= start && t < end));
+        out.sort_by_key(|&(t, _)| t);
+        out
+    }
+
+    fn compressed_bytes(&self) -> usize {
+        self.sealed.iter().map(|s| s.chunk.size_bytes()).sum::<usize>()
+            + self.open.len() * std::mem::size_of::<(Timestamp, f64)>()
+    }
+}
+
+/// Storage statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Number of series.
+    pub series: usize,
+    /// Total stored points.
+    pub points: u64,
+    /// Total sealed chunks.
+    pub chunks: usize,
+    /// Approximate stored bytes (compressed chunks + open buffers).
+    pub bytes: usize,
+}
+
+/// The time-series database.
+#[derive(Debug, Default)]
+pub struct Tsdb {
+    pub(crate) series: Vec<Series>,
+    by_key: HashMap<String, SeriesId>,
+    by_metric: HashMap<String, Vec<SeriesId>>,
+    chunk_size: usize,
+}
+
+impl Tsdb {
+    /// New database with the default chunk size.
+    pub fn new() -> Self {
+        Tsdb {
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            ..Tsdb::default()
+        }
+    }
+
+    /// New database with a custom points-per-chunk.
+    pub fn with_chunk_size(chunk_size: usize) -> Self {
+        assert!(chunk_size >= 2, "chunk size too small");
+        Tsdb {
+            chunk_size,
+            ..Tsdb::default()
+        }
+    }
+
+    /// Insert a data point, interning its series on first sight.
+    pub fn put(&mut self, point: &DataPoint) -> SeriesId {
+        let key = point.series_key();
+        let id = match self.by_key.get(&key) {
+            Some(&id) => id,
+            None => {
+                let id = SeriesId(self.series.len() as u32);
+                self.series
+                    .push(Series::new(point.metric.clone(), point.tags.clone()));
+                self.by_key.insert(key, id);
+                self.by_metric
+                    .entry(point.metric.clone())
+                    .or_default()
+                    .push(id);
+                id
+            }
+        };
+        let series = &mut self.series[id.0 as usize];
+        series.open.push((point.time, point.value));
+        series.points += 1;
+        if series.open.len() >= self.chunk_size {
+            series.seal_open();
+        }
+        id
+    }
+
+    /// All series ids for a metric.
+    pub fn series_for_metric(&self, metric: &str) -> &[SeriesId] {
+        self.by_metric
+            .get(metric)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// A series id by exact metric + tags.
+    pub fn series_id(&self, metric: &str, tags: &TagSet) -> Option<SeriesId> {
+        self.by_key.get(&series_key(metric, tags)).copied()
+    }
+
+    /// The tag set of a series.
+    pub fn tags(&self, id: SeriesId) -> &TagSet {
+        &self.series[id.0 as usize].tags
+    }
+
+    /// The metric name of a series.
+    pub fn metric(&self, id: SeriesId) -> &str {
+        &self.series[id.0 as usize].metric
+    }
+
+    /// All distinct metric names (sorted).
+    pub fn metrics(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.by_metric.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Points of one series in `[start, end)`, time-sorted.
+    pub fn read(&self, id: SeriesId, start: Timestamp, end: Timestamp) -> Vec<(Timestamp, f64)> {
+        self.series[id.0 as usize].collect(start, end)
+    }
+
+    /// Number of points stored for a series.
+    pub fn point_count(&self, id: SeriesId) -> u64 {
+        self.series[id.0 as usize].points
+    }
+
+    /// Storage statistics.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            series: self.series.len(),
+            points: self.series.iter().map(|s| s.points).sum(),
+            chunks: self.series.iter().map(|s| s.sealed.len()).sum(),
+            bytes: self.series.iter().map(Series::compressed_bytes).sum(),
+        }
+    }
+
+    /// Force-seal all open buffers (e.g. before measuring compression).
+    pub fn seal_all(&mut self) {
+        for s in &mut self.series {
+            s.seal_open();
+        }
+    }
+
+    /// Retention: drop all data strictly before `cutoff`. Sealed chunks that
+    /// straddle the cutoff are re-encoded. Returns points dropped.
+    pub fn evict_before(&mut self, cutoff: Timestamp) -> u64 {
+        let mut dropped = 0u64;
+        for s in &mut self.series {
+            let mut kept_sealed = Vec::with_capacity(s.sealed.len());
+            for sc in s.sealed.drain(..) {
+                if sc.end < cutoff {
+                    dropped += u64::from(sc.chunk.count());
+                } else if sc.start >= cutoff {
+                    kept_sealed.push(sc);
+                } else {
+                    // Straddles: re-encode the surviving tail.
+                    let pts: Vec<_> = sc
+                        .chunk
+                        .decode()
+                        .into_iter()
+                        .filter(|&(t, _)| t >= cutoff)
+                        .collect();
+                    dropped += u64::from(sc.chunk.count()) - pts.len() as u64;
+                    if !pts.is_empty() {
+                        let mut enc = GorillaEncoder::new();
+                        for &(t, v) in &pts {
+                            enc.append(t, v);
+                        }
+                        kept_sealed.push(SealedChunk {
+                            chunk: enc.finish(),
+                            start: pts.first().expect("non-empty").0,
+                            end: pts.last().expect("non-empty").0,
+                        });
+                    }
+                }
+            }
+            s.sealed = kept_sealed;
+            let before = s.open.len();
+            s.open.retain(|&(t, _)| t >= cutoff);
+            dropped += (before - s.open.len()) as u64;
+            s.points -= (before - s.open.len()) as u64;
+        }
+        // Recompute per-series point counts for sealed drops.
+        for s in &mut self.series {
+            let sealed_pts: u64 = s.sealed.iter().map(|c| u64::from(c.chunk.count())).sum();
+            s.points = sealed_pts + s.open.len() as u64;
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dp(metric: &str, device: &str, t: i64, v: f64) -> DataPoint {
+        DataPoint::new(
+            metric,
+            vec![("device".to_string(), device.to_string())],
+            Timestamp(t),
+            v,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn put_and_read_roundtrip() {
+        let mut db = Tsdb::new();
+        for i in 0..100 {
+            db.put(&dp("m", "n1", i * 300, i as f64));
+        }
+        let tags = db.tags(SeriesId(0)).clone();
+        let id = db.series_id("m", &tags).expect("series exists");
+        let pts = db.read(id, Timestamp(0), Timestamp(100 * 300));
+        assert_eq!(pts.len(), 100);
+        assert_eq!(pts[7], (Timestamp(7 * 300), 7.0));
+    }
+
+    #[test]
+    fn series_interning() {
+        let mut db = Tsdb::new();
+        let a = db.put(&dp("m", "n1", 0, 1.0));
+        let b = db.put(&dp("m", "n1", 300, 2.0));
+        let c = db.put(&dp("m", "n2", 0, 3.0));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(db.series_for_metric("m").len(), 2);
+        assert_eq!(db.series_for_metric("other").len(), 0);
+        assert_eq!(db.metric(a), "m");
+        assert_eq!(db.tags(c).get("device").map(String::as_str), Some("n2"));
+    }
+
+    #[test]
+    fn chunks_seal_at_threshold() {
+        let mut db = Tsdb::with_chunk_size(10);
+        for i in 0..25 {
+            db.put(&dp("m", "n1", i * 60, i as f64));
+        }
+        let st = db.stats();
+        assert_eq!(st.chunks, 2, "two sealed chunks of 10");
+        assert_eq!(st.points, 25);
+        // All 25 still readable.
+        let pts = db.read(SeriesId(0), Timestamp(0), Timestamp(i64::MAX / 2));
+        assert_eq!(pts.len(), 25);
+    }
+
+    #[test]
+    fn out_of_order_within_open_buffer() {
+        let mut db = Tsdb::with_chunk_size(100);
+        db.put(&dp("m", "n1", 600, 2.0));
+        db.put(&dp("m", "n1", 0, 0.0));
+        db.put(&dp("m", "n1", 300, 1.0));
+        let pts = db.read(SeriesId(0), Timestamp(0), Timestamp(10_000));
+        assert_eq!(
+            pts,
+            vec![
+                (Timestamp(0), 0.0),
+                (Timestamp(300), 1.0),
+                (Timestamp(600), 2.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn out_of_order_across_chunks_still_reads_sorted() {
+        let mut db = Tsdb::with_chunk_size(4);
+        // First chunk seals with times 1000..1003.
+        for i in 0..4 {
+            db.put(&dp("m", "n1", 1000 + i, 1.0));
+        }
+        // Late straggler older than the sealed chunk.
+        db.put(&dp("m", "n1", 500, 9.9));
+        let pts = db.read(SeriesId(0), Timestamp(0), Timestamp(10_000));
+        assert_eq!(pts.first(), Some(&(Timestamp(500), 9.9)));
+        assert_eq!(pts.len(), 5);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn range_queries_clip() {
+        let mut db = Tsdb::with_chunk_size(8);
+        for i in 0..50 {
+            db.put(&dp("m", "n1", i * 100, i as f64));
+        }
+        let pts = db.read(SeriesId(0), Timestamp(1000), Timestamp(2000));
+        assert_eq!(pts.len(), 10);
+        assert_eq!(pts.first().unwrap().0, Timestamp(1000));
+        assert_eq!(pts.last().unwrap().0, Timestamp(1900));
+    }
+
+    #[test]
+    fn stats_and_compression() {
+        let mut db = Tsdb::new();
+        for i in 0..2000 {
+            db.put(&dp("m", "n1", i * 300, 400.0 + (i as f64 * 0.01).sin()));
+        }
+        db.seal_all();
+        let st = db.stats();
+        assert_eq!(st.series, 1);
+        assert_eq!(st.points, 2000);
+        let raw = 2000 * 16;
+        assert!(
+            st.bytes < raw / 2,
+            "compressed {} bytes vs raw {raw}",
+            st.bytes
+        );
+    }
+
+    #[test]
+    fn retention_drops_old_points() {
+        let mut db = Tsdb::with_chunk_size(10);
+        for i in 0..100 {
+            db.put(&dp("m", "n1", i * 100, i as f64));
+        }
+        let dropped = db.evict_before(Timestamp(5000));
+        assert_eq!(dropped, 50);
+        let pts = db.read(SeriesId(0), Timestamp(0), Timestamp(100 * 100));
+        assert_eq!(pts.len(), 50);
+        assert!(pts.iter().all(|&(t, _)| t >= Timestamp(5000)));
+        assert_eq!(db.point_count(SeriesId(0)), 50);
+        assert_eq!(db.stats().points, 50);
+    }
+
+    #[test]
+    fn retention_straddling_chunk_reencoded() {
+        let mut db = Tsdb::with_chunk_size(10);
+        for i in 0..10 {
+            db.put(&dp("m", "n1", i * 100, i as f64));
+        }
+        // Chunk spans 0..900; cutoff mid-chunk.
+        let dropped = db.evict_before(Timestamp(450));
+        assert_eq!(dropped, 5);
+        let pts = db.read(SeriesId(0), Timestamp(0), Timestamp(10_000));
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts.first().unwrap().0, Timestamp(500));
+    }
+
+    #[test]
+    fn metrics_listing() {
+        let mut db = Tsdb::new();
+        db.put(&dp("b.metric", "n", 0, 1.0));
+        db.put(&dp("a.metric", "n", 0, 1.0));
+        assert_eq!(db.metrics(), vec!["a.metric", "b.metric"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size too small")]
+    fn tiny_chunk_size_rejected() {
+        Tsdb::with_chunk_size(1);
+    }
+}

@@ -1,0 +1,251 @@
+//! Minimal SVG document builder.
+//!
+//! All CTT visualizations render to standalone SVG files; this module is
+//! the only place that writes SVG syntax.
+
+use std::fmt::Write as _;
+
+/// Escape text content / attribute values.
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Text anchor for labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Anchor {
+    /// Left-aligned.
+    #[default]
+    Start,
+    /// Centred.
+    Middle,
+    /// Right-aligned.
+    End,
+}
+
+impl Anchor {
+    fn attr(self) -> &'static str {
+        match self {
+            Anchor::Start => "start",
+            Anchor::Middle => "middle",
+            Anchor::End => "end",
+        }
+    }
+}
+
+/// An SVG canvas accumulating elements.
+#[derive(Debug, Clone)]
+pub struct Canvas {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl Canvas {
+    /// A canvas of the given pixel size.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0);
+        Canvas {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Canvas width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Canvas height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Filled background rectangle.
+    pub fn background(&mut self, fill: &str) {
+        let (w, h) = (self.width, self.height);
+        self.rect(0.0, 0.0, w, h, fill, None);
+    }
+
+    /// Rectangle with optional stroke `(color, width)`.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<(&str, f64)>) {
+        let _ = write!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{}""#,
+            escape(fill)
+        );
+        if let Some((color, sw)) = stroke {
+            let _ = write!(self.body, r#" stroke="{}" stroke-width="{sw}""#, escape(color));
+        }
+        self.body.push_str("/>\n");
+    }
+
+    /// Circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, stroke: Option<(&str, f64)>) {
+        let _ = write!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{}""#,
+            escape(fill)
+        );
+        if let Some((color, sw)) = stroke {
+            let _ = write!(self.body, r#" stroke="{}" stroke-width="{sw}""#, escape(color));
+        }
+        self.body.push_str("/>\n");
+    }
+
+    /// Straight line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{}" stroke-width="{width}"/>"#,
+            escape(stroke)
+        );
+    }
+
+    /// Dashed line.
+    pub fn dashed_line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{}" stroke-width="{width}" stroke-dasharray="4 3"/>"#,
+            escape(stroke)
+        );
+    }
+
+    /// Polyline (unfilled path through points).
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        if points.len() < 2 {
+            return;
+        }
+        let pts: Vec<String> = points.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="{width}"/>"#,
+            pts.join(" "),
+            escape(stroke)
+        );
+    }
+
+    /// Filled polygon.
+    pub fn polygon(&mut self, points: &[(f64, f64)], fill: &str, stroke: Option<(&str, f64)>) {
+        if points.len() < 3 {
+            return;
+        }
+        let pts: Vec<String> = points.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        let _ = write!(
+            self.body,
+            r#"<polygon points="{}" fill="{}""#,
+            pts.join(" "),
+            escape(fill)
+        );
+        if let Some((color, sw)) = stroke {
+            let _ = write!(self.body, r#" stroke="{}" stroke-width="{sw}""#, escape(color));
+        }
+        self.body.push_str("/>\n");
+    }
+
+    /// Text label. `size` in px.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, fill: &str, anchor: Anchor, content: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size}" font-family="sans-serif" fill="{}" text-anchor="{}">{}</text>"#,
+            escape(fill),
+            anchor.attr(),
+            escape(content)
+        );
+    }
+
+    /// Embed another canvas's body translated to `(x, y)` (dashboard
+    /// composition).
+    pub fn embed(&mut self, x: f64, y: f64, inner: &Canvas) {
+        let _ = writeln!(self.body, r#"<g transform="translate({x:.2},{y:.2})">"#);
+        self.body.push_str(&inner.body);
+        self.body.push_str("</g>\n");
+    }
+
+    /// Finish, producing the complete SVG document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut c = Canvas::new(200.0, 100.0);
+        c.background("#ffffff");
+        c.circle(10.0, 10.0, 5.0, "red", None);
+        let svg = c.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("viewBox=\"0 0 200 100\""));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("<rect"));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+        let mut c = Canvas::new(10.0, 10.0);
+        c.text(0.0, 0.0, 10.0, "#000", Anchor::Start, "x < y & z");
+        let svg = c.finish();
+        assert!(svg.contains("x &lt; y &amp; z"));
+    }
+
+    #[test]
+    fn polyline_needs_two_points() {
+        let mut c = Canvas::new(10.0, 10.0);
+        c.polyline(&[(0.0, 0.0)], "#000", 1.0);
+        assert!(!c.clone().finish().contains("polyline"));
+        c.polyline(&[(0.0, 0.0), (5.0, 5.0)], "#000", 1.0);
+        assert!(c.finish().contains("polyline"));
+    }
+
+    #[test]
+    fn polygon_needs_three_points() {
+        let mut c = Canvas::new(10.0, 10.0);
+        c.polygon(&[(0.0, 0.0), (5.0, 5.0)], "#000", None);
+        assert!(!c.clone().finish().contains("polygon"));
+        c.polygon(&[(0.0, 0.0), (5.0, 5.0), (0.0, 5.0)], "#000", Some(("#111", 0.5)));
+        let svg = c.finish();
+        assert!(svg.contains("polygon"));
+        assert!(svg.contains("stroke=\"#111\""));
+    }
+
+    #[test]
+    fn embed_translates() {
+        let mut inner = Canvas::new(50.0, 50.0);
+        inner.circle(1.0, 1.0, 1.0, "blue", None);
+        let mut outer = Canvas::new(100.0, 100.0);
+        outer.embed(25.0, 30.0, &inner);
+        let svg = outer.finish();
+        assert!(svg.contains("translate(25.00,30.00)"));
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn anchors_and_stroke_attrs() {
+        let mut c = Canvas::new(10.0, 10.0);
+        c.text(5.0, 5.0, 8.0, "#333", Anchor::Middle, "hi");
+        c.rect(0.0, 0.0, 2.0, 2.0, "none", Some(("#f00", 1.5)));
+        c.dashed_line(0.0, 0.0, 3.0, 3.0, "#999", 1.0);
+        let svg = c.finish();
+        assert!(svg.contains("text-anchor=\"middle\""));
+        assert!(svg.contains("stroke-width=\"1.5\""));
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_canvas_rejected() {
+        Canvas::new(0.0, 100.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: run the Vejle pilot for six hours and look at the data.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ctt::analytics;
+use ctt::prelude::*;
+
+fn main() {
+    // 1. Assemble the pipeline for the Vejle pilot (two sensors, one
+    //    gateway — §3 of the paper).
+    let mut pipeline = Pipeline::new(Deployment::vejle(), 42);
+    let start = pipeline.deployment.started; // January 2017
+    println!(
+        "CTT quickstart — {} pilot, {} sensors, {} gateway(s), started {start}",
+        pipeline.deployment.city,
+        pipeline.deployment.nodes.len(),
+        pipeline.deployment.gateways.len(),
+    );
+
+    // 2. Simulate six hours of operation: sampling, LoRaWAN transmission,
+    //    MQTT forwarding, storage, monitoring.
+    let end = start + Span::hours(6);
+    pipeline.run_until(end);
+    let stats = pipeline.stats();
+    println!(
+        "\nreadings: {}   delivered: {}   lost: {}   points stored: {}",
+        stats.readings, stats.delivered, stats.radio_lost, stats.points_stored
+    );
+    println!("radio PDR: {:.1}%", pipeline.radio_stats().pdr() * 100.0);
+
+    // 3. Query the time-series store.
+    let device = pipeline.deployment.nodes[0].eui;
+    let co2 = pipeline.device_series(device, Quantity::Pollutant(Pollutant::Co2), start, end);
+    let summary = analytics::summary(&co2.values().collect::<Vec<_>>()).expect("data present");
+    println!(
+        "\nCO₂ at {device}: n={} mean={:.1} ppm  sd={:.1}  range {:.1}..{:.1}",
+        summary.n, summary.mean, summary.sd, summary.min, summary.max
+    );
+
+    // 4. Check the network monitoring view.
+    let snapshot = pipeline.dataport.snapshot(end);
+    for s in &snapshot.sensors {
+        println!(
+            "sensor {}  state={:?}  battery={:.0}%  uplinks={}",
+            s.device,
+            s.state,
+            s.battery_pct.unwrap_or(0.0),
+            s.uplinks
+        );
+    }
+    for g in &snapshot.gateways {
+        println!("gateway {}  state={:?}  frames={}", g.gateway, g.state, g.frames);
+    }
+    println!(
+        "active alarms: {}   (suppressed by correlation: {})",
+        snapshot.active_alarms.len(),
+        snapshot.suppressed_alarms
+    );
+}

@@ -1,0 +1,519 @@
+//! The end-to-end CTT pipeline (Fig. 1).
+//!
+//! Wires every subsystem along the paper's data path: sensor nodes sample
+//! the emission field and transmit over the simulated LoRaWAN network; the
+//! network server deduplicates and runs ADR; uplinks are published to the
+//! MQTT broker in TTN shape; the storage consumer decodes payloads into
+//! the time-series database; and the dataport's digital twins monitor the
+//! whole flow. One `Pipeline` is one city pilot.
+
+use ctt_broker::{Broker, QoS, Subscriber, UplinkEvent};
+use ctt_core::deployment::Deployment;
+use ctt_core::emission::EmissionModel;
+use ctt_core::ids::{DevEui, GatewayId};
+use ctt_core::measurement::{Series, SensorReading};
+use ctt_core::node::SensorNode;
+use ctt_core::payload;
+use ctt_core::quantity::Quantity;
+use ctt_core::scenario::ScenarioSet;
+use ctt_core::time::{Span, Timestamp};
+use ctt_dataport::{Dataport, DataportConfig};
+use ctt_lorawan::{
+    DataRate, GatewayConfig, LinkBackoff, NetworkServer, RadioSimulator, SimConfig, TxRequest,
+    UplinkFrame, UplinkRecord,
+};
+use ctt_tsdb::{execute, Aggregator, DataPoint, Query, Tsdb};
+use std::collections::HashMap;
+
+/// Pipeline counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Readings produced by nodes.
+    pub readings: u64,
+    /// Uplinks delivered by the radio network.
+    pub delivered: u64,
+    /// Uplinks lost in the radio network (all causes).
+    pub radio_lost: u64,
+    /// Data points written to the TSDB.
+    pub points_stored: u64,
+    /// Payloads that failed to decode.
+    pub decode_errors: u64,
+    /// ADR commands applied to devices.
+    pub adr_commands: u64,
+}
+
+/// Per-device radio state (data rate and power under ADR).
+#[derive(Debug, Clone, Copy)]
+struct RadioState {
+    data_rate: DataRate,
+    tx_power_dbm: f64,
+    fcnt: u16,
+    /// Device-side fallback: slow down after consecutive unheard uplinks.
+    backoff: LinkBackoff,
+}
+
+impl Default for RadioState {
+    fn default() -> Self {
+        RadioState {
+            data_rate: DataRate(2), // SF10: a sane EU868 starting point
+            tx_power_dbm: 14.0,
+            fcnt: 0,
+            backoff: LinkBackoff::new(4),
+        }
+    }
+}
+
+/// The assembled city pipeline.
+pub struct Pipeline {
+    /// The pilot configuration.
+    pub deployment: Deployment,
+    emission: EmissionModel,
+    nodes: Vec<SensorNode>,
+    radio: RadioSimulator,
+    server: NetworkServer,
+    broker: Broker,
+    storage_sub: Subscriber,
+    /// The time-series store (public: queried by analyses and dashboards).
+    pub tsdb: Tsdb,
+    /// The monitoring dataport.
+    pub dataport: Dataport,
+    radio_state: HashMap<DevEui, RadioState>,
+    scenario: ScenarioSet,
+    city_slug: String,
+    now: Timestamp,
+    next_tick: Timestamp,
+    stats: PipelineStats,
+}
+
+impl Pipeline {
+    /// Build the pipeline for a deployment.
+    pub fn new(deployment: Deployment, seed: u64) -> Self {
+        let emission = deployment.emission_model(seed);
+        let nodes = deployment.spawn_nodes(seed);
+        let gateways = deployment
+            .gateways
+            .iter()
+            .map(|g| GatewayConfig::standard(g.id, g.position, g.antenna_m))
+            .collect();
+        let radio = RadioSimulator::new(SimConfig::urban(seed), gateways);
+        let broker = Broker::new();
+        let storage_sub = broker.subscribe(UplinkEvent::all_filter(), QoS::AtLeastOnce, 65_536);
+        let mut dataport = Dataport::new(DataportConfig::default());
+        for n in &deployment.nodes {
+            dataport.register_sensor(n.eui);
+        }
+        for g in &deployment.gateways {
+            dataport.register_gateway(g.id);
+        }
+        let city_slug = deployment.city.to_lowercase();
+        let start = deployment.started;
+        Pipeline {
+            deployment,
+            emission,
+            nodes,
+            radio,
+            server: NetworkServer::new(),
+            broker,
+            storage_sub,
+            tsdb: Tsdb::new(),
+            dataport,
+            radio_state: HashMap::new(),
+            scenario: ScenarioSet::new(),
+            city_slug,
+            now: start,
+            next_tick: start,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// The emission ground truth (for experiment comparisons).
+    pub fn emission(&self) -> &EmissionModel {
+        &self.emission
+    }
+
+    /// The broker (to attach extra live consumers, e.g. dashboards).
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// Mutable node access (fault injection).
+    pub fn nodes_mut(&mut self) -> &mut [SensorNode] {
+        &mut self.nodes
+    }
+
+    /// Install a synthetic-pollution scenario overlaid on node readings
+    /// (the §3 "inject synthetic data showing different pollution levels").
+    pub fn set_scenario(&mut self, scenario: ScenarioSet) {
+        self.scenario = scenario;
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// Radio network statistics.
+    pub fn radio_stats(&self) -> ctt_lorawan::SimStats {
+        self.radio.stats()
+    }
+
+    /// Advance the simulation until `end`, processing every uplink.
+    pub fn run_until(&mut self, end: Timestamp) {
+        loop {
+            // Next node due.
+            let Some((idx, due)) = self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (i, n.next_due()))
+                .min_by_key(|&(_, t)| t)
+            else {
+                break;
+            };
+            if due >= end {
+                break;
+            }
+            // Dataport tick cadence: every 5 minutes of sim time.
+            while self.next_tick <= due {
+                let t = self.next_tick;
+                self.dataport.tick(t);
+                self.next_tick = t + Span::minutes(5);
+            }
+            self.now = due;
+            // Produce the reading and transmit it.
+            let node_pos = self.nodes[idx].site().position;
+            if let Some(mut reading) = self.nodes[idx].step(&self.emission, due) {
+                reading = self.scenario.apply_reading(&reading, node_pos);
+                self.stats.readings += 1;
+                let device = reading.device;
+                let state = self.radio_state.entry(device).or_default();
+                let frame = UplinkFrame::new(device, state.fcnt, 2, payload::encode(&reading).to_vec());
+                let channel = usize::from(state.fcnt) % 3;
+                state.fcnt = state.fcnt.wrapping_add(1);
+                let req = TxRequest {
+                    device,
+                    position: node_pos,
+                    frame,
+                    sf: state.data_rate.spreading_factor(),
+                    tx_power_dbm: state.tx_power_dbm,
+                    channel,
+                };
+                self.radio.submit(due, req);
+            }
+            // If nothing else transmits within the collision horizon, the
+            // in-flight window can be safely resolved and consumed.
+            let next_due = self.nodes.iter().map(SensorNode::next_due).min();
+            let horizon = due + Span::seconds(3); // > max SF12 airtime
+            if next_due.map(|t| t > horizon).unwrap_or(true) {
+                self.process_radio();
+            }
+        }
+        // Final drain + remaining ticks.
+        self.process_radio();
+        while self.next_tick <= end {
+            let t = self.next_tick;
+            self.dataport.tick(t);
+            self.next_tick = t + Span::minutes(5);
+        }
+        self.now = end;
+    }
+
+    /// Drain the radio network and push deliveries through server → broker
+    /// → storage → dataport.
+    fn process_radio(&mut self) {
+        let deliveries = self.radio.drain();
+        // Device-side link backoff: a real node that gets no downlink/ack
+        // for several uplinks falls back one data rate to regain range.
+        let lost = self.radio.drain_lost();
+        self.stats.radio_lost += lost.len() as u64;
+        for l in &lost {
+            let st = self.radio_state.entry(l.device).or_default();
+            let sf = st.data_rate.spreading_factor();
+            let new_sf = st.backoff.on_uplink(false, sf);
+            st.data_rate = DataRate::from_sf(new_sf);
+        }
+        for d in deliveries {
+            self.stats.delivered += 1;
+            {
+                let dev = d.frame.dev_eui;
+                let st = self.radio_state.entry(dev).or_default();
+                let sf = st.data_rate.spreading_factor();
+                st.backoff.on_uplink(true, sf);
+            }
+            let Some((record, adr)) = self.server.ingest(&d) else {
+                continue; // duplicate
+            };
+            if let Some(cmd) = adr {
+                let st = self.radio_state.entry(record.device).or_default();
+                st.data_rate = cmd.data_rate;
+                st.tx_power_dbm = cmd.tx_power_dbm;
+                self.stats.adr_commands += 1;
+            }
+            self.publish_uplink(&record);
+        }
+        self.consume_storage();
+    }
+
+    /// Publish one uplink record to the broker in TTN shape.
+    fn publish_uplink(&mut self, r: &UplinkRecord) {
+        let event = UplinkEvent {
+            city: self.city_slug.clone(),
+            device: r.device,
+            fcnt: r.fcnt,
+            port: r.port,
+            time: r.time,
+            gateway: r.via_gateway,
+            rssi_dbm: r.rssi_dbm,
+            snr_db: r.snr_db,
+            gateway_count: r.gateway_count,
+            payload: r.payload.clone(),
+        };
+        event.publish(&self.broker);
+    }
+
+    /// The storage consumer: decode uplink events into TSDB points and feed
+    /// the dataport twins.
+    fn consume_storage(&mut self) {
+        while let Some(delivery) = self.storage_sub.try_recv() {
+            if let Some(pid) = delivery.packet_id {
+                self.broker.ack(self.storage_sub.id, pid);
+            }
+            let Ok(event) = UplinkEvent::decode(&delivery.message.payload) else {
+                self.stats.decode_errors += 1;
+                continue;
+            };
+            let Ok(reading) = payload::decode(&event.payload, event.device, event.time) else {
+                self.stats.decode_errors += 1;
+                continue;
+            };
+            self.store_reading(&event, &reading);
+            self.dataport.on_uplink(
+                event.device,
+                event.time,
+                reading.battery_pct,
+                event.gateway,
+                event.rssi_dbm,
+            );
+        }
+    }
+
+    fn store_reading(&mut self, event: &UplinkEvent, reading: &SensorReading) {
+        let device_tag = format!("{:016x}", event.device.0);
+        for q in Quantity::ALL {
+            let point = DataPoint::new(
+                q.metric_name(),
+                vec![
+                    ("city".to_string(), self.city_slug.clone()),
+                    ("device".to_string(), device_tag.clone()),
+                ],
+                event.time,
+                reading.value(q),
+            );
+            if let Ok(p) = point {
+                self.tsdb.put(&p);
+                self.stats.points_stored += 1;
+            }
+        }
+        // Link-quality metrics for the network dashboards.
+        let rssi = DataPoint::new(
+            "ctt.net.rssi",
+            vec![
+                ("city".to_string(), self.city_slug.clone()),
+                ("device".to_string(), device_tag),
+            ],
+            event.time,
+            event.rssi_dbm,
+        );
+        if let Ok(p) = rssi {
+            self.tsdb.put(&p);
+            self.stats.points_stored += 1;
+        }
+    }
+
+    /// Query one device's series for a quantity over `[from, to)` at the
+    /// stored resolution.
+    pub fn device_series(
+        &self,
+        device: DevEui,
+        quantity: Quantity,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Series {
+        let q = Query::range(quantity.metric_name(), from, to)
+            .with_tag("device", format!("{:016x}", device.0))
+            .aggregate(Aggregator::Avg);
+        execute(&self.tsdb, &q)
+            .into_iter()
+            .next()
+            .map(|r| r.series)
+            .unwrap_or_default()
+    }
+
+    /// City-wide average series for a quantity.
+    pub fn city_series(&self, quantity: Quantity, from: Timestamp, to: Timestamp) -> Series {
+        let q = Query::range(quantity.metric_name(), from, to)
+            .with_tag("city", self.city_slug.clone())
+            .aggregate(Aggregator::Avg);
+        execute(&self.tsdb, &q)
+            .into_iter()
+            .next()
+            .map(|r| r.series)
+            .unwrap_or_default()
+    }
+
+    /// The gateway ids of this pilot.
+    pub fn gateway_ids(&self) -> Vec<GatewayId> {
+        self.deployment.gateways.iter().map(|g| g.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctt_core::node::NodeHealth;
+    use ctt_core::quantity::Pollutant;
+    use ctt_dataport::AlarmKind;
+
+    fn run_hours(hours: i64) -> Pipeline {
+        let mut p = Pipeline::new(Deployment::vejle(), 42);
+        let start = p.deployment.started;
+        p.run_until(start + Span::hours(hours));
+        p
+    }
+
+    #[test]
+    fn data_flows_end_to_end() {
+        let p = run_hours(2);
+        let st = p.stats();
+        // 2 nodes × 12 uplinks/hour × 2 h = 48 readings.
+        assert_eq!(st.readings, 48);
+        assert!(st.delivered > 40, "delivered {}", st.delivered);
+        assert_eq!(st.decode_errors, 0);
+        // 9 points per uplink (8 quantities + RSSI).
+        assert_eq!(st.points_stored, st.delivered * 9);
+        assert_eq!(p.tsdb.stats().points, st.points_stored);
+    }
+
+    #[test]
+    fn tsdb_contains_queryable_series() {
+        let p = run_hours(3);
+        let start = p.deployment.started;
+        let dev = p.deployment.nodes[0].eui;
+        let co2 = p.device_series(
+            dev,
+            Quantity::Pollutant(Pollutant::Co2),
+            start,
+            start + Span::hours(3),
+        );
+        assert!(co2.len() > 25, "CO2 points {}", co2.len());
+        assert!(co2.values().all(|v| (300.0..1500.0).contains(&v)));
+        let city = p.city_series(Quantity::Temperature, start, start + Span::hours(3));
+        assert!(!city.is_empty());
+    }
+
+    #[test]
+    fn dataport_sees_all_devices_online() {
+        let p = run_hours(2);
+        let snap = p.dataport.snapshot(p.now());
+        assert_eq!(snap.sensors.len(), 2);
+        for s in &snap.sensors {
+            assert_eq!(s.state, ctt_dataport::TwinState::Online, "{:?}", s.device);
+            assert!(s.uplinks > 0);
+            assert!(s.battery_pct.is_some());
+        }
+        assert_eq!(snap.gateways.len(), 1);
+        assert!(snap.gateways[0].frames > 0);
+    }
+
+    #[test]
+    fn dead_node_raises_offline_alarm() {
+        let mut p = Pipeline::new(Deployment::vejle(), 42);
+        let start = p.deployment.started;
+        p.run_until(start + Span::hours(1));
+        let victim = p.deployment.nodes[0].eui;
+        p.nodes_mut()[0].set_health(NodeHealth::Dead);
+        p.run_until(start + Span::hours(2));
+        let alarms = p.dataport.active_alarms();
+        assert!(
+            alarms
+                .iter()
+                .any(|a| a.kind == AlarmKind::SensorOffline && a.source.contains(&victim.to_string())),
+            "no offline alarm for {victim}: {alarms:?}"
+        );
+        // The other node is unaffected.
+        let snap = p.dataport.snapshot(p.now());
+        let other = snap
+            .sensors
+            .iter()
+            .find(|s| s.device != victim)
+            .expect("two sensors");
+        assert_eq!(other.state, ctt_dataport::TwinState::Online);
+    }
+
+    #[test]
+    fn scenario_injection_shifts_stored_values() {
+        use ctt_core::scenario::{Injection, ScenarioKind};
+        let start = Deployment::vejle().started;
+        let node_pos = Deployment::vejle().nodes[0].site.position;
+        // Baseline run.
+        let mut base = Pipeline::new(Deployment::vejle(), 42);
+        base.run_until(start + Span::hours(2));
+        // Run with a construction site on top of node 0.
+        let mut injected = Pipeline::new(Deployment::vejle(), 42);
+        let mut set = ScenarioSet::new();
+        set.add(Injection {
+            kind: ScenarioKind::ConstructionSite,
+            center: node_pos,
+            radius_m: 150.0,
+            from: start,
+            until: start + Span::days(30),
+            intensity: 1.0,
+        });
+        injected.set_scenario(set);
+        injected.run_until(start + Span::hours(2));
+        let dev = base.deployment.nodes[0].eui;
+        let range = (start, start + Span::hours(2));
+        let q = Quantity::Pollutant(Pollutant::Pm10);
+        let base_mean: f64 = {
+            let s = base.device_series(dev, q, range.0, range.1);
+            s.values().sum::<f64>() / s.len() as f64
+        };
+        let inj_mean: f64 = {
+            let s = injected.device_series(dev, q, range.0, range.1);
+            s.values().sum::<f64>() / s.len() as f64
+        };
+        assert!(
+            inj_mean > base_mean + 40.0,
+            "construction dust not visible: base {base_mean:.1}, injected {inj_mean:.1}"
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let p = run_hours(1);
+            (p.stats(), p.tsdb.stats().points)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn trondheim_full_fleet() {
+        let mut p = Pipeline::new(Deployment::trondheim(), 7);
+        let start = p.deployment.started;
+        p.run_until(start + Span::hours(1));
+        let st = p.stats();
+        // 12 nodes × 12 uplinks/hour = 144 readings (first uplinks are
+        // phase-jittered inside the first interval, so ±12).
+        assert!((132..=144).contains(&st.readings), "{st:?}");
+        // Urban propagation loses some distant nodes' frames, but most flow.
+        assert!(st.delivered as f64 > 0.7 * st.readings as f64, "{st:?}");
+        let snap = p.dataport.snapshot(p.now());
+        assert_eq!(snap.sensors.len(), 12);
+    }
+}

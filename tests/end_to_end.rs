@@ -1,0 +1,239 @@
+//! Cross-crate integration tests: the complete Fig. 1 data flow and the
+//! paper's headline claims exercised end to end.
+
+use ctt::analytics;
+use ctt::prelude::*;
+use ctt_core::deployment::CostModel;
+
+#[test]
+fn paper_deployment_facts_hold() {
+    // §3: "two and twelve sensors were deployed respectively".
+    let trondheim = Deployment::trondheim();
+    let vejle = Deployment::vejle();
+    assert_eq!(trondheim.nodes.len(), 12);
+    assert_eq!(vejle.nodes.len(), 2);
+    // §3: "collected since January 2017".
+    assert_eq!(trondheim.started, Timestamp::from_civil(2017, 1, 1, 0, 0, 0));
+    // §1: 250 units for one station.
+    assert_eq!(CostModel::default().units_per_station(), 250.0);
+}
+
+#[test]
+fn five_minute_cadence_flows_to_storage() {
+    let mut p = Pipeline::new(Deployment::vejle(), 1);
+    let start = p.deployment.started;
+    p.run_until(start + Span::hours(4));
+    let dev = p.deployment.nodes[0].eui;
+    let s = p.device_series(dev, Quantity::Pollutant(Pollutant::Co2), start, start + Span::hours(4));
+    // §3: five-minute interval → ~48 points in 4 hours (minus radio losses).
+    assert!(s.len() >= 40, "{} points", s.len());
+    let cadence = analytics::stats::mean_cadence(&s).expect("enough points");
+    assert!(
+        (cadence.as_seconds() - 300).abs() <= 40,
+        "cadence {cadence}"
+    );
+}
+
+#[test]
+fn radio_losses_show_up_as_gaps_and_get_imputed() {
+    let mut p = Pipeline::new(Deployment::trondheim(), 3);
+    let start = p.deployment.started;
+    let end = start + Span::hours(6);
+    p.run_until(end);
+    // The most distant node (Heimdal, 7.5 km) loses frames in urban
+    // propagation; gaps are detected and imputation fills the grid.
+    let heimdal = p
+        .deployment
+        .nodes
+        .iter()
+        .find(|n| n.name == "Heimdal")
+        .expect("deployment has Heimdal")
+        .eui;
+    let s = p.device_series(heimdal, Quantity::Temperature, start, end);
+    let completeness = analytics::completeness(&s, Span::minutes(5));
+    if s.len() < 3 {
+        // Entirely out of coverage is also an acceptable urban outcome;
+        // nothing to impute then.
+        return;
+    }
+    let gaps = analytics::find_gaps(&s, Span::minutes(5), 1.5);
+    let (filled, imputed) = analytics::impute(&s, Span::minutes(5), analytics::ImputeMethod::Linear);
+    if completeness < 0.999 {
+        assert!(!gaps.is_empty() || imputed > 0 || s.len() < 72);
+    }
+    assert!(analytics::completeness(&filled, Span::minutes(5)) >= completeness);
+}
+
+#[test]
+fn colocated_calibration_improves_absolute_accuracy() {
+    use ctt::integration::{resample, NiluStation, ResampleMethod};
+    use ctt_core::emission::Site;
+    let mut p = Pipeline::new(Deployment::trondheim(), 5);
+    let start = p.deployment.started;
+    let end = start + Span::days(3);
+    p.run_until(end);
+    let station_spec = p.deployment.reference_station.clone().expect("Trondheim has one");
+    let station = NiluStation::new("Elgeseter", Site::kerbside(station_spec.position), 7);
+    let reference = station.hourly_series(p.emission(), Pollutant::Co2, start, end);
+    let colocated = station_spec.colocated_node.unwrap();
+    let raw = p.device_series(colocated, Quantity::Pollutant(Pollutant::Co2), start, end);
+    let hourly = resample(&raw, start, end, Span::hours(1), ResampleMethod::BucketMean);
+    let report = analytics::calibrate_and_evaluate(&hourly, &reference, 0.5)
+        .expect("3 days of co-location suffice");
+    assert!(
+        report.after.rmse <= report.before.rmse,
+        "calibration must not worsen RMSE: {:?}",
+        report
+    );
+    assert!(report.after.bias.abs() < report.before.bias.abs() + 1.0);
+    // Relative accuracy (correlation) is high even before calibration —
+    // the premise of the low-cost approach.
+    assert!(report.before.r > 0.7, "raw correlation {}", report.before.r);
+}
+
+#[test]
+fn fig5_verdict_holds_in_the_full_pipeline() {
+    use ctt::integration::TrafficFeed;
+    let mut p = Pipeline::new(Deployment::trondheim(), 11);
+    let start = p.deployment.started + Span::days(0);
+    let end = p.deployment.started + Span::days(5);
+    p.run_until(end);
+    let dev = p.deployment.nodes[2].eui; // urban background sensor
+    let raw = p.device_series(dev, Quantity::Pollutant(Pollutant::Co2), start, end);
+    // Node uplinks are phase-jittered; bring them onto the feed's 5-minute
+    // grid before joining (the §2.2 harmonization step).
+    let co2 = ctt::integration::resample(
+        &raw,
+        start,
+        end,
+        Span::minutes(5),
+        ctt::integration::ResampleMethod::BucketMean,
+    );
+    let feed = TrafficFeed::new(p.deployment.traffic_model(11), 3);
+    let jam = feed.series(start, end);
+    let study = analytics::study(&co2, &jam, Span::minutes(5)).expect("enough data");
+    assert!(
+        study.pearson_r.abs() < 0.45,
+        "CO2 vs jam factor should show weak/no correlation, got {}",
+        study.pearson_r
+    );
+    assert_ne!(
+        study.verdict,
+        analytics::CorrelationVerdict::Strong,
+        "paper's conclusion violated"
+    );
+}
+
+#[test]
+fn broker_consumers_see_live_uplinks() {
+    use ctt::broker::{QoS, UplinkEvent};
+    let mut p = Pipeline::new(Deployment::vejle(), 9);
+    // A dashboard subscribes live, before the run.
+    let dashboard = p.broker().subscribe(UplinkEvent::city_filter("vejle"), QoS::AtMostOnce, 4096);
+    let start = p.deployment.started;
+    p.run_until(start + Span::hours(1));
+    let events = dashboard.drain();
+    assert!(!events.is_empty(), "dashboard got no live events");
+    let decoded = UplinkEvent::decode(&events[0].message.payload).expect("valid event");
+    assert_eq!(decoded.city, "vejle");
+    // The payload decodes into a sensible reading.
+    let reading = ctt_core::payload::decode(&decoded.payload, decoded.device, decoded.time)
+        .expect("valid payload");
+    assert!(reading.is_plausible());
+}
+
+#[test]
+fn tsdb_compression_pays_off_on_pipeline_data() {
+    let mut p = Pipeline::new(Deployment::vejle(), 13);
+    let start = p.deployment.started;
+    p.run_until(start + Span::days(2));
+    let mut db = std::mem::replace(&mut p.tsdb, ctt_tsdb::Tsdb::new());
+    db.seal_all();
+    let st = db.stats();
+    let raw_bytes = st.points as usize * 16;
+    assert!(
+        st.bytes * 2 < raw_bytes,
+        "compression ratio too low: {} vs {raw_bytes}",
+        st.bytes
+    );
+}
+
+#[test]
+fn gateway_outage_is_distinguished_from_node_failures() {
+    use ctt_dataport::AlarmKind;
+    // Vejle: one gateway, two single-homed sensors. Killing both sensors'
+    // connectivity via the gateway should produce ONE gateway alarm.
+    let mut p = Pipeline::new(Deployment::vejle(), 21);
+    let start = p.deployment.started;
+    p.run_until(start + Span::hours(1));
+    // Simulate a gateway outage by killing both nodes (no frames at all =
+    // the gateway twin also starves — exactly the ambiguity of §2.3).
+    for n in p.nodes_mut() {
+        n.set_health(ctt_core::node::NodeHealth::Dead);
+    }
+    p.run_until(start + Span::hours(3));
+    let snap = p.dataport.snapshot(p.now());
+    let gw_down = snap
+        .active_alarms
+        .iter()
+        .filter(|a| a.kind == AlarmKind::GatewayOutage)
+        .count();
+    let sensors_offline = snap
+        .active_alarms
+        .iter()
+        .filter(|a| a.kind == AlarmKind::SensorOffline)
+        .count();
+    assert_eq!(gw_down, 1, "gateway outage not detected: {:?}", snap.active_alarms);
+    assert_eq!(
+        sensors_offline, 0,
+        "sensor alarms should be suppressed under the gateway outage"
+    );
+    assert_eq!(snap.suppressed_alarms, 2);
+}
+
+#[test]
+fn citymodel_roundtrips_through_gml_with_overlay() {
+    use ctt::citymodel::{generate_district, overlay, parse_gml, write_gml, PlacedSensor, P2};
+    let model = generate_district("Vejle LOD1", Deployment::vejle().center, 6, 5);
+    let restored = parse_gml(&write_gml(&model)).expect("own GML parses");
+    assert_eq!(restored.buildings.len(), model.buildings.len());
+    let reading = SensorReading::background(DevEui::ctt(101), Timestamp(0));
+    let ov = overlay(
+        &restored,
+        vec![PlacedSensor {
+            device: DevEui::ctt(101),
+            position: P2::new(0.0, 0.0),
+            reading,
+        }],
+    )
+    .expect("one sensor suffices");
+    assert_eq!(ov.buildings.len(), restored.buildings.len());
+}
+
+#[test]
+fn table1_sources_all_produce_data() {
+    use ctt::integration::*;
+    use ctt_core::emission::Site;
+    let d = Deployment::trondheim();
+    let em = d.emission_model(42);
+    let from = d.started;
+    let to = from + Span::days(32);
+    // Official air quality.
+    let station = NiluStation::new("Elgeseter", Site::kerbside(d.center), 7);
+    assert!(!station.hourly_series(&em, Pollutant::No2, from, to).is_empty());
+    // Remote sensing.
+    let sat = Oco2::default();
+    assert!(!sat.collect(&em, d.center, from, to).is_empty());
+    // Commercial traffic.
+    let feed = TrafficFeed::new(d.traffic_model(42), 1);
+    assert!(!feed.series(from, to).is_empty());
+    // Municipal counts.
+    let campaign = CountingCampaign { start: from, days: 7 };
+    assert_eq!(campaign.daily_counts(feed.model()).len(), 7);
+    // National statistics.
+    let inv = NationalInventory::new(0.035);
+    assert_eq!(inv.downscale(2017).len(), 5);
+    // 3D city model (Table 1 row 5) and municipal tools are exercised in
+    // the citymodel test above; the metadata table itself:
+    assert_eq!(SourceKind::ALL.len(), 7);
+}
