@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# The full CI gate. Everything runs offline against the vendored deps.
+# Fails fast: the first failing step aborts the run.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> ctt-lint"
+cargo run --offline -q -p ctt-lint
+
+echo "==> cargo test"
+cargo test --offline -q --workspace
+
+echo "CI: all green"

@@ -131,7 +131,9 @@ mod tests {
         let a = analyze_battery(&levels, TRONDHEIM);
         assert!(!a.deltas.is_empty());
         let sunlit = a.sunlit_rate_pct_per_hour.expect("summer has sun");
-        let dark = a.dark_rate_pct_per_hour.expect("Trondheim June still has a short night");
+        let dark = a
+            .dark_rate_pct_per_hour
+            .expect("Trondheim June still has a short night");
         assert!(
             sunlit > dark,
             "sunlit rate {sunlit} should exceed dark rate {dark}"

@@ -210,9 +210,17 @@ mod tests {
         let report = calibrate_and_evaluate(&sensor, &reference, 0.5).unwrap();
         assert!((report.calibration.fit.slope - 1.08).abs() < 0.02);
         assert!((report.calibration.fit.intercept - 25.0).abs() < 8.0);
-        assert!(report.after.rmse < report.before.rmse / 5.0,
-            "rmse before {} after {}", report.before.rmse, report.after.rmse);
-        assert!(report.after.bias.abs() < 1.0, "residual bias {}", report.after.bias);
+        assert!(
+            report.after.rmse < report.before.rmse / 5.0,
+            "rmse before {} after {}",
+            report.before.rmse,
+            report.after.rmse
+        );
+        assert!(
+            report.after.bias.abs() < 1.0,
+            "residual bias {}",
+            report.after.bias
+        );
         assert!(report.after.r > 0.99);
     }
 

@@ -63,19 +63,11 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
 /// Cross-correlation of two aligned series at integer lags of `step`.
 /// Positive lag means `b` is shifted later: corr(a(t), b(t + lag)).
 /// Returns `(lag, correlation)` for lags in `[-max_lags, +max_lags]`.
-pub fn cross_correlation(
-    a: &Series,
-    b: &Series,
-    step: Span,
-    max_lags: usize,
-) -> Vec<(Span, f64)> {
+pub fn cross_correlation(a: &Series, b: &Series, step: Span, max_lags: usize) -> Vec<(Span, f64)> {
     let mut out = Vec::with_capacity(2 * max_lags + 1);
     // Index b by timestamp for exact joins.
-    let bmap: std::collections::BTreeMap<i64, f64> = b
-        .points
-        .iter()
-        .map(|&(t, v)| (t.as_seconds(), v))
-        .collect();
+    let bmap: std::collections::BTreeMap<i64, f64> =
+        b.points.iter().map(|&(t, v)| (t.as_seconds(), v)).collect();
     for lag_i in -(max_lags as i64)..=(max_lags as i64) {
         let lag = Span::seconds(lag_i * step.as_seconds());
         let mut xs = Vec::new();
@@ -204,7 +196,10 @@ mod tests {
     #[test]
     fn verdict_bands() {
         assert_eq!(CorrelationVerdict::of(0.1), CorrelationVerdict::NoApparent);
-        assert_eq!(CorrelationVerdict::of(-0.25), CorrelationVerdict::NoApparent);
+        assert_eq!(
+            CorrelationVerdict::of(-0.25),
+            CorrelationVerdict::NoApparent
+        );
         assert_eq!(CorrelationVerdict::of(0.45), CorrelationVerdict::Weak);
         assert_eq!(CorrelationVerdict::of(-0.8), CorrelationVerdict::Strong);
         assert_eq!(

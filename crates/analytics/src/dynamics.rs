@@ -165,11 +165,21 @@ mod tests {
         let s = study(&co2, &jam, Span::minutes(15)).unwrap();
         let co2_profile: Vec<f64> = s.pollutant_diurnal.iter().map(|v| v.unwrap()).collect();
         let jam_profile: Vec<f64> = s.traffic_diurnal.iter().map(|v| v.unwrap()).collect();
-        let co2_peak_hour = (0..24).max_by(|&a, &b| co2_profile[a].total_cmp(&co2_profile[b])).unwrap();
-        let jam_peak_hour = (0..24).max_by(|&a, &b| jam_profile[a].total_cmp(&jam_profile[b])).unwrap();
-        assert_ne!(co2_peak_hour, jam_peak_hour, "profiles should peak at different hours");
+        let co2_peak_hour = (0..24)
+            .max_by(|&a, &b| co2_profile[a].total_cmp(&co2_profile[b]))
+            .unwrap();
+        let jam_peak_hour = (0..24)
+            .max_by(|&a, &b| jam_profile[a].total_cmp(&jam_profile[b]))
+            .unwrap();
+        assert_ne!(
+            co2_peak_hour, jam_peak_hour,
+            "profiles should peak at different hours"
+        );
         // Jam factor peaks during commuting hours (UTC 6–17 at 10°E).
-        assert!((5..18).contains(&jam_peak_hour), "jam peak at {jam_peak_hour}");
+        assert!(
+            (5..18).contains(&jam_peak_hour),
+            "jam peak at {jam_peak_hour}"
+        );
     }
 
     #[test]
@@ -197,7 +207,9 @@ mod tests {
     #[test]
     fn study_requires_enough_data() {
         let tiny = Series {
-            points: (0..5).map(|i| (Timestamp(i * 900), 1.0 + i as f64)).collect(),
+            points: (0..5)
+                .map(|i| (Timestamp(i * 900), 1.0 + i as f64))
+                .collect(),
         };
         assert!(study(&tiny, &tiny, Span::minutes(15)).is_none());
     }

@@ -35,7 +35,8 @@ pub fn find_gaps(series: &Series, expected_cadence: Span, tolerance: f64) -> Vec
                 Some(Gap {
                     before: w[0].0,
                     after: w[1].0,
-                    missing_points: (dt / expected_cadence.as_seconds() as f64).round() as usize - 1,
+                    missing_points: (dt / expected_cadence.as_seconds() as f64).round() as usize
+                        - 1,
                 })
             } else {
                 None
@@ -151,7 +152,12 @@ mod tests {
         let full = series(&(0..10).map(|i| (i * 300, 1.0)).collect::<Vec<_>>());
         assert!((completeness(&full, Span::minutes(5)) - 1.0).abs() < 1e-12);
         // Half the points missing.
-        let half = series(&(0..10).filter(|i| i % 2 == 0).map(|i| (i * 300, 1.0)).collect::<Vec<_>>());
+        let half = series(
+            &(0..10)
+                .filter(|i| i % 2 == 0)
+                .map(|i| (i * 300, 1.0))
+                .collect::<Vec<_>>(),
+        );
         let c = completeness(&half, Span::minutes(5));
         assert!((0.45..0.65).contains(&c), "completeness {c}");
         assert_eq!(completeness(&Series::new(), Span::minutes(5)), 0.0);

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod battery;
 pub mod calibrate;
@@ -39,9 +40,7 @@ pub use calibrate::{
     accuracy, calibrate_and_evaluate, fit_calibration, AccuracyMetrics, Calibration,
     CalibrationReport,
 };
-pub use correlate::{
-    best_lag, cross_correlation, pearson, spearman, CorrelationVerdict,
-};
+pub use correlate::{best_lag, cross_correlation, pearson, spearman, CorrelationVerdict};
 pub use dynamics::{diurnal_profile, study, DynamicsStudy};
 pub use impute::{completeness, find_gaps, impute, Gap, ImputeMethod};
 pub use outlier::{hampel_outliers, mad_outliers, validate, zscore_outliers};

@@ -173,7 +173,12 @@ mod tests {
     #[test]
     fn hampel_clean_series_unflagged() {
         let pts: Vec<(Timestamp, f64)> = (0..50)
-            .map(|i| (Timestamp(i64::from(i) * 300), 10.0 + (f64::from(i) * 0.5).sin()))
+            .map(|i| {
+                (
+                    Timestamp(i64::from(i) * 300),
+                    10.0 + (f64::from(i) * 0.5).sin(),
+                )
+            })
             .collect();
         let s = Series { points: pts };
         assert!(hampel_outliers(&s, 5, 3.5).is_empty());
@@ -215,9 +220,7 @@ mod tests {
         // Sensor drifts +2 units/day relative to reference.
         let day = 86_400i64;
         let reference = Series {
-            points: (0..20)
-                .map(|i| (Timestamp(i * day / 4), 100.0))
-                .collect(),
+            points: (0..20).map(|i| (Timestamp(i * day / 4), 100.0)).collect(),
         };
         let sensor = Series {
             points: (0..20)

@@ -209,7 +209,9 @@ mod tests {
 
     #[test]
     fn diurnal_amplitude_measures_cycle_strength() {
-        let cyclic = hourly(7, |_, h| 10.0 + 5.0 * ((h as f64) / 24.0 * std::f64::consts::TAU).sin());
+        let cyclic = hourly(7, |_, h| {
+            10.0 + 5.0 * ((h as f64) / 24.0 * std::f64::consts::TAU).sin()
+        });
         let flat = hourly(7, |_, _| 10.0);
         let a_cyclic = diurnal_amplitude(&cyclic).unwrap();
         let a_flat = diurnal_amplitude(&flat).unwrap();
@@ -217,5 +219,4 @@ mod tests {
         assert_eq!(a_flat, 0.0);
         assert!(diurnal_amplitude(&Series::new()).is_none());
     }
-
 }

@@ -56,7 +56,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
         .zip(ys)
         .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     let residual_sd = if n > 2 {
         (ss_res / (n - 2) as f64).sqrt()
     } else {
@@ -94,7 +98,13 @@ pub fn mae(pred: &[f64], obs: &[f64]) -> Option<f64> {
     if pred.is_empty() {
         return None;
     }
-    Some(pred.iter().zip(obs).map(|(p, o)| (p - o).abs()).sum::<f64>() / pred.len() as f64)
+    Some(
+        pred.iter()
+            .zip(obs)
+            .map(|(p, o)| (p - o).abs())
+            .sum::<f64>()
+            / pred.len() as f64,
+    )
 }
 
 /// Mean bias (prediction − observation).

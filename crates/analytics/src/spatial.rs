@@ -260,7 +260,10 @@ mod tests {
     fn idw_interpolates_between_sensors() {
         let s = idw_surface(&samples(), ORIGIN, 100.0, 30, 30, 5_000.0);
         let (min, max) = s.range().unwrap();
-        assert!(min >= 10.0 - 1e-9 && max <= 50.0 + 1e-9, "IDW must not extrapolate beyond data range: {min}..{max}");
+        assert!(
+            min >= 10.0 - 1e-9 && max <= 50.0 + 1e-9,
+            "IDW must not extrapolate beyond data range: {min}..{max}"
+        );
         // Cells near sensor 1 are closer to 10, near sensor 2 closer to 50.
         let proj = LocalProjection::new(ORIGIN);
         let near1 = proj.to_enu(samples()[0].position);

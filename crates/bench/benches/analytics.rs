@@ -14,7 +14,9 @@ fn start() -> Timestamp {
 fn bench_correlation(c: &mut Criterion) {
     let n = 2016; // a week at 5 minutes
     let a = series_from(start(), Span::minutes(5), n, |i| (i as f64 * 0.07).sin());
-    let b = series_from(start(), Span::minutes(5), n, |i| (i as f64 * 0.07 + 1.0).sin());
+    let b = series_from(start(), Span::minutes(5), n, |i| {
+        (i as f64 * 0.07 + 1.0).sin()
+    });
     let xs: Vec<f64> = a.values().collect();
     let ys: Vec<f64> = b.values().collect();
     c.bench_function("analytics_pearson_2016", |bch| {
@@ -51,7 +53,9 @@ fn bench_calibration(c: &mut Criterion) {
     });
     c.bench_function("analytics_calibrate_500", |b| {
         b.iter(|| {
-            black_box(analytics::calibrate_and_evaluate(&sensor, &reference, 0.5).map(|r| r.after.rmse))
+            black_box(
+                analytics::calibrate_and_evaluate(&sensor, &reference, 0.5).map(|r| r.after.rmse),
+            )
         })
     });
 }
@@ -98,7 +102,9 @@ fn bench_impute(c: &mut Criterion) {
     };
     c.bench_function("analytics_impute_linear_2016", |b| {
         b.iter(|| {
-            black_box(analytics::impute(&gappy, Span::minutes(5), analytics::ImputeMethod::Linear).1)
+            black_box(
+                analytics::impute(&gappy, Span::minutes(5), analytics::ImputeMethod::Linear).1,
+            )
         })
     });
 }

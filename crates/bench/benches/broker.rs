@@ -80,15 +80,13 @@ fn bench_routing_ablation(c: &mut Criterion) {
 
 fn bench_qos1_ack_cycle(c: &mut Criterion) {
     let broker = Broker::new();
-    let sub = broker.subscribe(
-        TopicFilter::new("t/#").unwrap(),
-        QoS::AtLeastOnce,
-        1 << 14,
-    );
+    let sub = broker.subscribe(TopicFilter::new("t/#").unwrap(), QoS::AtLeastOnce, 1 << 14);
     let topic = Topic::new("t/x").unwrap();
     c.bench_function("broker_qos1_publish_ack", |b| {
         b.iter(|| {
-            broker.publish(Message::new(topic.clone(), vec![1, 2, 3], Timestamp(0)).with_qos(QoS::AtLeastOnce));
+            broker.publish(
+                Message::new(topic.clone(), vec![1, 2, 3], Timestamp(0)).with_qos(QoS::AtLeastOnce),
+            );
             let d = sub.try_recv().expect("delivered");
             broker.ack(sub.id, d.packet_id.expect("qos1"));
         })

@@ -25,7 +25,10 @@ fn fleet_sim(nodes: u32, uplinks_per_node: u32, capture: bool) -> f64 {
     // per-node offset grows with the node index within each round.
     for round in 0..uplinks_per_node {
         for n in 0..nodes {
-            let pos = GW.offset(f64::from(n) * 360.0 / f64::from(nodes), 600.0 + f64::from(n % 7) * 150.0);
+            let pos = GW.offset(
+                f64::from(n) * 360.0 / f64::from(nodes),
+                600.0 + f64::from(n % 7) * 150.0,
+            );
             let t = Timestamp(i64::from(round) * 60 + i64::from(n / 5));
             let frame = UplinkFrame::new(DevEui::ctt(n), round as u16, 2, vec![0; 18]);
             sim.submit(

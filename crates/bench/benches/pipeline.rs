@@ -6,6 +6,7 @@ use ctt_core::battery::AdaptivePolicy;
 use ctt_core::deployment::Deployment;
 use ctt_core::ids::{DevEui, GatewayId};
 use ctt_core::time::{Span, Timestamp};
+use ctt_core::units::Dbm;
 use ctt_dataport::twin::{SensorTwin, SensorTwinConfig, TwinEvent};
 use ctt_dataport::{Dataport, DataportConfig};
 use ctt_viz::{LineChart, MapView, Marker, MarkerKind};
@@ -42,7 +43,7 @@ fn bench_dataport_ingest(c: &mut Criterion) {
                     Timestamp(i * 25),
                     90.0,
                     GatewayId::ctt(1),
-                    -100.0,
+                    Dbm(-100.0),
                 );
             }
             black_box(dp.uplinks_processed())
@@ -68,11 +69,11 @@ fn twin_false_alarms(adaptive: bool) -> usize {
     // Healthy battery for a day, then low battery (15-minute cadence) for a
     // day — all uplinks actually arrive on the slower schedule.
     for _ in 0..288 {
-        twin.on_uplink(Timestamp(t), 80.0, GatewayId::ctt(1), -100.0);
+        twin.on_uplink(Timestamp(t), 80.0, GatewayId::ctt(1), Dbm(-100.0));
         t += 300;
     }
     for _ in 0..96 {
-        twin.on_uplink(Timestamp(t), 30.0, GatewayId::ctt(1), -100.0);
+        twin.on_uplink(Timestamp(t), 30.0, GatewayId::ctt(1), Dbm(-100.0));
         // Tick every 5 minutes between uplinks, as the dataport does.
         for k in 1..=3 {
             for ev in twin.tick(Timestamp(t + k * 300)) {
@@ -92,9 +93,14 @@ fn bench_twin_ablation(c: &mut Criterion) {
     println!(
         "[ablation] false alarms under battery-adaptive cadence: adaptive-detector {adaptive} vs fixed-timeout {fixed}"
     );
-    assert!(adaptive < fixed, "adaptive detector must beat fixed timeout");
+    assert!(
+        adaptive < fixed,
+        "adaptive detector must beat fixed timeout"
+    );
     let mut g = c.benchmark_group("twin_detection");
-    g.bench_function("adaptive", |b| b.iter(|| black_box(twin_false_alarms(true))));
+    g.bench_function("adaptive", |b| {
+        b.iter(|| black_box(twin_false_alarms(true)))
+    });
     g.bench_function("fixed", |b| b.iter(|| black_box(twin_false_alarms(false))));
     g.finish();
 }

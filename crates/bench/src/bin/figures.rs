@@ -18,9 +18,7 @@ use ctt_core::deployment::CostModel;
 use ctt_core::emission::Site;
 use ctt_core::node::{SensorNode, SensorSpec};
 use ctt_dataport::{GatewayState, ProtocolTrace, Stage, TwinState};
-use ctt_integration::{
-    info, resample, NiluStation, Oco2, ResampleMethod, SourceKind, TrafficFeed,
-};
+use ctt_integration::{info, resample, NiluStation, Oco2, ResampleMethod, SourceKind, TrafficFeed};
 use ctt_viz::{
     AlarmList, Anchor, Canvas, Dashboard, LineChart, Link, MapView, Marker, MarkerKind,
     ScatterChart, StatTile,
@@ -86,17 +84,66 @@ fn fig2() {
     println!("FIG2 — dataport protocol trace");
     let t0 = Timestamp::from_civil(2017, 3, 26, 10, 0, 0);
     let mut trace = ProtocolTrace::new();
-    trace.record(Stage::SensorUplink, t0, true, "SF10, 34 B PHY, ch 868.1 MHz");
-    trace.record(Stage::GatewayForward, t0 + Span::seconds(1), true, "gw Gløshaugen, RSSI -97 dBm");
-    trace.record(Stage::TtnBackend, t0 + Span::seconds(1), true, "dedup, fcnt ok, ADR snr rec");
-    trace.record(Stage::MqttPublish, t0 + Span::seconds(2), true, "ctt/trondheim/devices/+/up QoS1");
-    trace.record(Stage::DataportIngest, t0 + Span::seconds(2), true, "digital twin → Online");
-    trace.record(Stage::DatabaseWrite, t0 + Span::seconds(2), true, "9 points to OpenTSDB-style store");
-    trace.record(Stage::Visualization, t0 + Span::seconds(3), true, "dashboard + network view refresh");
-    trace.record(Stage::WatchdogPing, t0 + Span::seconds(30), true, "AppBeat-style external probe OK");
+    trace.record(
+        Stage::SensorUplink,
+        t0,
+        true,
+        "SF10, 34 B PHY, ch 868.1 MHz",
+    );
+    trace.record(
+        Stage::GatewayForward,
+        t0 + Span::seconds(1),
+        true,
+        "gw Gløshaugen, RSSI -97 dBm",
+    );
+    trace.record(
+        Stage::TtnBackend,
+        t0 + Span::seconds(1),
+        true,
+        "dedup, fcnt ok, ADR snr rec",
+    );
+    trace.record(
+        Stage::MqttPublish,
+        t0 + Span::seconds(2),
+        true,
+        "ctt/trondheim/devices/+/up QoS1",
+    );
+    trace.record(
+        Stage::DataportIngest,
+        t0 + Span::seconds(2),
+        true,
+        "digital twin → Online",
+    );
+    trace.record(
+        Stage::DatabaseWrite,
+        t0 + Span::seconds(2),
+        true,
+        "9 points to OpenTSDB-style store",
+    );
+    trace.record(
+        Stage::Visualization,
+        t0 + Span::seconds(3),
+        true,
+        "dashboard + network view refresh",
+    );
+    trace.record(
+        Stage::WatchdogPing,
+        t0 + Span::seconds(30),
+        true,
+        "AppBeat-style external probe OK",
+    );
     let rendered = trace.render();
-    print!("{}", rendered.lines().map(|l| format!("  {l}\n")).collect::<String>());
-    println!("  end-to-end latency: {}", trace.latency().expect("complete trace"));
+    print!(
+        "{}",
+        rendered
+            .lines()
+            .map(|l| format!("  {l}\n"))
+            .collect::<String>()
+    );
+    println!(
+        "  end-to-end latency: {}",
+        trace.latency().expect("complete trace")
+    );
     out("fig2_protocol_trace.txt", &rendered);
 }
 
@@ -148,7 +195,12 @@ fn fig3() {
         map.markers.push(Marker {
             position: gw_pos[&g.gateway],
             kind: MarkerKind::Gateway,
-            color: if g.state == GatewayState::Up { "#1f77b4" } else { "#d7191c" }.to_string(),
+            color: if g.state == GatewayState::Up {
+                "#1f77b4"
+            } else {
+                "#d7191c"
+            }
+            .to_string(),
             label: format!("gateway {}", g.gateway.seq()),
             value: Some(format!("{} frames", g.frames)),
         });
@@ -262,7 +314,7 @@ fn fig5() {
     let start = p.deployment.started;
     let end = start + Span::days(7);
     let dev = p.deployment.nodes[2].eui; // Midtbyen urban background
-    // Harmonize the phase-jittered uplinks onto the feed's 5-minute grid.
+                                         // Harmonize the phase-jittered uplinks onto the feed's 5-minute grid.
     let grid = |s: &Series| resample(s, start, end, Span::minutes(5), ResampleMethod::BucketMean);
     let co2 = grid(&p.device_series(dev, Quantity::Pollutant(Pollutant::Co2), start, end));
     let no2 = grid(&p.device_series(dev, Quantity::Pollutant(Pollutant::No2), start, end));
@@ -278,8 +330,11 @@ fn fig5() {
     );
     // CSV of the aligned series.
     let mut csv = String::from("time,co2_ppm,jam_factor\n");
-    let jmap: std::collections::BTreeMap<i64, f64> =
-        jam.points.iter().map(|&(t, v)| (t.as_seconds(), v)).collect();
+    let jmap: std::collections::BTreeMap<i64, f64> = jam
+        .points
+        .iter()
+        .map(|&(t, v)| (t.as_seconds(), v))
+        .collect();
     for &(t, v) in &co2.points {
         if let Some(&j) = jmap.get(&t.as_seconds()) {
             let _ = writeln!(csv, "{},{v:.2},{j:.3}", t.as_seconds());
@@ -290,7 +345,12 @@ fn fig5() {
     // for visual comparison, as the paper's stacked panels do).
     let window_end = start + Span::days(2);
     let co2_win = Series {
-        points: co2.points.iter().copied().filter(|&(t, _)| t < window_end).collect(),
+        points: co2
+            .points
+            .iter()
+            .copied()
+            .filter(|&(t, _)| t < window_end)
+            .collect(),
     };
     let jam_win = Series {
         points: jam
@@ -335,8 +395,18 @@ fn build_dashboard(p: &ctt::Pipeline, title: &str) -> Dashboard {
     map.height = 260.0;
     let mut worst = AqiBand::VeryLow;
     for node in &p.deployment.nodes {
-        let no2 = p.device_series(node.eui, Quantity::Pollutant(Pollutant::No2), end - Span::hours(1), end);
-        let pm10 = p.device_series(node.eui, Quantity::Pollutant(Pollutant::Pm10), end - Span::hours(1), end);
+        let no2 = p.device_series(
+            node.eui,
+            Quantity::Pollutant(Pollutant::No2),
+            end - Span::hours(1),
+            end,
+        );
+        let pm10 = p.device_series(
+            node.eui,
+            Quantity::Pollutant(Pollutant::Pm10),
+            end - Span::hours(1),
+            end,
+        );
         let band = ctt_core::aqi::caqi(&[
             (Pollutant::No2, mean(&no2) * 1.9125),
             (Pollutant::Pm10, mean(&pm10)),
@@ -403,8 +473,18 @@ fn fig7() {
     let mut placed = Vec::new();
     for node in &p.deployment.nodes {
         let local = model.to_local(node.site.position);
-        let no2 = p.device_series(node.eui, Quantity::Pollutant(Pollutant::No2), end - Span::hours(1), end);
-        let pm10 = p.device_series(node.eui, Quantity::Pollutant(Pollutant::Pm10), end - Span::hours(1), end);
+        let no2 = p.device_series(
+            node.eui,
+            Quantity::Pollutant(Pollutant::No2),
+            end - Span::hours(1),
+            end,
+        );
+        let pm10 = p.device_series(
+            node.eui,
+            Quantity::Pollutant(Pollutant::Pm10),
+            end - Span::hours(1),
+            end,
+        );
         let mut reading = SensorReading::background(node.eui, end);
         reading.no2_ppb = mean(&no2);
         reading.pm10_ug_m3 = mean(&pm10);
@@ -430,16 +510,17 @@ fn fig7() {
     let (w, h) = (860.0, 620.0);
     let pad = 30.0;
     let scale = ((w - 2.0 * pad) / (max_u - min_u)).min((h - 2.0 * pad - 20.0) / (max_v - min_v));
-    let tx = |u: f64, v: f64| {
-        (
-            pad + (u - min_u) * scale,
-            pad + 20.0 + (v - min_v) * scale,
-        )
-    };
+    let tx = |u: f64, v: f64| (pad + (u - min_u) * scale, pad + 20.0 + (v - min_v) * scale);
     let mut canvas = Canvas::new(w, h);
     canvas.background("#0e1726");
-    canvas.text(w / 2.0, 22.0, 15.0, "#e8eef4", Anchor::Middle,
-        "Vejle LOD1 city model — buildings coloured by nearest sensor CAQI");
+    canvas.text(
+        w / 2.0,
+        22.0,
+        15.0,
+        "#e8eef4",
+        Anchor::Middle,
+        "Vejle LOD1 city model — buildings coloured by nearest sensor CAQI",
+    );
     for f in &faces {
         let band = ov.buildings[f.building_index].band;
         let fill = ctt_viz::color::shade(band.color(), f.shade);
@@ -451,7 +532,14 @@ fn fig7() {
         let (u, v) = ctt_citymodel::project::project_point(s.position, 0.0);
         let (x, y) = tx(u, v);
         canvas.circle(x, y, 6.0, "#ffffff", Some(("#d7191c", 2.5)));
-        canvas.text(x, y - 10.0, 11.0, "#ffffff", Anchor::Middle, &format!("{}", s.device.seq()));
+        canvas.text(
+            x,
+            y - 10.0,
+            11.0,
+            "#ffffff",
+            Anchor::Middle,
+            &format!("{}", s.device.seq()),
+        );
     }
     out("fig7_citymodel.svg", &canvas.finish());
 }
@@ -529,7 +617,11 @@ fn fig8() {
             })
             .collect(),
     };
-    let online = snap.sensors.iter().filter(|s| s.state == TwinState::Online).count();
+    let online = snap
+        .sensors
+        .iter()
+        .filter(|s| s.state == TwinState::Online)
+        .count();
     let mut wall = Dashboard::new(
         "CTT wall display — network monitoring and data visualization",
         4,
@@ -550,7 +642,12 @@ fn fig8() {
         StatTile {
             label: "sensors online".to_string(),
             value: format!("{online}/{}", snap.sensors.len()),
-            color: if online == snap.sensors.len() { "#2ca02c" } else { "#f0a202" }.to_string(),
+            color: if online == snap.sensors.len() {
+                "#2ca02c"
+            } else {
+                "#f0a202"
+            }
+            .to_string(),
         }
         .render_canvas(370.0, 280.0),
     );
@@ -586,7 +683,9 @@ fn table1() {
     let em = d.emission_model(SEED);
     let from = d.started;
     let to = from + Span::days(30);
-    let mut csv = String::from("type,example,temporal_resolution,spatial_resolution,uncertainty,observations_30d\n");
+    let mut csv = String::from(
+        "type,example,temporal_resolution,spatial_resolution,uncertainty,observations_30d\n",
+    );
     for kind in SourceKind::ALL {
         let i = info(kind);
         let n: usize = match kind {
@@ -595,9 +694,9 @@ fn table1() {
                 st.hourly_series(&em, Pollutant::No2, from, to).len()
             }
             SourceKind::RemoteSensing => Oco2::default().collect(&em, d.center, from, to).len(),
-            SourceKind::TrafficData => {
-                TrafficFeed::new(d.traffic_model(SEED), 1).series(from, to).len()
-            }
+            SourceKind::TrafficData => TrafficFeed::new(d.traffic_model(SEED), 1)
+                .series(from, to)
+                .len(),
             SourceKind::MunicipalCounts => ctt_integration::CountingCampaign {
                 start: from + Span::days(10),
                 days: 7,
@@ -609,15 +708,17 @@ fn table1() {
                     .buildings
                     .len()
             }
-            SourceKind::NationalStatistics => {
-                ctt_integration::NationalInventory::new(0.035).downscale(2017).len()
-            }
+            SourceKind::NationalStatistics => ctt_integration::NationalInventory::new(0.035)
+                .downscale(2017)
+                .len(),
             SourceKind::MunicipalTools => 1,
         };
         let kind_name = format!("{kind:?}");
         println!(
             "  {:<22} {:<12} {:<18} n={n}",
-            kind_name, i.temporal_resolution, i.uncertainty.to_string()
+            kind_name,
+            i.temporal_resolution,
+            i.uncertainty.to_string()
         );
         let _ = writeln!(
             csv,
@@ -672,8 +773,7 @@ fn calibration() {
     let dev = spec.colocated_node.expect("co-located");
     let raw = p.device_series(dev, Quantity::Pollutant(Pollutant::Co2), start, end);
     let hourly = resample(&raw, start, end, Span::hours(1), ResampleMethod::BucketMean);
-    let report =
-        analytics::calibrate_and_evaluate(&hourly, &reference, 0.5).expect("enough pairs");
+    let report = analytics::calibrate_and_evaluate(&hourly, &reference, 0.5).expect("enough pairs");
     println!(
         "  absolute: RMSE {:.2} → {:.2} ppm | bias {:+.2} → {:+.2} ppm",
         report.before.rmse, report.after.rmse, report.before.bias, report.after.bias
@@ -685,14 +785,29 @@ fn calibration() {
         report.calibration.fit.slope,
         report.calibration.fit.intercept
     );
-    let mut csv =
-        String::from("metric,before,after\nrmse_ppm,{b_rmse},{a_rmse}\n".replace("{b_rmse}", ""));
+    let mut csv = "metric,before,after\nrmse_ppm,{b_rmse},{a_rmse}\n".replace("{b_rmse}", "");
     csv.clear();
     csv.push_str("metric,before,after\n");
-    let _ = writeln!(csv, "rmse_ppm,{:.3},{:.3}", report.before.rmse, report.after.rmse);
-    let _ = writeln!(csv, "mae_ppm,{:.3},{:.3}", report.before.mae, report.after.mae);
-    let _ = writeln!(csv, "bias_ppm,{:.3},{:.3}", report.before.bias, report.after.bias);
-    let _ = writeln!(csv, "pearson_r,{:.4},{:.4}", report.before.r, report.after.r);
+    let _ = writeln!(
+        csv,
+        "rmse_ppm,{:.3},{:.3}",
+        report.before.rmse, report.after.rmse
+    );
+    let _ = writeln!(
+        csv,
+        "mae_ppm,{:.3},{:.3}",
+        report.before.mae, report.after.mae
+    );
+    let _ = writeln!(
+        csv,
+        "bias_ppm,{:.3},{:.3}",
+        report.before.bias, report.after.bias
+    );
+    let _ = writeln!(
+        csv,
+        "pearson_r,{:.4},{:.4}",
+        report.before.r, report.after.r
+    );
     out("calibration.csv", &csv);
 }
 

@@ -3,6 +3,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 use ctt_core::deployment::Deployment;
 use ctt_core::measurement::Series;

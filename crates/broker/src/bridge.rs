@@ -56,38 +56,56 @@ fn hex_encode(bytes: &[u8]) -> String {
 }
 
 fn hex_decode(s: &str) -> Result<Vec<u8>, BridgeDecodeError> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(BridgeDecodeError(format!("odd hex length {}", s.len())));
     }
     (0..s.len())
         .step_by(2)
         .map(|i| {
-            u8::from_str_radix(&s[i..i + 2], 16)
-                .map_err(|_| BridgeDecodeError(format!("bad hex at {i}")))
+            // `get` rather than slicing: a multi-byte char in the input
+            // would make `i..i + 2` a non-boundary slice and panic.
+            s.get(i..i + 2)
+                .and_then(|pair| u8::from_str_radix(pair, 16).ok())
+                .ok_or_else(|| BridgeDecodeError(format!("bad hex at {i}")))
         })
         .collect()
+}
+
+/// Replace characters that are illegal inside a single topic level.
+///
+/// City names are operator input; a `+`, `#`, or `/` in one must not be able
+/// to corrupt the topic scheme (or panic topic construction).
+fn sanitize_level(s: &str) -> String {
+    let cleaned: String = s
+        .chars()
+        .map(|c| if matches!(c, '+' | '#' | '/') { '_' } else { c })
+        .collect();
+    if cleaned.is_empty() {
+        "unknown".to_string()
+    } else {
+        cleaned
+    }
 }
 
 impl UplinkEvent {
     /// Topic this event is published to:
     /// `ctt/{city}/devices/{dev-eui}/up`.
     pub fn topic(&self) -> Topic {
-        Topic::new(format!(
+        Topic::from_sanitized(format!(
             "ctt/{}/devices/{}/up",
-            self.city,
+            sanitize_level(&self.city),
             self.device.0
         ))
-        .expect("constructed topic is valid")
     }
 
     /// Subscription filter for all uplinks of a city.
     pub fn city_filter(city: &str) -> TopicFilter {
-        TopicFilter::new(format!("ctt/{city}/devices/+/up")).expect("valid filter")
+        TopicFilter::from_sanitized(format!("ctt/{}/devices/+/up", sanitize_level(city)))
     }
 
     /// Subscription filter for all uplinks of all cities.
     pub fn all_filter() -> TopicFilter {
-        TopicFilter::new("ctt/+/devices/+/up").expect("valid filter")
+        TopicFilter::from_sanitized("ctt/+/devices/+/up".to_string())
     }
 
     /// Encode to the line format.
@@ -110,8 +128,8 @@ impl UplinkEvent {
 
     /// Decode from the line format.
     pub fn decode(bytes: &[u8]) -> Result<UplinkEvent, BridgeDecodeError> {
-        let text = std::str::from_utf8(bytes)
-            .map_err(|_| BridgeDecodeError("not UTF-8".to_string()))?;
+        let text =
+            std::str::from_utf8(bytes).map_err(|_| BridgeDecodeError("not UTF-8".to_string()))?;
         let mut parts = text.split_whitespace();
         if parts.next() != Some("v1") {
             return Err(BridgeDecodeError("missing v1 marker".to_string()));
@@ -237,6 +255,26 @@ mod tests {
         assert_eq!(hex_decode("00ff1a").unwrap(), vec![0x00, 0xFF, 0x1a]);
         assert!(hex_decode("0f0").is_err());
         assert!(hex_decode("zz").is_err());
+        // Multi-byte chars used to panic on the non-boundary slice.
+        assert!(hex_decode("日日").is_err());
+        assert!(hex_decode("¡¡").is_err());
+    }
+
+    #[test]
+    fn hostile_city_names_cannot_corrupt_the_topic_scheme() {
+        let mut e = event();
+        e.city = "tr#nd/heim+".to_string();
+        let t = e.topic();
+        assert_eq!(
+            t.as_str(),
+            format!("ctt/tr_nd_heim_/devices/{}/up", e.device.0)
+        );
+        // A hostile name must not be able to subscribe across cities.
+        let f = UplinkEvent::city_filter("+");
+        assert!(!f.matches(&event().topic()));
+        // Empty city still yields a valid, non-empty level.
+        e.city = String::new();
+        assert!(e.topic().as_str().starts_with("ctt/unknown/"));
     }
 
     #[test]

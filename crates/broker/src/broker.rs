@@ -91,7 +91,7 @@ impl TrieNode {
         }
     }
 
-    fn collect<'a>(&self, levels: &[&'a str], out: &mut Vec<SubscriptionId>) {
+    fn collect(&self, levels: &[&str], out: &mut Vec<SubscriptionId>) {
         out.extend_from_slice(&self.hash_subs);
         match levels.split_first() {
             None => out.extend_from_slice(&self.subs),
@@ -205,7 +205,9 @@ impl Broker {
     pub fn unsubscribe(&self, sub: &Subscriber) {
         let mut inner = self.inner.lock();
         if let Some(session) = inner.sessions.remove(&sub.id) {
-            inner.trie.remove(session.filter.as_str().split('/'), sub.id);
+            inner
+                .trie
+                .remove(session.filter.as_str().split('/'), sub.id);
         }
         inner.stats.subscriptions = inner.sessions.len();
     }
@@ -283,12 +285,15 @@ impl Broker {
         let Some(session) = inner.sessions.get_mut(&sub) else {
             return 0;
         };
-        let mut pids: Vec<u16> = session.inflight.keys().copied().collect();
-        pids.sort_unstable();
+        let mut entries: Vec<(u16, Message)> = session
+            .inflight
+            .iter()
+            .map(|(&pid, msg)| (pid, msg.clone()))
+            .collect();
+        entries.sort_unstable_by_key(|&(pid, _)| pid);
         let mut n = 0;
         let mut redelivered = 0u64;
-        for pid in pids {
-            let msg = session.inflight[&pid].clone();
+        for (pid, msg) in entries {
             if session
                 .tx
                 .try_send(Delivery {

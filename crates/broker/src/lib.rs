@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod bridge;
 pub mod broker;
@@ -15,6 +16,6 @@ pub mod message;
 pub mod topic;
 
 pub use bridge::UplinkEvent;
-pub use broker::{Broker, BrokerStats, Delivery, SubscriptionId, Subscriber};
+pub use broker::{Broker, BrokerStats, Delivery, Subscriber, SubscriptionId};
 pub use message::{Message, QoS};
 pub use topic::{Topic, TopicError, TopicFilter};

@@ -53,6 +53,14 @@ impl Topic {
         Ok(Topic(s))
     }
 
+    /// Crate-internal infallible constructor for topics assembled from
+    /// pre-sanitized levels (see the bridge's level sanitizer). Validity is
+    /// debug-asserted; release builds trust the caller.
+    pub(crate) fn from_sanitized(s: String) -> Topic {
+        debug_assert!(Topic::new(s.as_str()).is_ok(), "unsanitized topic: {s:?}");
+        Topic(s)
+    }
+
     /// The topic string.
     pub fn as_str(&self) -> &str {
         &self.0
@@ -92,6 +100,17 @@ impl TopicFilter {
             }
         }
         Ok(TopicFilter(s))
+    }
+
+    /// Crate-internal infallible constructor for filters assembled from
+    /// pre-sanitized levels. Validity is debug-asserted; release builds
+    /// trust the caller.
+    pub(crate) fn from_sanitized(s: String) -> TopicFilter {
+        debug_assert!(
+            TopicFilter::new(s.as_str()).is_ok(),
+            "unsanitized filter: {s:?}"
+        );
+        TopicFilter(s)
     }
 
     /// The filter string.
@@ -155,7 +174,10 @@ mod tests {
         assert_eq!(TopicFilter::new(""), Err(TopicError::Empty));
         assert_eq!(TopicFilter::new("a/#/c"), Err(TopicError::HashNotLast));
         assert_eq!(TopicFilter::new("a/b#"), Err(TopicError::WildcardNotAlone));
-        assert_eq!(TopicFilter::new("a/b+/c"), Err(TopicError::WildcardNotAlone));
+        assert_eq!(
+            TopicFilter::new("a/b+/c"),
+            Err(TopicError::WildcardNotAlone)
+        );
     }
 
     #[test]

@@ -37,12 +37,7 @@ impl Polygon {
 
     /// Axis-aligned rectangle.
     pub fn rect(min: P2, max: P2) -> Self {
-        Polygon::new(vec![
-            min,
-            P2::new(max.x, min.y),
-            max,
-            P2::new(min.x, max.y),
-        ])
+        Polygon::new(vec![min, P2::new(max.x, min.y), max, P2::new(min.x, max.y)])
     }
 
     /// Signed area (positive for counter-clockwise winding).
@@ -143,7 +138,11 @@ mod tests {
 
     #[test]
     fn triangle_area() {
-        let t = Polygon::new(vec![P2::new(0.0, 0.0), P2::new(4.0, 0.0), P2::new(0.0, 3.0)]);
+        let t = Polygon::new(vec![
+            P2::new(0.0, 0.0),
+            P2::new(4.0, 0.0),
+            P2::new(0.0, 3.0),
+        ]);
         assert!((t.area() - 6.0).abs() < 1e-12);
     }
 
@@ -174,7 +173,11 @@ mod tests {
 
     #[test]
     fn bbox() {
-        let t = Polygon::new(vec![P2::new(-1.0, 2.0), P2::new(3.0, -4.0), P2::new(0.0, 0.0)]);
+        let t = Polygon::new(vec![
+            P2::new(-1.0, 2.0),
+            P2::new(3.0, -4.0),
+            P2::new(0.0, 0.0),
+        ]);
         let (min, max) = t.bbox();
         assert_eq!((min.x, min.y), (-1.0, -4.0));
         assert_eq!((max.x, max.y), (3.0, 2.0));

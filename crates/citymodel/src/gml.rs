@@ -52,11 +52,17 @@ impl fmt::Display for GmlError {
 impl std::error::Error for GmlError {}
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 fn unescape(s: &str) -> String {
-    s.replace("&quot;", "\"").replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+    s.replace("&quot;", "\"")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&amp;", "&")
 }
 
 /// Serialize a model to the GML subset.
@@ -327,7 +333,10 @@ mod tests {
 <Building id="b" class="public" height="-5"><footprint>
 <pos x="0" y="0"/><pos x="1" y="0"/><pos x="0" y="1"/></footprint></Building>
 </CityModel>"#;
-        assert!(matches!(parse_gml(bad), Err(GmlError::BadAttribute("height", _))));
+        assert!(matches!(
+            parse_gml(bad),
+            Err(GmlError::BadAttribute("height", _))
+        ));
     }
 
     #[test]
@@ -338,7 +347,9 @@ mod tests {
         ));
         assert!(matches!(
             parse_gml("<CityModel lat=\"1 lon=\"2\"></CityModel>"),
-            Err(GmlError::Syntax(..)) | Err(GmlError::Structure(_)) | Err(GmlError::MissingAttribute(..))
+            Err(GmlError::Syntax(..))
+                | Err(GmlError::Structure(_))
+                | Err(GmlError::MissingAttribute(..))
         ));
     }
 
@@ -348,6 +359,9 @@ mod tests {
 <Building id="b" class="castle" height="5"><footprint>
 <pos x="0" y="0"/><pos x="1" y="0"/><pos x="0" y="1"/></footprint></Building>
 </CityModel>"#;
-        assert!(matches!(parse_gml(bad), Err(GmlError::BadAttribute("class", _))));
+        assert!(matches!(
+            parse_gml(bad),
+            Err(GmlError::BadAttribute("class", _))
+        ));
     }
 }

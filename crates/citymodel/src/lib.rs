@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod geometry;
 pub mod gml;

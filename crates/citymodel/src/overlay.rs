@@ -74,10 +74,7 @@ pub fn overlay(model: &CityModel, sensors: Vec<PlacedSensor>) -> Option<Overlay>
                 .map(|s| (s, s.position.distance(c)))
                 .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("non-empty sensors");
-            let band = nearest
-                .caqi()
-                .map(|q| q.band())
-                .unwrap_or(AqiBand::VeryLow);
+            let band = nearest.caqi().map(|q| q.band()).unwrap_or(AqiBand::VeryLow);
             AttributedBuilding {
                 building_index: i,
                 sensor: nearest.device,
@@ -107,7 +104,10 @@ impl Overlay {
 
     /// Buildings attributed to a given sensor.
     pub fn buildings_of(&self, device: DevEui) -> Vec<&AttributedBuilding> {
-        self.buildings.iter().filter(|a| a.sensor == device).collect()
+        self.buildings
+            .iter()
+            .filter(|a| a.sensor == device)
+            .collect()
     }
 }
 
@@ -142,7 +142,11 @@ mod tests {
         assert_eq!(ov.buildings.len(), m.buildings.len());
         for a in &ov.buildings {
             let c = m.buildings[a.building_index].centroid();
-            let expect = if c.x < 0.0 { DevEui::ctt(1) } else { DevEui::ctt(2) };
+            let expect = if c.x < 0.0 {
+                DevEui::ctt(1)
+            } else {
+                DevEui::ctt(2)
+            };
             // Buildings very close to the midline can go either way; only
             // check clear cases.
             if c.x.abs() > 30.0 {
@@ -167,7 +171,11 @@ mod tests {
             if c.x < -30.0 {
                 assert_eq!(a.band, AqiBand::VeryLow, "west building at {c:?}");
             } else if c.x > 30.0 {
-                assert!(a.band >= AqiBand::High, "east building at {c:?}: {:?}", a.band);
+                assert!(
+                    a.band >= AqiBand::High,
+                    "east building at {c:?}: {:?}",
+                    a.band
+                );
             }
         }
         let hist = ov.band_histogram();

@@ -29,7 +29,9 @@ const STREET_M: f64 = 14.0;
 /// Generate a `cols × rows` block district centred on `origin`.
 /// Deterministic in `(name, origin, cols, rows)` via a hash of the name.
 pub fn generate_district(name: &str, origin: LatLon, cols: u32, rows: u32) -> CityModel {
-    let seed = name.bytes().fold(0xD157u64, |acc, b| mix(acc ^ u64::from(b)));
+    let seed = name
+        .bytes()
+        .fold(0xD157u64, |acc, b| mix(acc ^ u64::from(b)));
     let mut model = CityModel::new(name, origin);
     let total_w = f64::from(cols) * BLOCK_M;
     let total_h = f64::from(rows) * BLOCK_M;
@@ -60,9 +62,17 @@ pub fn generate_district(name: &str, origin: LatLon, cols: u32, rows: u32) -> Ci
             // Class by centrality band, with noise.
             let r = unit(block_key ^ 0x7C1);
             let class = if centrality > 0.65 {
-                if r < 0.7 { BuildingClass::Commercial } else { BuildingClass::Public }
+                if r < 0.7 {
+                    BuildingClass::Commercial
+                } else {
+                    BuildingClass::Public
+                }
             } else if centrality > 0.3 {
-                if r < 0.75 { BuildingClass::Residential } else { BuildingClass::Commercial }
+                if r < 0.75 {
+                    BuildingClass::Residential
+                } else {
+                    BuildingClass::Commercial
+                }
             } else if r < 0.3 {
                 BuildingClass::Industrial
             } else {
@@ -74,7 +84,10 @@ pub fn generate_district(name: &str, origin: LatLon, cols: u32, rows: u32) -> Ci
             for k in 0..n {
                 let b_key = block_key ^ mix(u64::from(k) ^ 0xB17D);
                 let inset = 2.0 + unit(b_key ^ 0x11) * 6.0;
-                let min = P2::new(block_min.x + f64::from(k) * strip_w + inset / 2.0, block_min.y + inset);
+                let min = P2::new(
+                    block_min.x + f64::from(k) * strip_w + inset / 2.0,
+                    block_min.y + inset,
+                );
                 let max = P2::new(
                     block_min.x + f64::from(k + 1) * strip_w - inset / 2.0,
                     block_max.y - inset,
@@ -128,13 +141,16 @@ mod tests {
         assert!(m.buildings.len() > 40, "{} buildings", m.buildings.len());
         assert!(m.buildings.len() < 200);
         for b in &m.buildings {
-            assert!(b.height_m >= 3.0 && b.height_m < 40.0, "height {}", b.height_m);
+            assert!(
+                b.height_m >= 3.0 && b.height_m < 40.0,
+                "height {}",
+                b.height_m
+            );
             assert!(b.footprint.area() > 30.0, "area {}", b.footprint.area());
             assert!(b.footprint.area() < BLOCK_M * BLOCK_M);
         }
         // All four classes appear in a reasonably-sized district.
-        let classes: std::collections::HashSet<_> =
-            m.buildings.iter().map(|b| b.class).collect();
+        let classes: std::collections::HashSet<_> = m.buildings.iter().map(|b| b.class).collect();
         assert!(classes.len() >= 3, "classes {classes:?}");
     }
 

@@ -70,7 +70,10 @@ pub fn project_building(b: &Building, index: usize) -> Vec<Face> {
         });
     }
     // Roof last within the building (drawn on top of its own walls).
-    let roof: Vec<(f64, f64)> = verts.iter().map(|&v| project_point(v, b.height_m)).collect();
+    let roof: Vec<(f64, f64)> = verts
+        .iter()
+        .map(|&v| project_point(v, b.height_m))
+        .collect();
     faces.push(Face {
         outline: roof,
         shade: 1.0,
@@ -147,7 +150,10 @@ mod tests {
         assert_eq!(faces.len(), 3, "two camera-facing walls + roof");
         let shades: Vec<f64> = faces.iter().map(|f| f.shade).collect();
         assert!(shades.contains(&1.0), "roof present");
-        assert!(shades.contains(&0.8) && shades.contains(&0.62), "both wall shades: {shades:?}");
+        assert!(
+            shades.contains(&0.8) && shades.contains(&0.62),
+            "both wall shades: {shades:?}"
+        );
         // Roof is drawn last within the building.
         assert_eq!(faces.last().unwrap().shade, 1.0);
         // All faces are quads except the roof which mirrors the footprint.

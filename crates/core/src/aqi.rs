@@ -91,9 +91,27 @@ fn interpolate(breakpoints: &[(f64, f64)], c: f64) -> f64 {
 /// CAQI hourly background-grid breakpoints: concentration µg/m³ → index.
 fn breakpoints(p: Pollutant) -> Option<&'static [(f64, f64)]> {
     match p {
-        Pollutant::No2 => Some(&[(0.0, 0.0), (50.0, 25.0), (100.0, 50.0), (200.0, 75.0), (400.0, 100.0)]),
-        Pollutant::Pm10 => Some(&[(0.0, 0.0), (25.0, 25.0), (50.0, 50.0), (90.0, 75.0), (180.0, 100.0)]),
-        Pollutant::Pm25 => Some(&[(0.0, 0.0), (15.0, 25.0), (30.0, 50.0), (55.0, 75.0), (110.0, 100.0)]),
+        Pollutant::No2 => Some(&[
+            (0.0, 0.0),
+            (50.0, 25.0),
+            (100.0, 50.0),
+            (200.0, 75.0),
+            (400.0, 100.0),
+        ]),
+        Pollutant::Pm10 => Some(&[
+            (0.0, 0.0),
+            (25.0, 25.0),
+            (50.0, 50.0),
+            (90.0, 75.0),
+            (180.0, 100.0),
+        ]),
+        Pollutant::Pm25 => Some(&[
+            (0.0, 0.0),
+            (15.0, 25.0),
+            (30.0, 50.0),
+            (55.0, 75.0),
+            (110.0, 100.0),
+        ]),
         Pollutant::Co2 => None,
     }
 }

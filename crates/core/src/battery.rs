@@ -86,8 +86,9 @@ impl Battery {
     /// Panel charging current in mA at `irradiance_w_m2` scaled by
     /// `sky_factor` (1.0 = clear sky, 0.0 = fully overcast blackout).
     pub fn charge_current_ma(&self, irradiance_w_m2: f64, sky_factor: f64) -> f64 {
-        let power_w =
-            self.config.panel_w * (irradiance_w_m2 / 1000.0).clamp(0.0, 1.2) * sky_factor.clamp(0.0, 1.0);
+        let power_w = self.config.panel_w
+            * (irradiance_w_m2 / 1000.0).clamp(0.0, 1.2)
+            * sky_factor.clamp(0.0, 1.0);
         power_w * self.config.harvest_efficiency / self.config.voltage_v * 1000.0
     }
 
@@ -190,8 +191,14 @@ mod tests {
 
     #[test]
     fn new_clamps_level() {
-        assert_eq!(Battery::new(BatteryConfig::default(), 150.0).level_pct(), 100.0);
-        assert_eq!(Battery::new(BatteryConfig::default(), -5.0).level_pct(), 0.0);
+        assert_eq!(
+            Battery::new(BatteryConfig::default(), 150.0).level_pct(),
+            100.0
+        );
+        assert_eq!(
+            Battery::new(BatteryConfig::default(), -5.0).level_pct(),
+            0.0
+        );
     }
 
     #[test]
@@ -243,7 +250,12 @@ mod tests {
             ..BatteryConfig::default()
         };
         let mut tiny = Battery::new(cfg, 5.0);
-        tiny.idle_step(TRONDHEIM, Timestamp::from_civil(2017, 1, 10, 0, 0, 0), Span::days(2), 0.0);
+        tiny.idle_step(
+            TRONDHEIM,
+            Timestamp::from_civil(2017, 1, 10, 0, 0, 0),
+            Span::days(2),
+            0.0,
+        );
         assert_eq!(tiny.level_pct(), 0.0);
     }
 

@@ -14,6 +14,7 @@ use crate::ids::{DevEui, GatewayId};
 use crate::node::{SensorNode, SensorSpec};
 use crate::time::Timestamp;
 use crate::traffic::{RoadClass, TrafficModel};
+use crate::units::Degrees;
 use crate::weather::{Climate, WeatherModel};
 
 /// Static description of one deployed node.
@@ -70,6 +71,9 @@ pub struct Deployment {
     pub started: Timestamp,
 }
 
+/// (name, bearing deg from centre, distance m, site kind) — one pilot node.
+type PlaceSpec = (&'static str, f64, f64, fn(LatLon) -> Site);
+
 impl Deployment {
     /// The Trondheim pilot: twelve sensors, two gateways, one official
     /// station ("there are very few official stations; ... we have
@@ -79,7 +83,7 @@ impl Deployment {
         let center = LatLon::new(63.4305, 10.3951);
         // Spread nodes over the city: kerbside along the main arterials,
         // urban background in the centre, suburban on the edges.
-        let places: [(&str, f64, f64, fn(LatLon) -> Site); 12] = [
+        let places: [PlaceSpec; 12] = [
             ("Elgeseter gate", 180.0, 1200.0, Site::kerbside),
             ("Innherredsveien", 75.0, 1500.0, Site::kerbside),
             ("Midtbyen torg", 20.0, 300.0, Site::urban_background),
@@ -178,7 +182,7 @@ impl Deployment {
 
     /// The traffic model for the city's main arterial.
     pub fn traffic_model(&self, seed: u64) -> TrafficModel {
-        TrafficModel::new(seed, RoadClass::Arterial, self.center.lon_deg)
+        TrafficModel::new(seed, RoadClass::Arterial, Degrees(self.center.lon_deg))
     }
 
     /// The coupled emission model.

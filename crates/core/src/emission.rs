@@ -138,9 +138,12 @@ impl EmissionModel {
     /// disperses local emissions. Low at night and in calm cold weather.
     fn ventilation(&self, ts: Timestamp, wx: &WeatherSample) -> f64 {
         // Boundary layer: deep in the afternoon, shallow at night.
-        let solar_hour =
-            (ts.seconds_of_day() as f64 / 3600.0 + self.weather.position().lon_deg / 15.0).rem_euclid(24.0);
-        let daytime = (2.0 * std::f64::consts::PI * (solar_hour - 9.0) / 24.0).sin().max(0.0);
+        let solar_hour = (ts.seconds_of_day() as f64 / 3600.0
+            + self.weather.position().lon_deg / 15.0)
+            .rem_euclid(24.0);
+        let daytime = (2.0 * std::f64::consts::PI * (solar_hour - 9.0) / 24.0)
+            .sin()
+            .max(0.0);
         let mixing = 0.25 + 0.75 * daytime;
         // Wind: each m/s of wind increases dilution.
         let wind = 0.3 + 0.7 * (wx.wind_ms / 6.0).min(1.0);
@@ -153,8 +156,8 @@ impl EmissionModel {
     /// with morning/evening peaks.
     fn heating_demand(&self, ts: Timestamp, wx: &WeatherSample) -> f64 {
         let deficit = ((15.0 - wx.temperature_c) / 25.0).clamp(0.0, 1.0);
-        let hour =
-            (ts.seconds_of_day() as f64 / 3600.0 + self.weather.position().lon_deg / 15.0).rem_euclid(24.0);
+        let hour = (ts.seconds_of_day() as f64 / 3600.0 + self.weather.position().lon_deg / 15.0)
+            .rem_euclid(24.0);
         let evening = (-0.5 * ((hour - 20.0) / 2.5).powi(2)).exp();
         let morning = (-0.5 * ((hour - 7.0) / 2.0).powi(2)).exp();
         deficit * (0.4 + 0.6 * evening.max(morning))
@@ -189,8 +192,9 @@ impl EmissionModel {
         let co2_ppm = co2_background_ppm(ts) + dome + traffic_co2 + heating_co2 + biosphere;
 
         // NO2 (ppb): traffic-dominated, with a small heating share.
-        let no2_ppb = (2.0 + 55.0 * traffic * road / vent + 6.0 * heating * site.heating_density / vent)
-            .min(400.0);
+        let no2_ppb =
+            (2.0 + 55.0 * traffic * road / vent + 6.0 * heating * site.heating_density / vent)
+                .min(400.0);
 
         // PM (µg/m³): regional background + traffic + wood smoke; PM10 adds
         // road dust (studded-tyre season when cold and dry).
@@ -220,13 +224,14 @@ mod tests {
     use super::*;
     use crate::time::Span;
     use crate::traffic::RoadClass;
+    use crate::units::Degrees;
     use crate::weather::Climate;
 
     const TRONDHEIM: LatLon = LatLon::new(63.4305, 10.3951);
 
     fn model() -> EmissionModel {
         let wx = WeatherModel::new(42, Climate::trondheim(), TRONDHEIM);
-        let tr = TrafficModel::new(42, RoadClass::Arterial, TRONDHEIM.lon_deg);
+        let tr = TrafficModel::new(42, RoadClass::Arterial, Degrees(TRONDHEIM.lon_deg));
         EmissionModel::new(wx, tr)
     }
 
@@ -266,7 +271,10 @@ mod tests {
             kerb_no2 += m.sample(&kerb, t).no2_ppb;
             bg_no2 += m.sample(&bg, t).no2_ppb;
         }
-        assert!(kerb_no2 > 1.5 * bg_no2, "kerb {kerb_no2} vs background {bg_no2}");
+        assert!(
+            kerb_no2 > 1.5 * bg_no2,
+            "kerb {kerb_no2} vs background {bg_no2}"
+        );
     }
 
     #[test]
@@ -293,10 +301,16 @@ mod tests {
         let mut summer = 0.0;
         for d in 0..14 {
             winter += m
-                .sample(&site, Timestamp::from_civil(2017, 1, 5, 20, 0, 0) + Span::days(d))
+                .sample(
+                    &site,
+                    Timestamp::from_civil(2017, 1, 5, 20, 0, 0) + Span::days(d),
+                )
                 .pm25_ug_m3;
             summer += m
-                .sample(&site, Timestamp::from_civil(2017, 7, 5, 20, 0, 0) + Span::days(d))
+                .sample(
+                    &site,
+                    Timestamp::from_civil(2017, 7, 5, 20, 0, 0) + Span::days(d),
+                )
                 .pm25_ug_m3;
         }
         assert!(winter > 1.3 * summer, "winter {winter} vs summer {summer}");

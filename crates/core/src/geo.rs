@@ -49,8 +49,8 @@ impl LatLon {
         let lat1 = self.lat_deg.to_radians();
         let lon1 = self.lon_deg.to_radians();
         let lat2 = (lat1.sin() * ang.cos() + lat1.cos() * ang.sin() * brg.cos()).asin();
-        let lon2 = lon1
-            + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
+        let lon2 =
+            lon1 + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
         LatLon {
             lat_deg: lat2.to_degrees(),
             lon_deg: ((lon2.to_degrees() + 540.0) % 360.0) - 180.0,
@@ -231,7 +231,11 @@ mod tests {
         let p = TRONDHEIM.offset(60.0, 2500.0);
         let enu = proj.to_enu(p);
         let back = proj.to_latlon(enu);
-        assert!(p.distance_m(back) < 0.5, "roundtrip error {}", p.distance_m(back));
+        assert!(
+            p.distance_m(back) < 0.5,
+            "roundtrip error {}",
+            p.distance_m(back)
+        );
         // ENU distance approximates great-circle distance at city scale.
         let d_enu = enu.distance_m(EnuPoint::default());
         assert!((d_enu - 2500.0).abs() < 5.0, "enu distance {d_enu}");
@@ -248,7 +252,11 @@ mod tests {
 
     #[test]
     fn bounding_box_contains_and_expand() {
-        let pts = [TRONDHEIM, TRONDHEIM.offset(45.0, 3000.0), TRONDHEIM.offset(225.0, 3000.0)];
+        let pts = [
+            TRONDHEIM,
+            TRONDHEIM.offset(45.0, 3000.0),
+            TRONDHEIM.offset(225.0, 3000.0),
+        ];
         let bb = BoundingBox::of(pts).unwrap();
         for p in pts {
             assert!(bb.contains(p));

@@ -262,12 +262,7 @@ mod tests {
 
     #[test]
     fn measurement_flag_transitions() {
-        let m = Measurement::raw(
-            DevEui::ctt(1),
-            Quantity::Temperature,
-            12.0,
-            Timestamp(0),
-        );
+        let m = Measurement::raw(DevEui::ctt(1), Quantity::Temperature, 12.0, Timestamp(0));
         assert_eq!(m.flag, QualityFlag::Raw);
         let c = m.with_flag(QualityFlag::Calibrated);
         assert_eq!(c.flag, QualityFlag::Calibrated);
@@ -278,7 +273,11 @@ mod tests {
     #[test]
     fn series_from_points_sorts() {
         let t0 = Timestamp(100);
-        let s = Series::from_points(vec![(Timestamp(300), 3.0), (t0, 1.0), (Timestamp(200), 2.0)]);
+        let s = Series::from_points(vec![
+            (Timestamp(300), 3.0),
+            (t0, 1.0),
+            (Timestamp(200), 2.0),
+        ]);
         let times: Vec<_> = s.times().collect();
         assert_eq!(times, vec![Timestamp(100), Timestamp(200), Timestamp(300)]);
         assert_eq!(s.time_span(), Some((Timestamp(100), Timestamp(300))));
@@ -303,7 +302,9 @@ mod tests {
     #[test]
     fn series_collect_and_iterators() {
         let start = Timestamp::from_civil(2017, 1, 1, 0, 0, 0);
-        let s: Series = (0..5).map(|i| (start + Span::minutes(5 * i), i as f64)).collect();
+        let s: Series = (0..5)
+            .map(|i| (start + Span::minutes(5 * i), i as f64))
+            .collect();
         assert_eq!(s.len(), 5);
         assert!(!s.is_empty());
         let sum: f64 = s.values().sum();

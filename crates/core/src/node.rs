@@ -285,13 +285,23 @@ impl SensorNode {
         let Some(ch) = self.spec.channel(q).copied() else {
             return truth;
         };
-        let drift_mult = if self.health == NodeHealth::Decaying { 8.0 } else { 1.0 };
-        let mut v = truth * ch.gain + ch.bias + ch.drift_per_day * drift_mult * age_days
+        let drift_mult = if self.health == NodeHealth::Decaying {
+            8.0
+        } else {
+            1.0
+        };
+        let mut v = truth * ch.gain
+            + ch.bias
+            + ch.drift_per_day * drift_mult * age_days
             + ch.noise_sd * self.gauss();
         if self.rng.gen_bool(self.spec.glitch_prob) {
             // A glitch: a large spike or dropout, as real low-cost optical
             // and electrochemical sensors produce.
-            v = if self.rng.gen_bool(0.5) { v * 3.0 + 50.0 } else { 0.0 };
+            v = if self.rng.gen_bool(0.5) {
+                v * 3.0 + 50.0
+            } else {
+                0.0
+            };
         }
         v
     }
@@ -337,10 +347,18 @@ impl SensorNode {
                 .observe(Quantity::Pollutant(Pollutant::No2), truth.no2_ppb, age_days)
                 .max(0.0),
             pm25_ug_m3: self
-                .observe(Quantity::Pollutant(Pollutant::Pm25), truth.pm25_ug_m3, age_days)
+                .observe(
+                    Quantity::Pollutant(Pollutant::Pm25),
+                    truth.pm25_ug_m3,
+                    age_days,
+                )
                 .max(0.0),
             pm10_ug_m3: self
-                .observe(Quantity::Pollutant(Pollutant::Pm10), truth.pm10_ug_m3, age_days)
+                .observe(
+                    Quantity::Pollutant(Pollutant::Pm10),
+                    truth.pm10_ug_m3,
+                    age_days,
+                )
                 .max(0.0),
             temperature_c: self.observe(Quantity::Temperature, wx.temperature_c, age_days),
             pressure_hpa: self.observe(Quantity::Pressure, wx.pressure_hpa, age_days),
@@ -361,6 +379,7 @@ mod tests {
     use super::*;
     use crate::geo::LatLon;
     use crate::traffic::{RoadClass, TrafficModel};
+    use crate::units::Degrees;
     use crate::weather::{Climate, WeatherModel};
 
     const TRONDHEIM: LatLon = LatLon::new(63.4305, 10.3951);
@@ -368,7 +387,7 @@ mod tests {
     fn emission() -> EmissionModel {
         EmissionModel::new(
             WeatherModel::new(42, Climate::trondheim(), TRONDHEIM),
-            TrafficModel::new(42, RoadClass::Arterial, TRONDHEIM.lon_deg),
+            TrafficModel::new(42, RoadClass::Arterial, Degrees(TRONDHEIM.lon_deg)),
         )
     }
 

@@ -52,7 +52,10 @@ impl fmt::Display for PayloadError {
             PayloadError::BadLength(n) => write!(f, "payload length {n}, expected {PAYLOAD_LEN}"),
             PayloadError::BadVersion(v) => write!(f, "unknown payload version 0x{v:02X}"),
             PayloadError::BadCrc { computed, stored } => {
-                write!(f, "payload CRC mismatch: computed {computed:04X}, stored {stored:04X}")
+                write!(
+                    f,
+                    "payload CRC mismatch: computed {computed:04X}, stored {stored:04X}"
+                )
             }
         }
     }
@@ -108,7 +111,11 @@ pub fn encode(r: &SensorReading) -> [u8; PAYLOAD_LEN] {
 }
 
 /// Decode a wire payload received at `time` from `device`.
-pub fn decode(bytes: &[u8], device: DevEui, time: Timestamp) -> Result<SensorReading, PayloadError> {
+pub fn decode(
+    bytes: &[u8],
+    device: DevEui,
+    time: Timestamp,
+) -> Result<SensorReading, PayloadError> {
     if bytes.len() != PAYLOAD_LEN {
         return Err(PayloadError::BadLength(bytes.len()));
     }

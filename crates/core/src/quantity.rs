@@ -22,7 +22,12 @@ pub enum Pollutant {
 
 impl Pollutant {
     /// All pollutants, in canonical order.
-    pub const ALL: [Pollutant; 4] = [Pollutant::Co2, Pollutant::No2, Pollutant::Pm25, Pollutant::Pm10];
+    pub const ALL: [Pollutant; 4] = [
+        Pollutant::Co2,
+        Pollutant::No2,
+        Pollutant::Pm25,
+        Pollutant::Pm10,
+    ];
 
     /// Molar mass in g/mol; `None` for particulates (not a single species).
     pub fn molar_mass_g(self) -> Option<f64> {
@@ -167,8 +172,14 @@ mod tests {
 
     #[test]
     fn metric_names_are_namespaced() {
-        assert_eq!(Quantity::Pollutant(Pollutant::Co2).metric_name(), "ctt.air.co2");
-        assert_eq!(Quantity::Temperature.metric_name(), "ctt.weather.temperature");
+        assert_eq!(
+            Quantity::Pollutant(Pollutant::Co2).metric_name(),
+            "ctt.air.co2"
+        );
+        assert_eq!(
+            Quantity::Temperature.metric_name(),
+            "ctt.weather.temperature"
+        );
         assert_eq!(Quantity::Battery.metric_name(), "ctt.node.battery");
     }
 

@@ -141,7 +141,9 @@ impl ScenarioSet {
     pub fn contribution(&self, pos: LatLon, ts: Timestamp) -> Pollution {
         self.injections
             .iter()
-            .fold(Pollution::default(), |acc, inj| acc.add(&inj.contribution(pos, ts)))
+            .fold(Pollution::default(), |acc, inj| {
+                acc.add(&inj.contribution(pos, ts))
+            })
     }
 
     /// Apply the scenario to truth pollution at a position.
@@ -202,7 +204,10 @@ mod tests {
     fn contribution_zero_outside_window() {
         let inj = construction();
         let (from, until) = window();
-        assert_eq!(inj.contribution(CENTER, from - Span::seconds(1)), Pollution::default());
+        assert_eq!(
+            inj.contribution(CENTER, from - Span::seconds(1)),
+            Pollution::default()
+        );
         assert_eq!(inj.contribution(CENTER, until), Pollution::default());
         assert!(inj.is_active(from));
         assert!(!inj.is_active(until));

@@ -139,8 +139,14 @@ mod tests {
         let december = Timestamp::from_civil(2017, 12, 21, 12, 0, 0);
         let summer_hours = daylight_hours(TRONDHEIM, june);
         let winter_hours = daylight_hours(TRONDHEIM, december);
-        assert!(summer_hours > 19.0, "Trondheim June daylight {summer_hours}h");
-        assert!(winter_hours < 6.0, "Trondheim December daylight {winter_hours}h");
+        assert!(
+            summer_hours > 19.0,
+            "Trondheim June daylight {summer_hours}h"
+        );
+        assert!(
+            winter_hours < 6.0,
+            "Trondheim December daylight {winter_hours}h"
+        );
     }
 
     #[test]

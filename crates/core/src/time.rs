@@ -344,7 +344,9 @@ impl Timestamp {
                 (h, m, sec)
             }
         };
-        Ok(Timestamp::from_civil(year, month, day, hour, minute, second))
+        Ok(Timestamp::from_civil(
+            year, month, day, hour, minute, second,
+        ))
     }
 }
 
@@ -428,9 +430,23 @@ impl Iterator for TimeRange {
             None
         } else {
             let t = self.next;
-            self.next = self.next + self.step;
+            self.next += self.step;
             Some(t)
         }
+    }
+}
+
+impl Add<Span> for Span {
+    type Output = Span;
+    fn add(self, rhs: Span) -> Span {
+        Span(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Span> for Span {
+    type Output = Span;
+    fn sub(self, rhs: Span) -> Span {
+        Span(self.0 - rhs.0)
     }
 }
 
@@ -453,7 +469,10 @@ mod tests {
         // EDBT 2018 conference start date.
         let t = Timestamp::from_civil(2018, 3, 26, 9, 30, 0);
         let c = t.civil();
-        assert_eq!((c.year, c.month, c.day, c.hour, c.minute), (2018, 3, 26, 9, 30));
+        assert_eq!(
+            (c.year, c.month, c.day, c.hour, c.minute),
+            (2018, 3, 26, 9, 30)
+        );
     }
 
     #[test]
@@ -470,11 +489,22 @@ mod tests {
 
     #[test]
     fn weekday_known_values() {
-        assert_eq!(Timestamp::from_civil(1970, 1, 1, 0, 0, 0).weekday(), Weekday::Thursday);
+        assert_eq!(
+            Timestamp::from_civil(1970, 1, 1, 0, 0, 0).weekday(),
+            Weekday::Thursday
+        );
         // EDBT'18 opened Monday 2018-03-26.
-        assert_eq!(Timestamp::from_civil(2018, 3, 26, 12, 0, 0).weekday(), Weekday::Monday);
-        assert_eq!(Timestamp::from_civil(2017, 1, 1, 0, 0, 0).weekday(), Weekday::Sunday);
-        assert!(Timestamp::from_civil(2017, 1, 1, 0, 0, 0).weekday().is_weekend());
+        assert_eq!(
+            Timestamp::from_civil(2018, 3, 26, 12, 0, 0).weekday(),
+            Weekday::Monday
+        );
+        assert_eq!(
+            Timestamp::from_civil(2017, 1, 1, 0, 0, 0).weekday(),
+            Weekday::Sunday
+        );
+        assert!(Timestamp::from_civil(2017, 1, 1, 0, 0, 0)
+            .weekday()
+            .is_weekend());
     }
 
     #[test]
@@ -534,7 +564,14 @@ mod tests {
 
     #[test]
     fn parse_iso_rejects_garbage() {
-        for bad in ["", "2017", "2017-13-01", "2017-02-30", "2017-01-15T25:00:00", "x-y-z"] {
+        for bad in [
+            "",
+            "2017",
+            "2017-13-01",
+            "2017-02-30",
+            "2017-01-15T25:00:00",
+            "x-y-z",
+        ] {
             assert!(Timestamp::parse_iso(bad).is_err(), "{bad} should not parse");
         }
     }
@@ -573,19 +610,5 @@ mod tests {
         c += Span::hours(2);
         c -= Span::hours(1);
         assert_eq!(c - a, Span::hours(1));
-    }
-}
-
-impl Add<Span> for Span {
-    type Output = Span;
-    fn add(self, rhs: Span) -> Span {
-        Span(self.0 + rhs.0)
-    }
-}
-
-impl Sub<Span> for Span {
-    type Output = Span;
-    fn sub(self, rhs: Span) -> Span {
-        Span(self.0 - rhs.0)
     }
 }

@@ -10,6 +10,7 @@
 //! Like the weather model, the generator is stateless and random-access.
 
 use crate::time::{Timestamp, Weekday, DAY};
+use crate::units::Degrees;
 
 /// Road class, setting the scale of flow and congestion behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,11 +77,11 @@ fn rush_bump(hour: f64, mu: f64, sigma: f64) -> f64 {
 impl TrafficModel {
     /// Create a model. `lon_deg` sets the coarse local-time offset so rush
     /// hours land at local 08:00/16:30 rather than UTC.
-    pub fn new(seed: u64, class: RoadClass, lon_deg: f64) -> Self {
+    pub fn new(seed: u64, class: RoadClass, lon_deg: Degrees) -> Self {
         TrafficModel {
             seed,
             class,
-            utc_offset_h: lon_deg / 15.0,
+            utc_offset_h: lon_deg.0 / 15.0,
         }
     }
 
@@ -103,7 +104,11 @@ impl TrafficModel {
             let am = rush_bump(local_hour, 8.0, 1.2);
             let pm = rush_bump(local_hour, 16.5, 1.6);
             // Fridays have a stronger, earlier PM peak.
-            let pm_gain = if weekday == Weekday::Friday { 1.15 } else { 1.0 };
+            let pm_gain = if weekday == Weekday::Friday {
+                1.15
+            } else {
+                1.0
+            };
             0.07 + 0.65 * am.max(pm * pm_gain) + 0.18 * rush_bump(local_hour, 12.5, 3.0)
         };
         let flutter = 0.08 * value_noise(self.seed, 11, ts.0, 900);
@@ -167,7 +172,7 @@ mod tests {
     use crate::time::Span;
 
     fn model() -> TrafficModel {
-        TrafficModel::new(7, RoadClass::Arterial, 10.4)
+        TrafficModel::new(7, RoadClass::Arterial, Degrees(10.4))
     }
 
     #[test]
@@ -229,14 +234,18 @@ mod tests {
             }
         }
         let t = moderate.expect("no moderate-intensity moment found");
-        assert!(m.jam_factor(t) < 1.5, "jam factor {} too high at moderate load", m.jam_factor(t));
+        assert!(
+            m.jam_factor(t) < 1.5,
+            "jam factor {} too high at moderate load",
+            m.jam_factor(t)
+        );
     }
 
     #[test]
     fn flow_scales_with_road_class() {
         let t = Timestamp::from_civil(2017, 5, 2, 7, 20, 0);
-        let arterial = TrafficModel::new(7, RoadClass::Arterial, 10.4).flow_vph(t);
-        let residential = TrafficModel::new(7, RoadClass::Residential, 10.4).flow_vph(t);
+        let arterial = TrafficModel::new(7, RoadClass::Arterial, Degrees(10.4)).flow_vph(t);
+        let residential = TrafficModel::new(7, RoadClass::Residential, Degrees(10.4)).flow_vph(t);
         assert!(arterial > 5.0 * residential);
     }
 
@@ -268,7 +277,7 @@ mod tests {
     #[test]
     fn local_time_offset_moves_rush() {
         // At 150°E local 08:00 is 22:00 UTC the previous day.
-        let east = TrafficModel::new(7, RoadClass::Arterial, 150.0);
+        let east = TrafficModel::new(7, RoadClass::Arterial, Degrees(150.0));
         let utc_22 = Timestamp::from_civil(2017, 5, 1, 22, 0, 0); // Monday 22:00 UTC = Tue 08:00 local
         let utc_08 = Timestamp::from_civil(2017, 5, 2, 8, 0, 0); // Tue 08:00 UTC = Tue 18:00 local
         assert!(east.intensity(utc_22) > 0.4, "shifted AM rush missing");

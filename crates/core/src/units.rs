@@ -53,6 +53,72 @@ impl fmt::Display for Unit {
     }
 }
 
+macro_rules! unit_newtype {
+    ($(#[$doc:meta])* $name:ident, $symbol:expr) => {
+        $(#[$doc])*
+        ///
+        /// A transparent `f64` wrapper: construct with the tuple constructor,
+        /// read with `.0`. Exists so public signatures state their unit in
+        /// the type rather than the parameter name (rule R2 of `ctt-lint`).
+        #[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+        pub struct $name(pub f64);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", self.0, $symbol)
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// Gas concentration in parts per million by volume.
+    Ppm,
+    " ppm"
+);
+unit_newtype!(
+    /// Gas concentration in parts per billion by volume.
+    Ppb,
+    " ppb"
+);
+unit_newtype!(
+    /// Mass concentration in micrograms per cubic metre.
+    UgPerM3,
+    " µg/m³"
+);
+unit_newtype!(
+    /// Temperature in degrees Celsius.
+    Celsius,
+    " °C"
+);
+unit_newtype!(
+    /// Pressure in hectopascal.
+    HectoPascal,
+    " hPa"
+);
+unit_newtype!(
+    /// RF power or signal strength in dBm.
+    Dbm,
+    " dBm"
+);
+unit_newtype!(
+    /// Angle in decimal degrees (latitude/longitude components).
+    Degrees,
+    "°"
+);
+
+impl From<Ppm> for Ppb {
+    fn from(ppm: Ppm) -> Ppb {
+        Ppb(ppm.0 * 1000.0)
+    }
+}
+
+impl From<Ppb> for Ppm {
+    fn from(ppb: Ppb) -> Ppm {
+        Ppm(ppb.0 / 1000.0)
+    }
+}
+
 /// Ambient conditions needed for gas unit conversions.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ambient {
@@ -80,23 +146,23 @@ impl Ambient {
 /// Convert a gas concentration from ppb to µg/m³.
 ///
 /// `molar_mass_g` is the gas molar mass in g/mol (NO2 = 46.0055).
-pub fn ppb_to_ug_m3(ppb: f64, molar_mass_g: f64, ambient: Ambient) -> f64 {
-    ppb * molar_mass_g / ambient.molar_volume_l()
+pub fn ppb_to_ug_m3(ppb: Ppb, molar_mass_g: f64, ambient: Ambient) -> UgPerM3 {
+    UgPerM3(ppb.0 * molar_mass_g / ambient.molar_volume_l())
 }
 
 /// Convert a gas concentration from µg/m³ to ppb.
-pub fn ug_m3_to_ppb(ug_m3: f64, molar_mass_g: f64, ambient: Ambient) -> f64 {
-    ug_m3 * ambient.molar_volume_l() / molar_mass_g
+pub fn ug_m3_to_ppb(ug_m3: UgPerM3, molar_mass_g: f64, ambient: Ambient) -> Ppb {
+    Ppb(ug_m3.0 * ambient.molar_volume_l() / molar_mass_g)
 }
 
 /// Convert ppm to ppb.
-pub fn ppm_to_ppb(ppm: f64) -> f64 {
-    ppm * 1000.0
+pub fn ppm_to_ppb(ppm: Ppm) -> Ppb {
+    ppm.into()
 }
 
 /// Convert ppb to ppm.
-pub fn ppb_to_ppm(ppb: f64) -> f64 {
-    ppb / 1000.0
+pub fn ppb_to_ppm(ppb: Ppb) -> Ppm {
+    ppb.into()
 }
 
 #[cfg(test)]
@@ -119,7 +185,7 @@ mod tests {
     #[test]
     fn no2_conversion_matches_reference_factor() {
         // At 20 °C / 1013 hPa: 1 ppb NO2 ≈ 1.9125 µg/m³ (standard factor 1.91).
-        let f = ppb_to_ug_m3(1.0, 46.0055, Ambient::EU_REFERENCE);
+        let f = ppb_to_ug_m3(Ppb(1.0), 46.0055, Ambient::EU_REFERENCE).0;
         assert!((f - 1.9125).abs() < 0.01, "factor {f}");
     }
 
@@ -129,10 +195,10 @@ mod tests {
             temperature_c: 5.0,
             pressure_hpa: 990.0,
         };
-        let ug = ppb_to_ug_m3(37.5, 46.0055, amb);
+        let ug = ppb_to_ug_m3(Ppb(37.5), 46.0055, amb);
         let back = ug_m3_to_ppb(ug, 46.0055, amb);
-        assert!((back - 37.5).abs() < 1e-9);
-        assert_eq!(ppb_to_ppm(ppm_to_ppb(0.42)), 0.42);
+        assert!((back.0 - 37.5).abs() < 1e-9);
+        assert_eq!(ppb_to_ppm(ppm_to_ppb(Ppm(0.42))), Ppm(0.42));
     }
 
     #[test]
@@ -142,9 +208,16 @@ mod tests {
             pressure_hpa: 1013.25,
         };
         // The same mixing ratio corresponds to more mass in colder air.
-        let cold_mass = ppb_to_ug_m3(10.0, 46.0055, cold);
-        let warm_mass = ppb_to_ug_m3(10.0, 46.0055, Ambient::EU_REFERENCE);
+        let cold_mass = ppb_to_ug_m3(Ppb(10.0), 46.0055, cold);
+        let warm_mass = ppb_to_ug_m3(Ppb(10.0), 46.0055, Ambient::EU_REFERENCE);
         assert!(cold_mass > warm_mass);
+    }
+
+    #[test]
+    fn newtype_display_carries_the_symbol() {
+        assert_eq!(Ppm(412.5).to_string(), "412.5 ppm");
+        assert_eq!(Dbm(-103.0).to_string(), "-103 dBm");
+        assert_eq!(Degrees(10.4).to_string(), "10.4°");
     }
 
     #[test]

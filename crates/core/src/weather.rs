@@ -186,7 +186,8 @@ impl WeatherModel {
             + 12.0 * fbm(self.seed, CH_HUMIDITY, t, DAY, 3))
         .clamp(5.0, 100.0);
         // Wind: gusty noise around the climate mean, never negative.
-        let wind_ms = (c.mean_wind_ms * (1.0 + 0.8 * fbm(self.seed, CH_WIND, t, DAY / 2, 4))).max(0.0);
+        let wind_ms =
+            (c.mean_wind_ms * (1.0 + 0.8 * fbm(self.seed, CH_WIND, t, DAY / 2, 4))).max(0.0);
         let wind_dir_deg =
             (200.0 + 120.0 * fbm(self.seed, CH_WIND_DIR, t, 2 * DAY, 2)).rem_euclid(360.0);
         WeatherSample {
@@ -260,7 +261,10 @@ mod tests {
             noon_sum += m.sample(day + Span::hours(13)).temperature_c;
             night_sum += m.sample(day + Span::hours(2)).temperature_c;
         }
-        assert!(noon_sum > night_sum, "afternoons should be warmer on average");
+        assert!(
+            noon_sum > night_sum,
+            "afternoons should be warmer on average"
+        );
     }
 
     #[test]
@@ -269,8 +273,16 @@ mod tests {
         let start = Timestamp::from_civil(2017, 1, 1, 0, 0, 0);
         for i in 0..2000 {
             let s = m.sample(start + Span::hours(7 * i));
-            assert!((-40.0..=40.0).contains(&s.temperature_c), "temp {}", s.temperature_c);
-            assert!((950.0..=1070.0).contains(&s.pressure_hpa), "pressure {}", s.pressure_hpa);
+            assert!(
+                (-40.0..=40.0).contains(&s.temperature_c),
+                "temp {}",
+                s.temperature_c
+            );
+            assert!(
+                (950.0..=1070.0).contains(&s.pressure_hpa),
+                "pressure {}",
+                s.pressure_hpa
+            );
             assert!((0.0..=100.0).contains(&s.humidity_pct));
             assert!((0.0..=1.0).contains(&s.cloud_cover));
             assert!(s.wind_ms >= 0.0 && s.wind_ms < 40.0);

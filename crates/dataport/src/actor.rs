@@ -67,6 +67,16 @@ pub trait Actor: Any {
     }
 }
 
+impl fmt::Debug for ActorCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ActorCell")
+            .field("name", &self.name)
+            .field("restarts", &self.restarts)
+            .field("alive", &self.alive)
+            .finish_non_exhaustive()
+    }
+}
+
 struct ActorCell {
     actor: Box<dyn Actor>,
     parent: Option<ActorRef>,
@@ -75,6 +85,14 @@ struct ActorCell {
     name: String,
     restarts: u32,
     alive: bool,
+}
+
+impl fmt::Debug for Context<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("self_ref", &self.self_ref)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Side-effect interface handed to actors during message handling.
@@ -225,8 +243,7 @@ impl SystemCore {
                 } else {
                     cell.actor.restarted();
                     let path = self.path(r);
-                    self.events
-                        .push(LifecycleEvent::Restarted(path, fault.0));
+                    self.events.push(LifecycleEvent::Restarted(path, fault.0));
                 }
             }
             SupervisorStrategy::Stop => {
@@ -249,6 +266,15 @@ impl SystemCore {
 #[derive(Default)]
 pub struct ActorSystem {
     core: SystemCore,
+}
+
+impl fmt::Debug for ActorSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ActorSystem")
+            .field("actors", &self.core.cells.len())
+            .field("queued", &self.core.queue.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ActorSystem {
@@ -327,16 +353,13 @@ impl ActorSystem {
         let mut processed = 0;
         while let Some((to, msg)) = self.core.queue.pop_front() {
             processed += 1;
-            if !self.core.cells.contains_key(&to) {
+            // Temporarily take the actor out so it can borrow the system.
+            let Some(cell) = self.core.cells.get_mut(&to) else {
                 let e = LifecycleEvent::DeadLetter(format!("{to:?}"));
                 self.core.events.push(e);
                 continue;
-            }
-            // Temporarily take the actor out so it can borrow the system.
-            let mut cell_actor = {
-                let cell = self.core.cells.get_mut(&to).expect("checked above");
-                std::mem::replace(&mut cell.actor, Box::new(Tombstone))
             };
+            let mut cell_actor = std::mem::replace(&mut cell.actor, Box::new(Tombstone));
             let result = {
                 let mut ctx = Context {
                     system: &mut self.core,
@@ -417,7 +440,11 @@ mod tests {
     #[test]
     fn messages_are_processed_fifo() {
         let mut sys = ActorSystem::new();
-        let a = sys.spawn("a", Box::new(Counter::default()), SupervisorStrategy::Restart);
+        let a = sys.spawn(
+            "a",
+            Box::new(Counter::default()),
+            SupervisorStrategy::Restart,
+        );
         for _ in 0..5 {
             sys.send(a, Box::new(Ping));
         }
@@ -428,13 +455,20 @@ mod tests {
     #[test]
     fn restart_resets_state() {
         let mut sys = ActorSystem::new();
-        let a = sys.spawn("a", Box::new(Counter::default()), SupervisorStrategy::Restart);
+        let a = sys.spawn(
+            "a",
+            Box::new(Counter::default()),
+            SupervisorStrategy::Restart,
+        );
         sys.send(a, Box::new(Ping));
         sys.send(a, Box::new(Boom));
         sys.send(a, Box::new(Ping));
         sys.run_until_idle();
         assert!(sys.is_alive(a));
-        assert_eq!(sys.inspect::<Counter, _>(a, |c| (c.count, c.restarts_seen)), Some((1, 1)));
+        assert_eq!(
+            sys.inspect::<Counter, _>(a, |c| (c.count, c.restarts_seen)),
+            Some((1, 1))
+        );
         assert!(sys
             .events()
             .iter()
@@ -444,7 +478,11 @@ mod tests {
     #[test]
     fn restart_limit_stops_actor() {
         let mut sys = ActorSystem::new();
-        let a = sys.spawn("a", Box::new(Counter::default()), SupervisorStrategy::Restart);
+        let a = sys.spawn(
+            "a",
+            Box::new(Counter::default()),
+            SupervisorStrategy::Restart,
+        );
         for _ in 0..(MAX_RESTARTS + 1) {
             sys.send(a, Box::new(Boom));
         }
@@ -459,7 +497,11 @@ mod tests {
     #[test]
     fn stop_strategy_removes_subtree() {
         let mut sys = ActorSystem::new();
-        let a = sys.spawn("root", Box::new(Counter::default()), SupervisorStrategy::Stop);
+        let a = sys.spawn(
+            "root",
+            Box::new(Counter::default()),
+            SupervisorStrategy::Stop,
+        );
         sys.send(a, Box::new(SpawnChild));
         sys.send(a, Box::new(SpawnChild));
         sys.run_until_idle();
@@ -478,7 +520,11 @@ mod tests {
     #[test]
     fn escalate_propagates_to_parent() {
         let mut sys = ActorSystem::new();
-        let root = sys.spawn("root", Box::new(Counter::default()), SupervisorStrategy::Stop);
+        let root = sys.spawn(
+            "root",
+            Box::new(Counter::default()),
+            SupervisorStrategy::Stop,
+        );
         sys.send(root, Box::new(SpawnChild));
         sys.run_until_idle();
         let child = sys.children(root)[0];
@@ -519,7 +565,11 @@ mod tests {
     #[test]
     fn paths_reflect_hierarchy() {
         let mut sys = ActorSystem::new();
-        let root = sys.spawn("dataport", Box::new(Counter::default()), SupervisorStrategy::Restart);
+        let root = sys.spawn(
+            "dataport",
+            Box::new(Counter::default()),
+            SupervisorStrategy::Restart,
+        );
         sys.send(root, Box::new(SpawnChild));
         sys.run_until_idle();
         let child = sys.children(root)[0];
@@ -544,7 +594,11 @@ mod tests {
     #[test]
     fn unknown_message_is_ignored() {
         let mut sys = ActorSystem::new();
-        let a = sys.spawn("a", Box::new(Counter::default()), SupervisorStrategy::Restart);
+        let a = sys.spawn(
+            "a",
+            Box::new(Counter::default()),
+            SupervisorStrategy::Restart,
+        );
         sys.send(a, Box::new("a string message"));
         sys.run_until_idle();
         assert!(sys.is_alive(a));

@@ -104,7 +104,13 @@ impl AlarmBus {
     }
 
     /// Raise an alarm. Returns `true` if it was newly raised (not a dup).
-    pub fn raise(&mut self, kind: AlarmKind, source: &str, time: Timestamp, message: String) -> bool {
+    pub fn raise(
+        &mut self,
+        kind: AlarmKind,
+        source: &str,
+        time: Timestamp,
+        message: String,
+    ) -> bool {
         let key = (source.to_string(), kind);
         if self.active.contains_key(&key) {
             return false;
@@ -184,8 +190,18 @@ mod tests {
     #[test]
     fn raise_is_deduplicated() {
         let mut bus = AlarmBus::new();
-        assert!(bus.raise(AlarmKind::SensorOffline, "sensor/1", Timestamp(0), "gone".into()));
-        assert!(!bus.raise(AlarmKind::SensorOffline, "sensor/1", Timestamp(10), "gone".into()));
+        assert!(bus.raise(
+            AlarmKind::SensorOffline,
+            "sensor/1",
+            Timestamp(0),
+            "gone".into()
+        ));
+        assert!(!bus.raise(
+            AlarmKind::SensorOffline,
+            "sensor/1",
+            Timestamp(10),
+            "gone".into()
+        ));
         assert_eq!(bus.active().len(), 1);
         assert_eq!(bus.log().len(), 1);
     }
@@ -193,16 +209,36 @@ mod tests {
     #[test]
     fn different_kind_or_source_not_dedup() {
         let mut bus = AlarmBus::new();
-        bus.raise(AlarmKind::SensorOffline, "sensor/1", Timestamp(0), String::new());
-        assert!(bus.raise(AlarmKind::LowBattery, "sensor/1", Timestamp(0), String::new()));
-        assert!(bus.raise(AlarmKind::SensorOffline, "sensor/2", Timestamp(0), String::new()));
+        bus.raise(
+            AlarmKind::SensorOffline,
+            "sensor/1",
+            Timestamp(0),
+            String::new(),
+        );
+        assert!(bus.raise(
+            AlarmKind::LowBattery,
+            "sensor/1",
+            Timestamp(0),
+            String::new()
+        ));
+        assert!(bus.raise(
+            AlarmKind::SensorOffline,
+            "sensor/2",
+            Timestamp(0),
+            String::new()
+        ));
         assert_eq!(bus.active().len(), 3);
     }
 
     #[test]
     fn clear_logs_recovery() {
         let mut bus = AlarmBus::new();
-        bus.raise(AlarmKind::GatewayOutage, "gw/1", Timestamp(0), String::new());
+        bus.raise(
+            AlarmKind::GatewayOutage,
+            "gw/1",
+            Timestamp(0),
+            String::new(),
+        );
         assert!(bus.is_active(AlarmKind::GatewayOutage, "gw/1"));
         assert!(bus.clear(AlarmKind::GatewayOutage, "gw/1", Timestamp(100)));
         assert!(!bus.is_active(AlarmKind::GatewayOutage, "gw/1"));
@@ -215,8 +251,18 @@ mod tests {
     #[test]
     fn active_sorted_by_severity() {
         let mut bus = AlarmBus::new();
-        bus.raise(AlarmKind::LowBattery, "sensor/2", Timestamp(0), String::new());
-        bus.raise(AlarmKind::SensorOffline, "sensor/1", Timestamp(0), String::new());
+        bus.raise(
+            AlarmKind::LowBattery,
+            "sensor/2",
+            Timestamp(0),
+            String::new(),
+        );
+        bus.raise(
+            AlarmKind::SensorOffline,
+            "sensor/1",
+            Timestamp(0),
+            String::new(),
+        );
         let active = bus.active();
         assert_eq!(active[0].kind, AlarmKind::SensorOffline);
         assert_eq!(active[0].severity, Severity::Critical);

@@ -19,6 +19,7 @@ use crate::twin::{
 use crate::watchdog::{Watchdog, WatchdogVerdict};
 use ctt_core::ids::{DevEui, GatewayId};
 use ctt_core::time::{Span, Timestamp};
+use ctt_core::units::Dbm;
 use std::collections::HashMap;
 
 // ---------------------------------------------------------------- messages
@@ -112,7 +113,7 @@ impl Actor for SensorActor {
             }
             let events = self
                 .twin
-                .on_uplink(up.time, up.battery_pct, up.gateway, up.rssi_dbm);
+                .on_uplink(up.time, up.battery_pct, up.gateway, Dbm(up.rssi_dbm));
             self.forward_events(ctx, events, up.time);
             Ok(())
         } else if let Some(tick) = msg.downcast_ref::<TickMsg>() {
@@ -378,6 +379,7 @@ struct ComponentHealth {
 }
 
 /// The dataport service.
+#[derive(Debug)]
 pub struct Dataport {
     system: ActorSystem,
     config: DataportConfig,
@@ -474,7 +476,7 @@ impl Dataport {
         time: Timestamp,
         battery_pct: f64,
         gateway: GatewayId,
-        rssi_dbm: f64,
+        rssi_dbm: Dbm,
     ) {
         let sensor = self.register_sensor(device);
         let gw = self.register_gateway(gateway);
@@ -484,7 +486,7 @@ impl Dataport {
                 time,
                 battery_pct,
                 gateway,
-                rssi_dbm,
+                rssi_dbm: rssi_dbm.0,
             }),
         );
         self.system.send(gw, Box::new(GatewayTrafficMsg { time }));
@@ -597,12 +599,13 @@ impl Dataport {
             .gateway_refs
             .iter()
             .filter_map(|(&gateway, &r)| {
-                self.system.inspect::<GatewayActor, _>(r, |a| GatewayStatus {
-                    gateway,
-                    state: a.twin.state(),
-                    frames: a.twin.frames(),
-                    last_traffic: a.twin.last_traffic(),
-                })
+                self.system
+                    .inspect::<GatewayActor, _>(r, |a| GatewayStatus {
+                        gateway,
+                        state: a.twin.state(),
+                        frames: a.twin.frames(),
+                        last_traffic: a.twin.last_traffic(),
+                    })
             })
             .collect();
         gateways.sort_by_key(|g| g.gateway);
@@ -634,8 +637,8 @@ mod tests {
     #[test]
     fn uplinks_update_twins() {
         let mut dp = dataport();
-        dp.on_uplink(DevEui::ctt(1), Timestamp(0), 90.0, GW1, -100.0);
-        dp.on_uplink(DevEui::ctt(1), Timestamp(300), 89.0, GW1, -99.0);
+        dp.on_uplink(DevEui::ctt(1), Timestamp(0), 90.0, GW1, Dbm(-100.0));
+        dp.on_uplink(DevEui::ctt(1), Timestamp(300), 89.0, GW1, Dbm(-99.0));
         let snap = dp.snapshot(Timestamp(300));
         assert_eq!(snap.sensors.len(), 1);
         assert_eq!(snap.sensors[0].state, TwinState::Online);
@@ -648,13 +651,19 @@ mod tests {
     #[test]
     fn sensor_offline_alarm_after_cycles() {
         let mut dp = dataport();
-        dp.on_uplink(DevEui::ctt(1), Timestamp(0), 90.0, GW1, -100.0);
+        dp.on_uplink(DevEui::ctt(1), Timestamp(0), 90.0, GW1, Dbm(-100.0));
         // Keep the gateway alive via another sensor so correlation does not
         // suppress the sensor alarm.
-        dp.on_uplink(DevEui::ctt(2), Timestamp(60), 90.0, GW1, -100.0);
+        dp.on_uplink(DevEui::ctt(2), Timestamp(60), 90.0, GW1, Dbm(-100.0));
         for minutes in [8i64, 16, 20, 25] {
             dp.tick(Timestamp(minutes * 60));
-            dp.on_uplink(DevEui::ctt(2), Timestamp(minutes * 60 + 1), 90.0, GW1, -100.0);
+            dp.on_uplink(
+                DevEui::ctt(2),
+                Timestamp(minutes * 60 + 1),
+                90.0,
+                GW1,
+                Dbm(-100.0),
+            );
         }
         let alarms = dp.active_alarms();
         assert!(
@@ -671,7 +680,7 @@ mod tests {
         // Three sensors all single-homed on GW1.
         for d in 1..=3u32 {
             for i in 0..5i64 {
-                dp.on_uplink(DevEui::ctt(d), Timestamp(i * 300), 90.0, GW1, -100.0);
+                dp.on_uplink(DevEui::ctt(d), Timestamp(i * 300), 90.0, GW1, Dbm(-100.0));
             }
         }
         // Everything goes silent (gateway died). Sensors are declared
@@ -708,7 +717,7 @@ mod tests {
         });
         for d in 1..=3u32 {
             for i in 0..5i64 {
-                dp.on_uplink(DevEui::ctt(d), Timestamp(i * 300), 90.0, GW1, -100.0);
+                dp.on_uplink(DevEui::ctt(d), Timestamp(i * 300), 90.0, GW1, Dbm(-100.0));
             }
         }
         dp.tick(Timestamp(31 * 60));
@@ -729,7 +738,7 @@ mod tests {
         // Sensor 1 alternates between two gateways: not dependent on either.
         for i in 0..6i64 {
             let gw = if i % 2 == 0 { GW1 } else { GW2 };
-            dp.on_uplink(DevEui::ctt(1), Timestamp(i * 300), 90.0, gw, -100.0);
+            dp.on_uplink(DevEui::ctt(1), Timestamp(i * 300), 90.0, gw, Dbm(-100.0));
         }
         dp.tick(Timestamp(31 * 60)); // both gateways down now
         dp.tick(Timestamp(60 * 60));
@@ -745,17 +754,23 @@ mod tests {
     #[test]
     fn recovery_clears_alarms() {
         let mut dp = dataport();
-        dp.on_uplink(DevEui::ctt(1), Timestamp(0), 90.0, GW1, -100.0);
-        dp.on_uplink(DevEui::ctt(2), Timestamp(10), 90.0, GW1, -100.0);
+        dp.on_uplink(DevEui::ctt(1), Timestamp(0), 90.0, GW1, Dbm(-100.0));
+        dp.on_uplink(DevEui::ctt(2), Timestamp(10), 90.0, GW1, Dbm(-100.0));
         dp.tick(Timestamp(20 * 60));
-        dp.on_uplink(DevEui::ctt(2), Timestamp(20 * 60 + 30), 90.0, GW1, -100.0);
+        dp.on_uplink(
+            DevEui::ctt(2),
+            Timestamp(20 * 60 + 30),
+            90.0,
+            GW1,
+            Dbm(-100.0),
+        );
         dp.tick(Timestamp(25 * 60));
         assert!(dp
             .active_alarms()
             .iter()
             .any(|a| a.kind == AlarmKind::SensorOffline));
         // Sensor 1 comes back.
-        dp.on_uplink(DevEui::ctt(1), Timestamp(26 * 60), 85.0, GW1, -100.0);
+        dp.on_uplink(DevEui::ctt(1), Timestamp(26 * 60), 85.0, GW1, Dbm(-100.0));
         assert!(!dp
             .active_alarms()
             .iter()
@@ -769,7 +784,7 @@ mod tests {
     #[test]
     fn component_monitoring() {
         let mut dp = dataport();
-        dp.on_uplink(DevEui::ctt(1), Timestamp(0), 90.0, GW1, -100.0);
+        dp.on_uplink(DevEui::ctt(1), Timestamp(0), 90.0, GW1, Dbm(-100.0));
         // 15 minutes of silence exceeds the 10-minute component window.
         dp.tick(Timestamp(15 * 60));
         let alarms = dp.active_alarms();
@@ -787,7 +802,7 @@ mod tests {
     #[test]
     fn watchdog_detects_dead_dataport() {
         let mut dp = dataport();
-        dp.on_uplink(DevEui::ctt(1), Timestamp(0), 90.0, GW1, -100.0);
+        dp.on_uplink(DevEui::ctt(1), Timestamp(0), 90.0, GW1, Dbm(-100.0));
         assert_eq!(dp.watchdog_check(Timestamp(60)), WatchdogVerdict::Healthy);
         // The dataport stops being driven (no ticks, no uplinks): from the
         // watchdog's perspective it is down.
@@ -800,15 +815,15 @@ mod tests {
     #[test]
     fn corrupt_uplink_restarts_twin_via_supervision() {
         let mut dp = dataport();
-        dp.on_uplink(DevEui::ctt(1), Timestamp(0), 90.0, GW1, -100.0);
-        dp.on_uplink(DevEui::ctt(1), Timestamp(300), f64::NAN, GW1, -100.0);
+        dp.on_uplink(DevEui::ctt(1), Timestamp(0), 90.0, GW1, Dbm(-100.0));
+        dp.on_uplink(DevEui::ctt(1), Timestamp(300), f64::NAN, GW1, Dbm(-100.0));
         // Twin restarted: state reset to NeverSeen, but actor alive.
         let snap = dp.snapshot(Timestamp(300));
         assert_eq!(snap.sensors.len(), 1);
         assert_eq!(snap.sensors[0].state, TwinState::NeverSeen);
         assert_eq!(snap.sensors[0].uplinks, 0);
         // And it keeps working afterwards.
-        dp.on_uplink(DevEui::ctt(1), Timestamp(600), 88.0, GW1, -100.0);
+        dp.on_uplink(DevEui::ctt(1), Timestamp(600), 88.0, GW1, Dbm(-100.0));
         let snap = dp.snapshot(Timestamp(600));
         assert_eq!(snap.sensors[0].state, TwinState::Online);
     }
@@ -816,7 +831,7 @@ mod tests {
     #[test]
     fn actor_paths_are_hierarchical() {
         let mut dp = dataport();
-        dp.on_uplink(DevEui::ctt(1), Timestamp(0), 90.0, GW1, -100.0);
+        dp.on_uplink(DevEui::ctt(1), Timestamp(0), 90.0, GW1, Dbm(-100.0));
         let path = dp.sensor_path(DevEui::ctt(1)).unwrap();
         assert!(path.starts_with("/dataport/sensors/"), "{path}");
     }

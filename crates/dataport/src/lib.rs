@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod actor;
 pub mod alarm;
@@ -28,7 +29,7 @@ pub mod watchdog;
 
 pub use actor::{Actor, ActorRef, ActorSystem, Fault, LifecycleEvent, SupervisorStrategy};
 pub use alarm::{Alarm, AlarmBus, AlarmKind, Severity};
-pub use dataport::{Dataport, DataportConfig, NetworkSnapshot, SensorStatus, GatewayStatus};
+pub use dataport::{Dataport, DataportConfig, GatewayStatus, NetworkSnapshot, SensorStatus};
 pub use protocol::{ProtocolTrace, Stage, StageRecord};
 pub use twin::{GatewayState, GatewayTwin, SensorTwin, SensorTwinConfig, TwinEvent, TwinState};
 pub use watchdog::{Watchdog, WatchdogVerdict};

@@ -46,9 +46,19 @@ impl Stage {
         Stage::WatchdogPing,
     ];
 
-    /// Stage number as printed in Fig. 2 (1-based).
+    /// Stage number as printed in Fig. 2 (1-based). Kept in sync with
+    /// [`Stage::ALL`] by `stage_numbers_match_figure`.
     pub fn number(self) -> u8 {
-        Stage::ALL.iter().position(|s| *s == self).expect("in ALL") as u8 + 1
+        match self {
+            Stage::SensorUplink => 1,
+            Stage::GatewayForward => 2,
+            Stage::TtnBackend => 3,
+            Stage::MqttPublish => 4,
+            Stage::DataportIngest => 5,
+            Stage::DatabaseWrite => 6,
+            Stage::Visualization => 7,
+            Stage::WatchdogPing => 8,
+        }
     }
 
     /// The transport between this stage and the next (Fig. 2 labels).
@@ -189,6 +199,10 @@ mod tests {
         assert_eq!(Stage::MqttPublish.number(), 4);
         assert_eq!(Stage::DatabaseWrite.number(), 6);
         assert_eq!(Stage::WatchdogPing.number(), 8);
+        // `number` is a match so it cannot panic; pin it to ALL's order.
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.number() as usize, i + 1);
+        }
     }
 
     #[test]
@@ -206,7 +220,12 @@ mod tests {
         t.record(Stage::TtnBackend, t0 + Span::seconds(1), true, "");
         t.record(Stage::MqttPublish, t0 + Span::seconds(2), true, "");
         t.record(Stage::DataportIngest, t0 + Span::seconds(2), true, "");
-        t.record(Stage::DatabaseWrite, t0 + Span::seconds(3), true, "8 points");
+        t.record(
+            Stage::DatabaseWrite,
+            t0 + Span::seconds(3),
+            true,
+            "8 points",
+        );
         t.record(Stage::Visualization, t0 + Span::seconds(4), true, "");
         t
     }

@@ -17,6 +17,7 @@
 use ctt_core::battery::AdaptivePolicy;
 use ctt_core::ids::{DevEui, GatewayId};
 use ctt_core::time::{Span, Timestamp};
+use ctt_core::units::Dbm;
 use std::collections::HashMap;
 
 /// Connectivity state of a sensor twin.
@@ -163,7 +164,7 @@ impl SensorTwin {
         time: Timestamp,
         battery_pct: f64,
         gateway: GatewayId,
-        rssi_dbm: f64,
+        rssi_dbm: Dbm,
     ) -> Vec<TwinEvent> {
         let mut events = Vec::new();
         if self.state != TwinState::Online {
@@ -173,7 +174,7 @@ impl SensorTwin {
         self.last_uplink = Some(time);
         self.last_battery = Some(battery_pct);
         self.last_gateway = Some(gateway);
-        self.last_rssi_dbm = Some(rssi_dbm);
+        self.last_rssi_dbm = Some(rssi_dbm.0);
         *self.gateway_counts.entry(gateway).or_insert(0) += 1;
         self.uplinks += 1;
         // Mirror the firmware's adaptive schedule.
@@ -204,11 +205,9 @@ impl SensorTwin {
                 self.state = TwinState::Offline;
                 events.push(TwinEvent::WentOffline(self.device));
             }
-        } else if silence.as_seconds() as f64 >= late_after {
-            if self.state == TwinState::Online {
-                self.state = TwinState::Late;
-                events.push(TwinEvent::WentLate(self.device));
-            }
+        } else if silence.as_seconds() as f64 >= late_after && self.state == TwinState::Online {
+            self.state = TwinState::Late;
+            events.push(TwinEvent::WentLate(self.device));
         }
         events
     }
@@ -316,7 +315,7 @@ mod tests {
     fn first_uplink_goes_online() {
         let mut t = twin();
         assert_eq!(t.state(), TwinState::NeverSeen);
-        let ev = t.on_uplink(Timestamp(0), 90.0, GW, -100.0);
+        let ev = t.on_uplink(Timestamp(0), 90.0, GW, Dbm(-100.0));
         assert_eq!(ev, vec![TwinEvent::WentOnline(DevEui::ctt(1))]);
         assert_eq!(t.state(), TwinState::Online);
         assert_eq!(t.expected_interval(), Span::minutes(5));
@@ -327,7 +326,7 @@ mod tests {
     fn single_missed_cycle_is_only_late() {
         // "a single missing measurement is expected occasionally".
         let mut t = twin();
-        t.on_uplink(Timestamp(0), 90.0, GW, -100.0);
+        t.on_uplink(Timestamp(0), 90.0, GW, Dbm(-100.0));
         // 8 minutes after a 5-minute cadence: late (>1.5×), not offline.
         let ev = t.tick(Timestamp(8 * 60));
         assert_eq!(ev, vec![TwinEvent::WentLate(DevEui::ctt(1))]);
@@ -340,7 +339,7 @@ mod tests {
     #[test]
     fn offline_after_configured_cycles() {
         let mut t = twin();
-        t.on_uplink(Timestamp(0), 90.0, GW, -100.0);
+        t.on_uplink(Timestamp(0), 90.0, GW, Dbm(-100.0));
         t.tick(Timestamp(8 * 60));
         let ev = t.tick(Timestamp(15 * 60)); // 3 × 5 min
         assert_eq!(ev, vec![TwinEvent::WentOffline(DevEui::ctt(1))]);
@@ -352,9 +351,9 @@ mod tests {
     #[test]
     fn recovery_emits_online() {
         let mut t = twin();
-        t.on_uplink(Timestamp(0), 90.0, GW, -100.0);
+        t.on_uplink(Timestamp(0), 90.0, GW, Dbm(-100.0));
         t.tick(Timestamp(15 * 60));
-        let ev = t.on_uplink(Timestamp(16 * 60), 88.0, GW, -101.0);
+        let ev = t.on_uplink(Timestamp(16 * 60), 88.0, GW, Dbm(-101.0));
         assert_eq!(ev, vec![TwinEvent::WentOnline(DevEui::ctt(1))]);
     }
 
@@ -363,7 +362,7 @@ mod tests {
         // The paper's key subtlety: a low-battery node legitimately slows to
         // 15-minute cadence; a fixed 5-minute timeout would false-alarm.
         let mut t = twin();
-        t.on_uplink(Timestamp(0), 40.0, GW, -100.0); // battery 40% → 15 min
+        t.on_uplink(Timestamp(0), 40.0, GW, Dbm(-100.0)); // battery 40% → 15 min
         assert_eq!(t.expected_interval(), Span::minutes(15));
         // 20 minutes of silence: under 1.5 × 15 min → still online.
         assert!(t.tick(Timestamp(20 * 60)).is_empty());
@@ -385,16 +384,18 @@ mod tests {
     #[test]
     fn low_battery_hysteresis() {
         let mut t = twin();
-        let ev = t.on_uplink(Timestamp(0), 18.0, GW, -100.0);
+        let ev = t.on_uplink(Timestamp(0), 18.0, GW, Dbm(-100.0));
         assert!(ev.contains(&TwinEvent::LowBattery(DevEui::ctt(1), 18.0)));
         // Still low: no repeat.
-        let ev = t.on_uplink(Timestamp(900), 17.0, GW, -100.0);
+        let ev = t.on_uplink(Timestamp(900), 17.0, GW, Dbm(-100.0));
         assert!(!ev.iter().any(|e| matches!(e, TwinEvent::LowBattery(..))));
         // Barely above threshold: hysteresis holds.
-        let ev = t.on_uplink(Timestamp(1800), 22.0, GW, -100.0);
-        assert!(!ev.iter().any(|e| matches!(e, TwinEvent::BatteryRecovered(..))));
+        let ev = t.on_uplink(Timestamp(1800), 22.0, GW, Dbm(-100.0));
+        assert!(!ev
+            .iter()
+            .any(|e| matches!(e, TwinEvent::BatteryRecovered(..))));
         // Clearly above: recovered.
-        let ev = t.on_uplink(Timestamp(2700), 30.0, GW, -100.0);
+        let ev = t.on_uplink(Timestamp(2700), 30.0, GW, Dbm(-100.0));
         assert!(ev.contains(&TwinEvent::BatteryRecovered(DevEui::ctt(1), 30.0)));
     }
 
@@ -403,9 +404,9 @@ mod tests {
         let mut t = twin();
         let gw2 = GatewayId(0xB827_EB00_0000_0002);
         for i in 0..9 {
-            t.on_uplink(Timestamp(i * 300), 90.0, GW, -100.0);
+            t.on_uplink(Timestamp(i * 300), 90.0, GW, Dbm(-100.0));
         }
-        t.on_uplink(Timestamp(9 * 300), 90.0, gw2, -110.0);
+        t.on_uplink(Timestamp(9 * 300), 90.0, gw2, Dbm(-110.0));
         assert!(t.is_dependent_on(GW, 0.9));
         assert!(!t.is_dependent_on(gw2, 0.9));
         assert_eq!(t.last_gateway(), Some(gw2));

@@ -23,7 +23,13 @@ pub enum ResampleMethod {
 
 /// Resample a series onto the aligned grid `[start, end)` with `step`.
 /// Grid instants with no defined value are omitted (never invented).
-pub fn resample(series: &Series, start: Timestamp, end: Timestamp, step: Span, method: ResampleMethod) -> Series {
+pub fn resample(
+    series: &Series,
+    start: Timestamp,
+    end: Timestamp,
+    step: Span,
+    method: ResampleMethod,
+) -> Series {
     assert!(step.as_seconds() > 0);
     let mut out = Vec::new();
     let grid_start = start.align_down(step);
@@ -54,24 +60,19 @@ pub fn resample(series: &Series, start: Timestamp, end: Timestamp, step: Span, m
                         if t1 == t0 {
                             Some(v1)
                         } else {
-                            let frac =
-                                (t - t0).as_seconds() as f64 / (t1 - t0).as_seconds() as f64;
+                            let frac = (t - t0).as_seconds() as f64 / (t1 - t0).as_seconds() as f64;
                             Some(v0 + (v1 - v0) * frac)
                         }
                     }
                     None => None, // past the last point: undefined
                 }
             }
-            ResampleMethod::Locf => pts
-                .iter()
-                .rev()
-                .find(|&&(pt, _)| pt <= t)
-                .map(|&(_, v)| v),
+            ResampleMethod::Locf => pts.iter().rev().find(|&&(pt, _)| pt <= t).map(|&(_, v)| v),
         };
         if let Some(v) = value {
             out.push((t, v));
         }
-        t = t + step;
+        t += step;
     }
     Series { points: out }
 }
@@ -101,11 +102,7 @@ pub fn align_pairs(a: &Series, b: &Series) -> Vec<(Timestamp, f64, f64)> {
 /// Spatial join: index of the nearest candidate to `target`, with the
 /// distance in metres. `None` when `candidates` is empty or the nearest is
 /// farther than `max_distance_m`.
-pub fn nearest(
-    target: LatLon,
-    candidates: &[LatLon],
-    max_distance_m: f64,
-) -> Option<(usize, f64)> {
+pub fn nearest(target: LatLon, candidates: &[LatLon], max_distance_m: f64) -> Option<(usize, f64)> {
     candidates
         .iter()
         .enumerate()
@@ -130,6 +127,7 @@ impl Uncertain {
     }
 
     /// Sum with independent-error propagation (σ² adds).
+    #[allow(clippy::should_implement_trait)] // domain verb, not operator overloading
     pub fn add(self, other: Uncertain) -> Uncertain {
         Uncertain {
             value: self.value + other.value,
@@ -138,6 +136,7 @@ impl Uncertain {
     }
 
     /// Difference with independent-error propagation.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Uncertain) -> Uncertain {
         Uncertain {
             value: self.value - other.value,
@@ -187,14 +186,26 @@ mod tests {
     #[test]
     fn bucket_mean_resampling() {
         let s = series(&[(0, 1.0), (100, 3.0), (700, 10.0)]);
-        let r = resample(&s, Timestamp(0), Timestamp(1200), Span::seconds(600), ResampleMethod::BucketMean);
+        let r = resample(
+            &s,
+            Timestamp(0),
+            Timestamp(1200),
+            Span::seconds(600),
+            ResampleMethod::BucketMean,
+        );
         assert_eq!(r.points, vec![(Timestamp(0), 2.0), (Timestamp(600), 10.0)]);
     }
 
     #[test]
     fn bucket_mean_skips_empty() {
         let s = series(&[(0, 1.0), (1900, 5.0)]);
-        let r = resample(&s, Timestamp(0), Timestamp(2400), Span::seconds(600), ResampleMethod::BucketMean);
+        let r = resample(
+            &s,
+            Timestamp(0),
+            Timestamp(2400),
+            Span::seconds(600),
+            ResampleMethod::BucketMean,
+        );
         let times: Vec<i64> = r.points.iter().map(|(t, _)| t.as_seconds()).collect();
         assert_eq!(times, vec![0, 1800]);
     }
@@ -202,7 +213,13 @@ mod tests {
     #[test]
     fn linear_interpolation() {
         let s = series(&[(0, 0.0), (1000, 10.0)]);
-        let r = resample(&s, Timestamp(0), Timestamp(1001), Span::seconds(250), ResampleMethod::Linear);
+        let r = resample(
+            &s,
+            Timestamp(0),
+            Timestamp(1001),
+            Span::seconds(250),
+            ResampleMethod::Linear,
+        );
         assert_eq!(
             r.points,
             vec![
@@ -218,7 +235,13 @@ mod tests {
     #[test]
     fn linear_undefined_outside_support() {
         let s = series(&[(500, 1.0), (1000, 2.0)]);
-        let r = resample(&s, Timestamp(0), Timestamp(2000), Span::seconds(500), ResampleMethod::Linear);
+        let r = resample(
+            &s,
+            Timestamp(0),
+            Timestamp(2000),
+            Span::seconds(500),
+            ResampleMethod::Linear,
+        );
         // t=0 before first point: undefined; t=1500 after last: undefined.
         let times: Vec<i64> = r.points.iter().map(|(t, _)| t.as_seconds()).collect();
         assert_eq!(times, vec![500, 1000]);
@@ -227,7 +250,13 @@ mod tests {
     #[test]
     fn locf_carries_forward() {
         let s = series(&[(100, 1.0), (1100, 2.0)]);
-        let r = resample(&s, Timestamp(0), Timestamp(2000), Span::seconds(500), ResampleMethod::Locf);
+        let r = resample(
+            &s,
+            Timestamp(0),
+            Timestamp(2000),
+            Span::seconds(500),
+            ResampleMethod::Locf,
+        );
         assert_eq!(
             r.points,
             vec![
@@ -242,7 +271,13 @@ mod tests {
     fn grid_alignment() {
         let s = series(&[(0, 1.0), (3600, 2.0)]);
         // Unaligned start aligns down to the step grid.
-        let r = resample(&s, Timestamp(17), Timestamp(7200), Span::seconds(3600), ResampleMethod::BucketMean);
+        let r = resample(
+            &s,
+            Timestamp(17),
+            Timestamp(7200),
+            Span::seconds(3600),
+            ResampleMethod::BucketMean,
+        );
         assert_eq!(r.points[0].0, Timestamp(0));
     }
 
@@ -276,8 +311,14 @@ mod tests {
 
     #[test]
     fn uncertainty_propagation() {
-        let a = Uncertain { value: 10.0, sigma: 3.0 };
-        let b = Uncertain { value: 20.0, sigma: 4.0 };
+        let a = Uncertain {
+            value: 10.0,
+            sigma: 3.0,
+        };
+        let b = Uncertain {
+            value: 20.0,
+            sigma: 4.0,
+        };
         let sum = a.add(b);
         assert_eq!(sum.value, 30.0);
         assert!((sum.sigma - 5.0).abs() < 1e-12);
@@ -291,8 +332,14 @@ mod tests {
 
     #[test]
     fn inverse_variance_combination() {
-        let precise = Uncertain { value: 10.0, sigma: 1.0 };
-        let rough = Uncertain { value: 20.0, sigma: 10.0 };
+        let precise = Uncertain {
+            value: 10.0,
+            sigma: 1.0,
+        };
+        let rough = Uncertain {
+            value: 20.0,
+            sigma: 10.0,
+        };
         let c = Uncertain::combine(&[precise, rough]).unwrap();
         // Dominated by the precise estimate.
         assert!((c.value - 10.0).abs() < 0.2, "combined {c:?}");

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod harmonize;
 pub mod municipal;

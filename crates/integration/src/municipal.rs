@@ -114,7 +114,10 @@ impl DownscaledEmission {
     /// 95% confidence interval (±2σ), clamped at zero.
     pub fn ci95(&self) -> (f64, f64) {
         let sigma = self.ktco2e * self.rel_uncertainty;
-        ((self.ktco2e - 2.0 * sigma).max(0.0), self.ktco2e + 2.0 * sigma)
+        (
+            (self.ktco2e - 2.0 * sigma).max(0.0),
+            self.ktco2e + 2.0 * sigma,
+        )
     }
 }
 
@@ -179,9 +182,10 @@ impl NationalInventory {
 mod tests {
     use super::*;
     use ctt_core::traffic::RoadClass;
+    use ctt_core::units::Degrees;
 
     fn model() -> TrafficModel {
-        TrafficModel::new(7, RoadClass::Arterial, 10.4)
+        TrafficModel::new(7, RoadClass::Arterial, Degrees(10.4))
     }
 
     #[test]
@@ -228,8 +232,7 @@ mod tests {
         let dev = validate_feed_against_counts(&counts, &estimates).unwrap();
         assert!(dev < 0.01, "deviation {dev}");
         // A biased estimate shows up.
-        let biased: Vec<(Timestamp, f64)> =
-            estimates.iter().map(|&(d, v)| (d, v * 1.3)).collect();
+        let biased: Vec<(Timestamp, f64)> = estimates.iter().map(|&(d, v)| (d, v * 1.3)).collect();
         let dev = validate_feed_against_counts(&counts, &biased).unwrap();
         assert!((dev - 0.3).abs() < 0.02, "deviation {dev}");
     }
@@ -251,7 +254,9 @@ mod tests {
         assert!((1_500.0..2_000.0).contains(&total), "total {total}");
         // Industry is the most uncertain.
         let industry = d.iter().find(|e| e.sector == Sector::Industry).unwrap();
-        assert!(d.iter().all(|e| e.rel_uncertainty <= industry.rel_uncertainty));
+        assert!(d
+            .iter()
+            .all(|e| e.rel_uncertainty <= industry.rel_uncertainty));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use ctt_core::emission::{EmissionModel, Site};
 use ctt_core::measurement::Series;
 use ctt_core::quantity::Pollutant;
 use ctt_core::time::{Span, TimeRange, Timestamp};
-use ctt_core::units::{ppb_to_ug_m3, ppm_to_ppb, Ambient};
+use ctt_core::units::{ppb_to_ug_m3, ppm_to_ppb, Ambient, Ppb, Ppm};
 
 /// A reference station bound to a site.
 #[derive(Debug, Clone)]
@@ -47,7 +47,12 @@ impl NiluStation {
 
     /// Validated hourly mean for one pollutant at the hour starting `hour`
     /// (averages the truth at 10-minute sub-samples).
-    pub fn hourly_mean(&self, emission: &EmissionModel, pollutant: Pollutant, hour: Timestamp) -> f64 {
+    pub fn hourly_mean(
+        &self,
+        emission: &EmissionModel,
+        pollutant: Pollutant,
+        hour: Timestamp,
+    ) -> f64 {
         let hour = hour.align_down(Span::hours(1));
         let mut sum = 0.0;
         let mut n = 0;
@@ -63,7 +68,9 @@ impl NiluStation {
         }
         let mean = sum / f64::from(n);
         // Tiny instrument noise, deterministic per (seed, hour, pollutant).
-        let key = mix(self.seed ^ hour.as_seconds() as u64 ^ (pollutant.code().len() as u64) << 32
+        let key = mix(self.seed
+            ^ hour.as_seconds() as u64
+            ^ (pollutant.code().len() as u64) << 32
             ^ mix(pollutant.code().as_bytes()[0] as u64));
         let unit = (key >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
         mean * (1.0 + self.noise_rel * unit)
@@ -85,12 +92,12 @@ impl NiluStation {
     /// NO2 in µg/m³ at EU reference conditions (how NILU publishes it).
     pub fn no2_ug_m3(&self, emission: &EmissionModel, hour: Timestamp) -> f64 {
         let ppb = self.hourly_mean(emission, Pollutant::No2, hour);
-        ppb_to_ug_m3(ppb, 46.0055, Ambient::EU_REFERENCE)
+        ppb_to_ug_m3(Ppb(ppb), 46.0055, Ambient::EU_REFERENCE).0
     }
 
     /// CO2 in ppb (for unit-conversion cross-checks).
     pub fn co2_ppb(&self, emission: &EmissionModel, hour: Timestamp) -> f64 {
-        ppm_to_ppb(self.hourly_mean(emission, Pollutant::Co2, hour))
+        ppm_to_ppb(Ppm(self.hourly_mean(emission, Pollutant::Co2, hour))).0
     }
 }
 
@@ -99,6 +106,7 @@ mod tests {
     use super::*;
     use ctt_core::geo::LatLon;
     use ctt_core::traffic::{RoadClass, TrafficModel};
+    use ctt_core::units::Degrees;
     use ctt_core::weather::{Climate, WeatherModel};
 
     const TRONDHEIM: LatLon = LatLon::new(63.4305, 10.3951);
@@ -106,7 +114,7 @@ mod tests {
     fn emission() -> EmissionModel {
         EmissionModel::new(
             WeatherModel::new(42, Climate::trondheim(), TRONDHEIM),
-            TrafficModel::new(42, RoadClass::Arterial, TRONDHEIM.lon_deg),
+            TrafficModel::new(42, RoadClass::Arterial, Degrees(TRONDHEIM.lon_deg)),
         )
     }
 

@@ -12,6 +12,7 @@
 use ctt_core::emission::{co2_background_ppm, EmissionModel, Site};
 use ctt_core::geo::LatLon;
 use ctt_core::time::{Span, Timestamp, DAY};
+use ctt_core::units::Ppm;
 
 /// One XCO2 sounding.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,7 +96,7 @@ impl Oco2 {
                     out.push(t);
                 }
             }
-            day = day + Span::days(1);
+            day += Span::days(1);
         }
         out
     }
@@ -156,7 +157,7 @@ impl Oco2 {
 /// `(mean_xco2_enhancement, mean_ground_enhancement, dilution_ratio)`.
 pub fn grounding_comparison(
     soundings: &[Sounding],
-    ground_surface_co2_ppm: f64,
+    ground_surface_co2_ppm: Ppm,
 ) -> Option<(f64, f64, f64)> {
     if soundings.is_empty() {
         return None;
@@ -164,7 +165,7 @@ pub fn grounding_comparison(
     let bg = co2_background_ppm(soundings[0].time);
     let mean_xco2 = soundings.iter().map(|s| s.xco2_ppm).sum::<f64>() / soundings.len() as f64;
     let sat_enh = mean_xco2 - bg;
-    let ground_enh = ground_surface_co2_ppm - bg;
+    let ground_enh = ground_surface_co2_ppm.0 - bg;
     if ground_enh.abs() < f64::EPSILON {
         return None;
     }
@@ -175,6 +176,7 @@ pub fn grounding_comparison(
 mod tests {
     use super::*;
     use ctt_core::traffic::{RoadClass, TrafficModel};
+    use ctt_core::units::Degrees;
     use ctt_core::weather::{Climate, WeatherModel};
 
     const TRONDHEIM: LatLon = LatLon::new(63.4305, 10.3951);
@@ -182,7 +184,7 @@ mod tests {
     fn emission() -> EmissionModel {
         EmissionModel::new(
             WeatherModel::new(42, Climate::trondheim(), TRONDHEIM),
-            TrafficModel::new(42, RoadClass::Arterial, TRONDHEIM.lon_deg),
+            TrafficModel::new(42, RoadClass::Arterial, Degrees(TRONDHEIM.lon_deg)),
         )
     }
 
@@ -273,17 +275,18 @@ mod tests {
         let em = emission();
         let t = Timestamp::from_civil(2017, 1, 10, 12, 30, 0); // winter dome
         let s = sat.overpass_soundings(&em, TRONDHEIM, t);
-        let ground = em
-            .sample(&Site::urban_background(TRONDHEIM), t)
-            .co2_ppm;
-        let (sat_enh, ground_enh, ratio) = grounding_comparison(&s, ground).unwrap();
+        let ground = em.sample(&Site::urban_background(TRONDHEIM), t).co2_ppm;
+        let (sat_enh, ground_enh, ratio) = grounding_comparison(&s, Ppm(ground)).unwrap();
         assert!(ground_enh > 0.0, "urban dome should enhance ground CO2");
         // Column dilution: satellite sees roughly an order of magnitude less.
-        assert!(ratio < 0.5, "dilution ratio {ratio} (sat {sat_enh}, ground {ground_enh})");
+        assert!(
+            ratio < 0.5,
+            "dilution ratio {ratio} (sat {sat_enh}, ground {ground_enh})"
+        );
     }
 
     #[test]
     fn grounding_edge_cases() {
-        assert!(grounding_comparison(&[], 450.0).is_none());
+        assert!(grounding_comparison(&[], Ppm(450.0)).is_none());
     }
 }

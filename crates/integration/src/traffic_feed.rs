@@ -84,9 +84,10 @@ impl TrafficFeed {
 mod tests {
     use super::*;
     use ctt_core::traffic::RoadClass;
+    use ctt_core::units::Degrees;
 
     fn feed() -> TrafficFeed {
-        TrafficFeed::new(TrafficModel::new(7, RoadClass::Arterial, 10.4), 99)
+        TrafficFeed::new(TrafficModel::new(7, RoadClass::Arterial, Degrees(10.4)), 99)
     }
 
     #[test]
@@ -133,8 +134,14 @@ mod tests {
         let obs: Vec<JamObservation> = TimeRange::new(from, from + Span::days(7), Span::minutes(5))
             .filter_map(|t| f.poll(t))
             .collect();
-        let max = obs.iter().max_by(|a, b| a.jam_factor.total_cmp(&b.jam_factor)).unwrap();
-        let min = obs.iter().min_by(|a, b| a.jam_factor.total_cmp(&b.jam_factor)).unwrap();
+        let max = obs
+            .iter()
+            .max_by(|a, b| a.jam_factor.total_cmp(&b.jam_factor))
+            .unwrap();
+        let min = obs
+            .iter()
+            .min_by(|a, b| a.jam_factor.total_cmp(&b.jam_factor))
+            .unwrap();
         assert!(max.speed_ratio < min.speed_ratio);
     }
 

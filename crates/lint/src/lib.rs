@@ -1,0 +1,1067 @@
+//! `ctt-lint`: workspace-local static analysis for the CTT pipeline.
+//!
+//! Four rules, tuned to this codebase's invariants rather than general Rust
+//! style (that is clippy's job):
+//!
+//! * **R1 panic-freedom** — on hot-path modules (broker, tsdb storage/query,
+//!   LoRaWAN server, dataport, pipeline) no `.unwrap()`, `.expect()`,
+//!   `panic!` or panicking indexing (`x[i]` — use `.get()`). Test code is
+//!   exempt.
+//! * **R2 unit-safety** — public signatures must not take raw `f64`
+//!   parameters whose names claim a physical unit (`co2`, `ppm`, `ppb`,
+//!   `celsius`, `pa`, `rssi`, `dbm`, `lat`, `lon`); use the
+//!   `ctt-core::units` newtypes instead.
+//! * **R3 concurrency hygiene** — no `std::sync::Mutex` (`parking_lot` is
+//!   the workspace standard), and no blocking channel `send`/`recv` while a
+//!   lock guard is held on hot-path modules.
+//! * **R4 crate hygiene** — every `src/lib.rs` carries
+//!   `#![forbid(unsafe_code)]` and `#![deny(missing_debug_implementations)]`.
+//!
+//! The scanner is a handwritten token lexer (no `syn`): comments, strings,
+//! char literals and lifetimes are stripped, then the rules pattern-match on
+//! the token stream with brace-depth tracking for scopes and `#[cfg(test)]`
+//! regions.
+//!
+//! Escape hatch: a `lint:allow` line comment — key in parens, then a
+//! justification — on the
+//! same or the preceding line suppresses one rule (`panic`, `units`, `lock`,
+//! `mutex`, `hygiene`). The justification text is mandatory — an allow
+//! without one is itself a violation.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which lint rule a [`Finding`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// R1: no panicking constructs on the hot path.
+    PanicFreedom,
+    /// R2: unit-bearing public parameters must use newtypes.
+    UnitSafety,
+    /// R3: no `std::sync::Mutex`; no lock held across blocking channel ops.
+    ConcurrencyHygiene,
+    /// R4: required crate-level attributes in every `lib.rs`.
+    CrateHygiene,
+}
+
+impl Rule {
+    /// Stable rule identifier used in reports and fixture tests.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::PanicFreedom => "R1",
+            Rule::UnitSafety => "R2",
+            Rule::ConcurrencyHygiene => "R3",
+            Rule::CrateHygiene => "R4",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} {}",
+            self.rule.id(),
+            self.path,
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// Where the hot-path (R1 / R3 lock-discipline) rules apply.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Workspace-relative path prefixes considered hot-path.
+    pub hot_paths: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            hot_paths: vec![
+                "crates/broker/src/".into(),
+                "crates/tsdb/src/gorilla.rs".into(),
+                "crates/tsdb/src/store.rs".into(),
+                "crates/tsdb/src/query.rs".into(),
+                "crates/lorawan/src/server.rs".into(),
+                "crates/dataport/src/".into(),
+                "src/pipeline.rs".into(),
+            ],
+        }
+    }
+}
+
+impl LintConfig {
+    /// Whether `relpath` falls under a hot-path prefix.
+    pub fn is_hot(&self, relpath: &str) -> bool {
+        self.hot_paths
+            .iter()
+            .any(|p| relpath.starts_with(p.as_str()))
+    }
+}
+
+/// Whether a workspace-relative path is test/bench scaffolding (exempt from
+/// the source-code rules).
+pub fn is_test_path(relpath: &str) -> bool {
+    relpath
+        .split('/')
+        .any(|c| c == "tests" || c == "benches" || c == "examples")
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TokKind {
+    Ident,
+    Punct(char),
+    Literal,
+}
+
+#[derive(Debug, Clone)]
+struct Tok {
+    kind: TokKind,
+    text: String,
+    line: usize,
+}
+
+/// Lex `src` into identifier / punctuation / literal tokens, discarding
+/// whitespace, comments, and the contents of string-ish literals.
+fn scan(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    let n = chars.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment (incl. doc comments) — skip to end of line.
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, possibly nested.
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                while i < n {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            'r' | 'b' if raw_string_hashes(&chars, i).is_some() => {
+                // Raw / byte / raw-byte string: r"..", br#".."#, etc.
+                let (prefix_len, hashes) = raw_string_hashes(&chars, i).unwrap_or((0, 0));
+                let start_line = line;
+                i += prefix_len + hashes + 1; // past prefix, hashes, opening quote
+                let closer: String = std::iter::once('"')
+                    .chain(std::iter::repeat_n('#', hashes))
+                    .collect();
+                let closer: Vec<char> = closer.chars().collect();
+                while i < n {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i..].starts_with(&closer[..]) {
+                        i += closer.len();
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Char literal or lifetime.
+                if chars.get(i + 1) == Some(&'\\') {
+                    // Escaped char literal: skip to the closing quote.
+                    i += 2;
+                    while i < n && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                } else if chars.get(i + 2) == Some(&'\'') {
+                    // Plain char literal 'x'.
+                    i += 3;
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                } else {
+                    // Lifetime: consume the tick and its identifier.
+                    i += 1;
+                    while i < n && is_ident_cont(chars[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n
+                    && (is_ident_cont(chars[i])
+                        || (chars[i] == '.'
+                            && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                            && chars.get(i.wrapping_sub(1)) != Some(&'.')))
+                {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < n && is_ident_cont(chars[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c => {
+                toks.push(Tok {
+                    kind: TokKind::Punct(c),
+                    text: String::new(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// If position `i` starts a raw/byte string literal, return
+/// `(prefix_len, hash_count)`; `None` otherwise.
+fn raw_string_hashes(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    // Optional b, then optional r (b"..", r"..", br"..").
+    let mut prefix = 0usize;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+        prefix += 1;
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+        prefix += 1;
+    }
+    if prefix == 0 {
+        return None;
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((prefix, hashes))
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// lint:allow escape hatch
+// ---------------------------------------------------------------------------
+
+fn allow_key_rule(key: &str) -> Option<Rule> {
+    match key {
+        "panic" => Some(Rule::PanicFreedom),
+        "units" => Some(Rule::UnitSafety),
+        "lock" | "mutex" => Some(Rule::ConcurrencyHygiene),
+        "hygiene" => Some(Rule::CrateHygiene),
+        _ => None,
+    }
+}
+
+/// Parse `lint:allow` escape-hatch comments. Returns the map of
+/// line → allowed rules plus findings for malformed allows.
+fn parse_allows(relpath: &str, src: &str) -> (HashMap<usize, Vec<Rule>>, Vec<Finding>) {
+    let mut allows: HashMap<usize, Vec<Rule>> = HashMap::new();
+    let mut findings = Vec::new();
+    for (idx, raw_line) in src.lines().enumerate() {
+        let line = idx + 1;
+        let Some(pos) = raw_line.find("lint:allow(") else {
+            continue;
+        };
+        // Must live in a line comment, not in code or a string.
+        let Some(comment) = raw_line.find("//") else {
+            continue;
+        };
+        if comment > pos {
+            continue;
+        }
+        let rest = &raw_line[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let key = rest[..close].trim();
+        let Some(rule) = allow_key_rule(key) else {
+            findings.push(Finding {
+                rule: Rule::PanicFreedom,
+                path: relpath.to_string(),
+                line,
+                message: format!("unknown lint:allow key `{key}`"),
+            });
+            continue;
+        };
+        // Justification: non-trivial text after the closing paren
+        // (separators `:` / `--` stripped).
+        let justification = rest[close + 1..].trim_start_matches([':', '-', ' ']).trim();
+        if justification.len() < 8 {
+            findings.push(Finding {
+                rule,
+                path: relpath.to_string(),
+                line,
+                message: format!(
+                    "lint:allow({key}) requires a written justification after the key"
+                ),
+            });
+            continue;
+        }
+        allows.entry(line).or_default().push(rule);
+    }
+    (allows, findings)
+}
+
+// ---------------------------------------------------------------------------
+// cfg(test) region detection
+// ---------------------------------------------------------------------------
+
+/// Token-index ranges belonging to `#[cfg(test)]` or `#[test]` items.
+fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_test_attr(toks, i) {
+            // Find the body: the first `{` before any top-level `;`.
+            let mut j = i;
+            // Skip past the attribute's closing `]`.
+            while j < toks.len() && toks[j].kind != TokKind::Punct(']') {
+                j += 1;
+            }
+            j += 1;
+            let mut body = None;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokKind::Punct('{') => {
+                        body = Some(j);
+                        break;
+                    }
+                    TokKind::Punct(';') => break,
+                    _ => j += 1,
+                }
+            }
+            if let Some(open) = body {
+                let close = matching_brace(toks, open);
+                regions.push((i, close));
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn is_test_attr(toks: &[Tok], i: usize) -> bool {
+    let ident = |k: usize, s: &str| {
+        toks.get(k)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
+    };
+    let punct = |k: usize, c: char| toks.get(k).is_some_and(|t| t.kind == TokKind::Punct(c));
+    // #[test]
+    if punct(i, '#') && punct(i + 1, '[') && ident(i + 2, "test") && punct(i + 3, ']') {
+        return true;
+    }
+    // #[cfg(test)]
+    punct(i, '#')
+        && punct(i + 1, '[')
+        && ident(i + 2, "cfg")
+        && punct(i + 3, '(')
+        && ident(i + 4, "test")
+        && punct(i + 5, ')')
+        && punct(i + 6, ']')
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
+    regions.iter().any(|&(s, e)| idx >= s && idx <= e)
+}
+
+// ---------------------------------------------------------------------------
+// R1: panic-freedom
+// ---------------------------------------------------------------------------
+
+/// Rust keywords that may legally precede `[` without it being an index.
+fn is_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "mut"
+            | "dyn"
+            | "impl"
+            | "ref"
+            | "as"
+            | "in"
+            | "return"
+            | "break"
+            | "else"
+            | "match"
+            | "if"
+            | "move"
+            | "const"
+            | "static"
+            | "where"
+            | "yield"
+            | "box"
+    )
+}
+
+fn check_panic_freedom(relpath: &str, toks: &[Tok], skip: &[(usize, usize)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let finding = |line: usize, message: String| Finding {
+        rule: Rule::PanicFreedom,
+        path: relpath.to_string(),
+        line,
+        message,
+    };
+    for i in 0..toks.len() {
+        if in_regions(skip, i) {
+            continue;
+        }
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident => {
+                let prev_dot = i > 0 && toks[i - 1].kind == TokKind::Punct('.');
+                let next_paren = toks
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == TokKind::Punct('('));
+                let next_bang = toks
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == TokKind::Punct('!'));
+                if prev_dot && next_paren && (t.text == "unwrap" || t.text == "expect") {
+                    out.push(finding(
+                        t.line,
+                        format!(".{}() on hot path — return a typed error instead", t.text),
+                    ));
+                } else if next_bang && matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
+                {
+                    out.push(finding(
+                        t.line,
+                        format!("{}! on hot path — return a typed error instead", t.text),
+                    ));
+                }
+            }
+            TokKind::Punct('[') if i > 0 => {
+                let indexable = match toks[i - 1].kind {
+                    // A keyword before `[` means a slice/array *type* or an
+                    // expression position (`&mut [T]`, `return [..]`), never
+                    // an indexing operation.
+                    TokKind::Ident => !is_keyword(&toks[i - 1].text),
+                    TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('?') => true,
+                    _ => false,
+                };
+                // `x[..]` after an ident could still be a macro pattern arm,
+                // but macros use `!` before the bracket, which is excluded.
+                if indexable {
+                    out.push(finding(
+                        t.line,
+                        "panicking index on hot path — use .get()/.get_mut()".to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// R2: unit-safety
+// ---------------------------------------------------------------------------
+
+const UNIT_KEYWORDS: &[&str] = &[
+    "co2", "ppm", "ppb", "celsius", "pa", "rssi", "dbm", "lat", "lon",
+];
+
+fn check_unit_safety(relpath: &str, toks: &[Tok], skip: &[(usize, usize)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if in_regions(skip, i) || !(toks[i].kind == TokKind::Ident && toks[i].text == "pub") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // `pub(crate)` / `pub(super)` etc. are not public API — skip them.
+        if toks.get(j).is_some_and(|t| t.kind == TokKind::Punct('(')) {
+            i = skip_delimited(toks, j, '(', ')') + 1;
+            continue;
+        }
+        if !toks
+            .get(j)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == "fn")
+        {
+            i += 1;
+            continue;
+        }
+        j += 2; // past `fn name`
+                // Skip generic parameters, minding `->` inside bounds.
+        if toks.get(j).is_some_and(|t| t.kind == TokKind::Punct('<')) {
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokKind::Punct('<') => depth += 1,
+                    TokKind::Punct('>')
+                        // Ignore the `>` of a `->` arrow.
+                        if !(j > 0 && toks[j - 1].kind == TokKind::Punct('-')) => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if !toks.get(j).is_some_and(|t| t.kind == TokKind::Punct('(')) {
+            i = j;
+            continue;
+        }
+        let close = skip_delimited(toks, j, '(', ')');
+        for finding in check_param_list(relpath, &toks[j + 1..close]) {
+            out.push(finding);
+        }
+        i = close + 1;
+    }
+    out
+}
+
+/// Index of the closing delimiter matching the opener at `open`.
+fn skip_delimited(toks: &[Tok], open: usize, o: char, c: char) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct(o) {
+            depth += 1;
+        } else if t.kind == TokKind::Punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+fn check_param_list(relpath: &str, params: &[Tok]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // Split on top-level commas (any bracket nests one level of depth).
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut slices = Vec::new();
+    for (k, t) in params.iter().enumerate() {
+        match t.kind {
+            TokKind::Punct('(')
+            | TokKind::Punct('[')
+            | TokKind::Punct('{')
+            | TokKind::Punct('<') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth -= 1,
+            TokKind::Punct('>') if !(k > 0 && params[k - 1].kind == TokKind::Punct('-')) => {
+                depth -= 1;
+            }
+            TokKind::Punct(',') if depth == 0 => {
+                slices.push(&params[start..k]);
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < params.len() {
+        slices.push(&params[start..]);
+    }
+
+    for param in slices {
+        // Receiver params (`self`, `&self`, `&mut self`) have no `:` before
+        // `self`; skip anything containing a bare `self` ident.
+        if param
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "self")
+        {
+            continue;
+        }
+        let Some(colon) = param.iter().position(|t| t.kind == TokKind::Punct(':')) else {
+            continue;
+        };
+        let (pat, ty) = param.split_at(colon);
+        let ty = &ty[1..];
+        // Only simple `name: f64` / `mut name: f64` bindings.
+        let name = match pat {
+            [t] if t.kind == TokKind::Ident => &t.text,
+            [m, t] if m.text == "mut" && t.kind == TokKind::Ident => &t.text,
+            _ => continue,
+        };
+        let is_raw_f64 = matches!(ty, [t] if t.kind == TokKind::Ident && t.text == "f64");
+        if !is_raw_f64 {
+            continue;
+        }
+        let claims_unit = name
+            .split('_')
+            .any(|component| UNIT_KEYWORDS.contains(&component));
+        if claims_unit {
+            out.push(Finding {
+                rule: Rule::UnitSafety,
+                path: relpath.to_string(),
+                line: param[0].line,
+                message: format!(
+                    "public param `{name}: f64` claims a unit — use a ctt-core::units newtype"
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// R3: concurrency hygiene
+// ---------------------------------------------------------------------------
+
+fn check_std_mutex(relpath: &str, toks: &[Tok]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let ident = |k: usize, s: &str| {
+        toks.get(k)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
+    };
+    let punct = |k: usize, c: char| toks.get(k).is_some_and(|t| t.kind == TokKind::Punct(c));
+    let mut i = 0usize;
+    while i < toks.len() {
+        // `std :: sync ::` ...
+        if ident(i, "std")
+            && punct(i + 1, ':')
+            && punct(i + 2, ':')
+            && ident(i + 3, "sync")
+            && punct(i + 4, ':')
+            && punct(i + 5, ':')
+        {
+            let after = i + 6;
+            if ident(after, "Mutex") {
+                out.push(Finding {
+                    rule: Rule::ConcurrencyHygiene,
+                    path: relpath.to_string(),
+                    line: toks[after].line,
+                    message: "std::sync::Mutex — use parking_lot::Mutex (workspace standard)"
+                        .to_string(),
+                });
+                i = after + 1;
+                continue;
+            }
+            if punct(after, '{') {
+                let close = skip_delimited(toks, after, '{', '}');
+                for t in &toks[after..close] {
+                    if t.kind == TokKind::Ident && t.text == "Mutex" {
+                        out.push(Finding {
+                            rule: Rule::ConcurrencyHygiene,
+                            path: relpath.to_string(),
+                            line: t.line,
+                            message:
+                                "std::sync::Mutex — use parking_lot::Mutex (workspace standard)"
+                                    .to_string(),
+                        });
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[derive(Debug)]
+struct HeldGuard {
+    depth: usize,
+    name: Option<String>,
+    /// Not `let`-bound: a temporary that dies at the end of the statement.
+    temp: bool,
+    line: usize,
+}
+
+fn check_lock_across_channel(relpath: &str, toks: &[Tok], skip: &[(usize, usize)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut guards: Vec<HeldGuard> = Vec::new();
+    let mut depth = 0usize;
+    // Per-statement context for deciding whether a `.lock()` is let-bound.
+    let mut stmt_let_name: Option<String> = None;
+    let mut stmt_has_let = false;
+
+    for i in 0..toks.len() {
+        if in_regions(skip, i) {
+            continue;
+        }
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                stmt_has_let = false;
+                stmt_let_name = None;
+            }
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+                stmt_has_let = false;
+                stmt_let_name = None;
+            }
+            TokKind::Punct(';') => {
+                guards.retain(|g| !g.temp);
+                stmt_has_let = false;
+                stmt_let_name = None;
+            }
+            TokKind::Ident => {
+                let prev_dot = i > 0 && toks[i - 1].kind == TokKind::Punct('.');
+                let next_paren = toks
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == TokKind::Punct('('));
+                match t.text.as_str() {
+                    "let" => {
+                        stmt_has_let = true;
+                        // Binding name: the next ident, skipping `mut`.
+                        let mut k = i + 1;
+                        if toks.get(k).is_some_and(|t| t.text == "mut") {
+                            k += 1;
+                        }
+                        stmt_let_name = toks
+                            .get(k)
+                            .filter(|t| t.kind == TokKind::Ident)
+                            .map(|t| t.text.clone());
+                    }
+                    "lock" if prev_dot && next_paren => {
+                        // `x.lock().len()` keeps the guard only for the
+                        // statement, even when let-bound — the binding holds
+                        // the chained result, not the guard.
+                        let close = skip_delimited(toks, i + 1, '(', ')');
+                        let chained = toks
+                            .get(close + 1)
+                            .is_some_and(|t| t.kind == TokKind::Punct('.'));
+                        let bound = stmt_has_let && !chained;
+                        guards.push(HeldGuard {
+                            depth,
+                            name: if bound { stmt_let_name.clone() } else { None },
+                            temp: !bound,
+                            line: t.line,
+                        });
+                    }
+                    "drop" if !prev_dot && next_paren => {
+                        // `drop(guard_name)` releases that guard early.
+                        if let Some(dropped) = toks
+                            .get(i + 2)
+                            .filter(|t| t.kind == TokKind::Ident)
+                            .map(|t| t.text.clone())
+                        {
+                            if toks
+                                .get(i + 3)
+                                .is_some_and(|t| t.kind == TokKind::Punct(')'))
+                            {
+                                guards.retain(|g| g.name.as_deref() != Some(&dropped));
+                            }
+                        }
+                    }
+                    "send" | "recv" | "recv_timeout" if prev_dot && next_paren => {
+                        if let Some(g) = guards.last() {
+                            out.push(Finding {
+                                rule: Rule::ConcurrencyHygiene,
+                                path: relpath.to_string(),
+                                line: t.line,
+                                message: format!(
+                                    "blocking .{}() while a lock guard is held (taken line {}) — \
+                                     release the lock or use try_* variants",
+                                    t.text, g.line
+                                ),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// R4: crate hygiene
+// ---------------------------------------------------------------------------
+
+fn check_crate_hygiene(relpath: &str, src: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let normalized: String = src.chars().filter(|c| !c.is_whitespace()).collect();
+    for attr in [
+        "#![forbid(unsafe_code)]",
+        "#![deny(missing_debug_implementations)]",
+    ] {
+        let needle: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+        if !normalized.contains(&needle) {
+            out.push(Finding {
+                rule: Rule::CrateHygiene,
+                path: relpath.to_string(),
+                line: 1,
+                message: format!("lib.rs missing crate attribute {attr}"),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+/// Lint one file. `relpath` must be workspace-relative with `/` separators —
+/// it selects which rules apply (hot-path, lib.rs, test scaffolding).
+pub fn lint_file(relpath: &str, src: &str, config: &LintConfig) -> Vec<Finding> {
+    let (allows, mut findings) = parse_allows(relpath, src);
+    let is_test_file = is_test_path(relpath);
+
+    if relpath.ends_with("src/lib.rs") && !is_test_file {
+        findings.extend(check_crate_hygiene(relpath, src));
+    }
+
+    if !is_test_file {
+        let toks = scan(src);
+        let regions = test_regions(&toks);
+        if config.is_hot(relpath) {
+            findings.extend(check_panic_freedom(relpath, &toks, &regions));
+            findings.extend(check_lock_across_channel(relpath, &toks, &regions));
+        }
+        findings.extend(check_unit_safety(relpath, &toks, &regions));
+        findings.extend(check_std_mutex(relpath, &toks));
+    }
+
+    // Apply the escape hatch: an allow on the finding's line or the line
+    // directly above suppresses it.
+    findings.retain(|f| {
+        let allowed = |line: usize| {
+            allows
+                .get(&line)
+                .is_some_and(|rules| rules.contains(&f.rule))
+        };
+        let is_allow_misuse = f.message.contains("lint:allow");
+        is_allow_misuse || !(allowed(f.line) || (f.line > 1 && allowed(f.line - 1)))
+    });
+    findings.sort_by(|a, b| (a.line, a.rule.id()).cmp(&(b.line, b.rule.id())));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_config() -> LintConfig {
+        LintConfig {
+            hot_paths: vec![String::new()], // everything is hot
+        }
+    }
+
+    #[test]
+    fn scanner_strips_comments_and_strings() {
+        let toks = scan("let x = \"a.unwrap()\"; // .unwrap()\n/* panic! */ y");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "y"]);
+    }
+
+    #[test]
+    fn r1_flags_unwrap_and_indexing() {
+        let src = "fn f(v: Vec<u8>) -> u8 { let a = v.first().unwrap(); v[0] + a }\n";
+        let f = lint_file("crates/x/src/a.rs", src, &hot_config());
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.rule == Rule::PanicFreedom));
+        assert!(f.iter().all(|x| x.line == 1));
+    }
+
+    #[test]
+    fn r1_ignores_test_mods_and_macro_brackets() {
+        let src = "fn ok() { let v = vec![1, 2]; }\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        let f = lint_file("crates/x/src/a.rs", src, &hot_config());
+        assert!(f.is_empty(), "unexpected: {f:?}");
+    }
+
+    #[test]
+    fn r1_allow_with_justification() {
+        let src = "fn f() {\n    // lint:allow(panic): startup path, config proven present\n    \
+                   let x = OPT.unwrap();\n}\n";
+        assert!(lint_file("crates/x/src/a.rs", src, &hot_config()).is_empty());
+        let bare = "fn f() {\n    // lint:allow(panic)\n    let x = OPT.unwrap();\n}\n";
+        let f = lint_file("crates/x/src/a.rs", bare, &hot_config());
+        assert_eq!(
+            f.len(),
+            2,
+            "missing justification keeps both findings: {f:?}"
+        );
+    }
+
+    #[test]
+    fn r2_flags_unit_named_f64() {
+        let src = "pub fn ingest(co2_ppm: f64, label: &str, pressure_hpa: f64) {}\n";
+        let f = lint_file("crates/x/src/a.rs", src, &LintConfig::default());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::UnitSafety);
+        assert!(f[0].message.contains("co2_ppm"));
+    }
+
+    #[test]
+    fn r2_ignores_private_and_newtyped() {
+        let src = "fn helper(lat: f64) {}\npub(crate) fn mid(lon: f64) {}\n\
+                   pub fn good(lat: Degrees, rssi: Dbm) {}\n";
+        assert!(lint_file("crates/x/src/a.rs", src, &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn r3_flags_std_mutex_and_lock_across_send() {
+        let src = "use std::sync::{Arc, Mutex};\n\
+                   fn f(tx: Sender<u8>) {\n    let g = STATE.lock();\n    tx.send(1);\n}\n";
+        let f = lint_file("crates/x/src/a.rs", src, &hot_config());
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::ConcurrencyHygiene));
+        assert_eq!((f[0].line, f[1].line), (1, 4));
+    }
+
+    #[test]
+    fn r3_released_guard_is_fine() {
+        let src = "fn f(tx: Sender<u8>) {\n    let g = STATE.lock();\n    drop(g);\n    \
+                   tx.send(1);\n}\nfn h(tx: Sender<u8>) {\n    { let g = STATE.lock(); }\n    \
+                   tx.send(2);\n}\nfn t(tx: Sender<u8>) {\n    let n = Q.lock().len();\n    \
+                   tx.send(3);\n}\n";
+        let f = lint_file("crates/x/src/a.rs", src, &hot_config());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn r4_requires_headers() {
+        let f = lint_file(
+            "crates/x/src/lib.rs",
+            "pub mod a;\n",
+            &LintConfig::default(),
+        );
+        assert_eq!(f.len(), 2);
+        assert!(f
+            .iter()
+            .all(|x| x.rule == Rule::CrateHygiene && x.line == 1));
+        let good = "#![forbid(unsafe_code)]\n#![deny(missing_debug_implementations)]\npub mod a;\n";
+        assert!(lint_file("crates/x/src/lib.rs", good, &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn test_paths_are_exempt() {
+        let src = "pub fn f(lat: f64) { X.unwrap(); }\n";
+        assert!(lint_file("crates/x/tests/t.rs", src, &hot_config()).is_empty());
+    }
+}

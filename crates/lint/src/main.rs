@@ -1,0 +1,88 @@
+//! `ctt-lint` binary: walk the workspace, lint every Rust source file, and
+//! exit non-zero if any rule is violated.
+//!
+//! Usage: `cargo run -p ctt-lint [-- <workspace-root>]` (default `.`).
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ctt_lint::{lint_file, Finding, LintConfig};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "node_modules"];
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let config = LintConfig::default();
+
+    let mut files = Vec::new();
+    collect_rust_files(&root, &mut files);
+    files.sort();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = relative_display(&root, path);
+        match std::fs::read_to_string(path) {
+            Ok(src) => {
+                scanned += 1;
+                findings.extend(lint_file(&rel, &src, &config));
+            }
+            Err(e) => eprintln!("ctt-lint: warning: cannot read {rel}: {e}"),
+        }
+    }
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("ctt-lint: clean ({scanned} files scanned)");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "ctt-lint: {} violation(s) across {} file(s) ({} files scanned)",
+            findings.len(),
+            {
+                let mut paths: Vec<&str> = findings.iter().map(|f| f.path.as_str()).collect();
+                paths.sort_unstable();
+                paths.dedup();
+                paths.len()
+            },
+            scanned
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rust_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn relative_display(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,35 @@
+//! R1 fixture: panicking constructs on the hot path.
+
+/// Unwraps the head.
+pub fn head(values: &[f64]) -> f64 {
+    *values.first().unwrap()
+}
+
+/// Expects the tail.
+pub fn tail(values: &[f64]) -> f64 {
+    *values.last().expect("non-empty")
+}
+
+/// Indexes without `.get()`.
+pub fn nth(values: &[f64], i: usize) -> f64 {
+    values[i]
+}
+
+/// Panics outright.
+pub fn boom() {
+    panic!("invariant violated")
+}
+
+/// Suppressed: the justification rides on the allow comment.
+pub fn first_fast(values: &[f64]) -> f64 {
+    // lint:allow(panic): caller guarantees non-empty in this fixture
+    values[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! R2 fixture: raw `f64` unit parameters in public signatures.
+
+/// Raw ppm — flagged.
+pub fn record_co2(co2_ppm: f64) -> f64 {
+    co2_ppm
+}
+
+/// Raw dBm — flagged; `snr_db` is not a claimed unit keyword.
+pub fn link_quality(rssi_dbm: f64, snr_db: f64) -> f64 {
+    rssi_dbm + snr_db
+}
+
+/// Crate-private: R2 covers `pub` signatures only.
+pub(crate) fn internal(lat: f64) -> f64 {
+    lat
+}
+
+/// Suppressed with a justified allow.
+// lint:allow(units): fixture exercises the escape hatch
+pub fn legacy_ppb(ppb: f64) -> f64 {
+    ppb
+}

@@ -1,0 +1,18 @@
+//! R3 fixture: std Mutex use and a lock held across a channel op.
+
+use crossbeam::channel::Sender;
+use std::sync::Mutex;
+
+/// Sends while still holding the queue lock — flagged.
+pub fn forward(q: &Mutex<Vec<u8>>, tx: &Sender<u8>) {
+    let guard = q.lock();
+    let _ = tx.send(0);
+    drop(guard);
+}
+
+/// Releasing the guard before the send is fine.
+pub fn forward_politely(q: &Mutex<Vec<u8>>, tx: &Sender<u8>) {
+    let guard = q.lock();
+    drop(guard);
+    let _ = tx.send(0);
+}

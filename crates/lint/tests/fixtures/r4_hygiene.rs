@@ -1,0 +1,7 @@
+//! R4 fixture: a lib.rs missing both mandatory crate attributes.
+
+#![warn(missing_docs)]
+
+/// Some item so the file is non-trivial.
+#[derive(Debug)]
+pub struct Placeholder;

@@ -1,0 +1,96 @@
+//! Fixture-driven tests for the four ctt-lint rules: each violating fixture
+//! must produce exactly the expected rule IDs at the expected lines, and the
+//! clean fixture must produce nothing.
+
+use ctt_lint::{lint_file, Finding, LintConfig};
+
+/// Everything under `crates/fixture/src/` counts as hot-path.
+fn fixture_config() -> LintConfig {
+    LintConfig {
+        hot_paths: vec!["crates/fixture/src/".to_string()],
+    }
+}
+
+/// `(rule id, line)` pairs, in reporting order.
+fn ids_and_lines(findings: &[Finding]) -> Vec<(&str, usize)> {
+    findings.iter().map(|f| (f.rule.id(), f.line)).collect()
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let src = include_str!("fixtures/clean.rs");
+    let findings = lint_file("crates/fixture/src/lib.rs", src, &fixture_config());
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn r1_panic_fixture_reports_each_construct() {
+    let src = include_str!("fixtures/r1_panic.rs");
+    let findings = lint_file("crates/fixture/src/hot.rs", src, &fixture_config());
+    assert_eq!(
+        ids_and_lines(&findings),
+        vec![("R1", 5), ("R1", 10), ("R1", 15), ("R1", 20)],
+        "findings: {findings:?}"
+    );
+    // The four messages name the specific construct.
+    assert!(findings[0].message.contains(".unwrap()"));
+    assert!(findings[1].message.contains(".expect()"));
+    assert!(findings[2].message.contains("index"));
+    assert!(findings[3].message.contains("panic!"));
+    // The justified allow at line 25 suppressed the indexing at line 26,
+    // and the `#[cfg(test)]` module produced nothing.
+    assert!(findings.iter().all(|f| f.line < 25));
+}
+
+#[test]
+fn r2_units_fixture_flags_public_raw_f64_params() {
+    let src = include_str!("fixtures/r2_units.rs");
+    // R2 applies workspace-wide, not only to hot paths.
+    let findings = lint_file("crates/fixture/src/units.rs", src, &LintConfig::default());
+    assert_eq!(
+        ids_and_lines(&findings),
+        vec![("R2", 4), ("R2", 9)],
+        "findings: {findings:?}"
+    );
+    assert!(findings[0].message.contains("co2_ppm"));
+    assert!(findings[1].message.contains("rssi_dbm"));
+}
+
+#[test]
+fn r3_concurrency_fixture_flags_mutex_and_held_send() {
+    let src = include_str!("fixtures/r3_concurrency.rs");
+    let findings = lint_file("crates/fixture/src/hot.rs", src, &fixture_config());
+    assert_eq!(
+        ids_and_lines(&findings),
+        vec![("R3", 4), ("R3", 9)],
+        "findings: {findings:?}"
+    );
+    assert!(findings[0].message.contains("std::sync::Mutex"));
+    assert!(findings[1].message.contains("send"));
+}
+
+#[test]
+fn r4_hygiene_fixture_flags_missing_crate_attributes() {
+    let src = include_str!("fixtures/r4_hygiene.rs");
+    let findings = lint_file("crates/fixture/src/lib.rs", src, &LintConfig::default());
+    assert_eq!(
+        ids_and_lines(&findings),
+        vec![("R4", 1), ("R4", 1)],
+        "findings: {findings:?}"
+    );
+    assert!(findings[0].message.contains("forbid(unsafe_code)"));
+    assert!(findings[1]
+        .message
+        .contains("deny(missing_debug_implementations)"));
+}
+
+#[test]
+fn findings_render_as_rule_path_line() {
+    let src = include_str!("fixtures/r1_panic.rs");
+    let findings = lint_file("crates/fixture/src/hot.rs", src, &fixture_config());
+    let rendered = findings[0].to_string();
+    assert!(
+        rendered.starts_with("R1 crates/fixture/src/hot.rs:5 "),
+        "rendered: {rendered}"
+    );
+}

@@ -7,6 +7,7 @@
 //! extending the solar nodes' battery life) and TX power reductions.
 
 use crate::region::{DataRate, SpreadingFactor};
+use ctt_core::units::Dbm;
 use std::collections::VecDeque;
 
 /// Number of uplinks considered per ADR decision.
@@ -56,7 +57,7 @@ impl AdrEngine {
 
     /// Compute a command given the device's current settings, or `None` if
     /// history is insufficient or no change is needed.
-    pub fn recommend(&self, current_dr: DataRate, current_power_dbm: f64) -> Option<AdrCommand> {
+    pub fn recommend(&self, current_dr: DataRate, current_power_dbm: Dbm) -> Option<AdrCommand> {
         if self.snr_history.len() < ADR_HISTORY_LEN {
             return None;
         }
@@ -69,7 +70,7 @@ impl AdrEngine {
         let margin = max_snr - required - INSTALL_MARGIN_DB;
         let mut nstep = (margin / STEP_DB).floor() as i32;
         let mut dr = current_dr;
-        let mut power = current_power_dbm;
+        let mut power = current_power_dbm.0;
         if nstep > 0 {
             // Spend steps first on data rate, then on power.
             while nstep > 0 && dr < DataRate::DR5 {
@@ -89,7 +90,7 @@ impl AdrEngine {
                 nstep += 1;
             }
         }
-        if dr == current_dr && (power - current_power_dbm).abs() < 1e-9 {
+        if dr == current_dr && (power - current_power_dbm.0).abs() < 1e-9 {
             None
         } else {
             Some(AdrCommand {
@@ -147,7 +148,7 @@ mod tests {
         for _ in 0..(ADR_HISTORY_LEN - 1) {
             e.record_snr(10.0);
         }
-        assert_eq!(e.recommend(DataRate(0), 14.0), None);
+        assert_eq!(e.recommend(DataRate(0), Dbm(14.0)), None);
     }
 
     #[test]
@@ -157,7 +158,7 @@ mod tests {
             e.record_snr(5.0);
         }
         // At DR0 (SF12): required −20, margin = 5 −(−20) −10 = 15 → 5 steps.
-        let cmd = e.recommend(DataRate(0), 14.0).unwrap();
+        let cmd = e.recommend(DataRate(0), Dbm(14.0)).unwrap();
         assert_eq!(cmd.data_rate, DataRate(5));
         assert_eq!(cmd.tx_power_dbm, 14.0);
     }
@@ -169,7 +170,7 @@ mod tests {
             e.record_snr(14.0);
         }
         // margin = 14 +20 −10 = 24 → 8 steps: 5 to DR5, 3 into power.
-        let cmd = e.recommend(DataRate(0), 14.0).unwrap();
+        let cmd = e.recommend(DataRate(0), Dbm(14.0)).unwrap();
         assert_eq!(cmd.data_rate, DataRate(5));
         assert!(cmd.tx_power_dbm < 14.0);
         assert!(cmd.tx_power_dbm >= MIN_TX_POWER_DBM);
@@ -182,7 +183,7 @@ mod tests {
             e.record_snr(-18.0);
         }
         // At DR5 (SF7, required −7.5): margin = −18 +7.5 −10 = −20.5.
-        let cmd = e.recommend(DataRate(5), 8.0).unwrap();
+        let cmd = e.recommend(DataRate(5), Dbm(8.0)).unwrap();
         assert_eq!(cmd.data_rate, DataRate(5));
         assert_eq!(cmd.tx_power_dbm, MAX_TX_POWER_DBM);
     }
@@ -194,7 +195,7 @@ mod tests {
             // At DR5 with required −7.5: margin = 2.6 → 0 steps.
             e.record_snr(0.1);
         }
-        assert_eq!(e.recommend(DataRate(5), 14.0), None);
+        assert_eq!(e.recommend(DataRate(5), Dbm(14.0)), None);
     }
 
     #[test]
@@ -204,7 +205,7 @@ mod tests {
             e.record_snr(if i == 3 { 8.0 } else { -15.0 });
         }
         // Only the max matters in the reference algorithm.
-        let cmd = e.recommend(DataRate(0), 14.0).unwrap();
+        let cmd = e.recommend(DataRate(0), Dbm(14.0)).unwrap();
         assert!(cmd.data_rate > DataRate(0));
     }
 
@@ -219,7 +220,7 @@ mod tests {
             e.record_snr(-25.0);
         }
         assert_eq!(e.history_len(), ADR_HISTORY_LEN);
-        let cmd = e.recommend(DataRate(3), 8.0).unwrap();
+        let cmd = e.recommend(DataRate(3), Dbm(8.0)).unwrap();
         // All history is now weak: power must go up, DR untouched.
         assert_eq!(cmd.data_rate, DataRate(3));
         assert!(cmd.tx_power_dbm > 8.0);
@@ -233,7 +234,10 @@ mod tests {
         assert_eq!(b.on_uplink(false, sf), sf);
         assert_eq!(b.on_uplink(false, sf), SpreadingFactor::Sf8);
         // Counter reset after backoff.
-        assert_eq!(b.on_uplink(false, SpreadingFactor::Sf8), SpreadingFactor::Sf8);
+        assert_eq!(
+            b.on_uplink(false, SpreadingFactor::Sf8),
+            SpreadingFactor::Sf8
+        );
     }
 
     #[test]

@@ -153,7 +153,10 @@ mod tests {
 
     #[test]
     fn rejects_short_frames() {
-        assert_eq!(UplinkFrame::decode(&[0x40; 5]), Err(FrameError::TooShort(5)));
+        assert_eq!(
+            UplinkFrame::decode(&[0x40; 5]),
+            Err(FrameError::TooShort(5))
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! effective loss.
 
 use ctt_core::geo::LatLon;
+use ctt_core::units::Dbm;
 
 /// Propagation environment parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,7 +84,8 @@ impl PathLossModel {
     ) -> f64 {
         let d = node.distance_m(gateway);
         let height_gain = 6.0 * (gateway_antenna_m.max(1.0) / 15.0).log2().clamp(0.0, 1.5);
-        self.mean_path_loss_db(d) + self.link_shadowing_db(node, gateway)
+        self.mean_path_loss_db(d)
+            + self.link_shadowing_db(node, gateway)
             + self.fading_db(node, gateway, nonce)
             - height_gain
     }
@@ -125,14 +127,14 @@ pub const NOISE_FLOOR_DBM: f64 = -117.0;
 /// Compute the link budget for one transmission.
 pub fn link_budget(
     model: &PathLossModel,
-    tx_power_dbm: f64,
+    tx_power_dbm: Dbm,
     node: LatLon,
     gateway: LatLon,
     gateway_antenna_m: f64,
     nonce: u64,
 ) -> LinkBudget {
     let loss = model.transmission_loss_db(node, gateway, gateway_antenna_m, nonce);
-    let rssi = tx_power_dbm - loss;
+    let rssi = tx_power_dbm.0 - loss;
     LinkBudget {
         rssi_dbm: rssi,
         snr_db: rssi - NOISE_FLOOR_DBM,
@@ -170,7 +172,10 @@ mod tests {
         let node = GW.offset(90.0, 800.0);
         assert_eq!(m.link_shadowing_db(node, GW), m.link_shadowing_db(node, GW));
         let other = GW.offset(180.0, 800.0);
-        assert_ne!(m.link_shadowing_db(node, GW), m.link_shadowing_db(other, GW));
+        assert_ne!(
+            m.link_shadowing_db(node, GW),
+            m.link_shadowing_db(other, GW)
+        );
     }
 
     #[test]
@@ -193,9 +198,8 @@ mod tests {
             })
             .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let sd = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64)
-            .sqrt();
+        let sd =
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64).sqrt();
         assert!(mean.abs() < 0.8, "shadowing mean {mean}");
         assert!((sd - 6.0).abs() < 1.0, "shadowing sd {sd}");
     }
@@ -212,8 +216,8 @@ mod tests {
     #[test]
     fn link_budget_close_node_strong_far_node_weak() {
         let m = PathLossModel::free_space(1);
-        let close = link_budget(&m, 14.0, GW.offset(0.0, 100.0), GW, 30.0, 1);
-        let far = link_budget(&m, 14.0, GW.offset(0.0, 8000.0), GW, 30.0, 1);
+        let close = link_budget(&m, Dbm(14.0), GW.offset(0.0, 100.0), GW, 30.0, 1);
+        let far = link_budget(&m, Dbm(14.0), GW.offset(0.0, 8000.0), GW, 30.0, 1);
         assert!(close.rssi_dbm > far.rssi_dbm + 30.0);
         assert!(close.snr_db > 0.0);
         // SNR consistent with RSSI and noise floor.
@@ -226,7 +230,7 @@ mod tests {
         // sensitivity (this is exactly the regime LoRa is designed for).
         let m = PathLossModel::urban(11);
         let node = GW.offset(120.0, 1500.0);
-        let lb = link_budget(&m, 14.0, node, GW, 40.0, 1);
+        let lb = link_budget(&m, Dbm(14.0), node, GW, 40.0, 1);
         assert!(
             lb.rssi_dbm > -140.0 && lb.rssi_dbm < -70.0,
             "rssi {}",

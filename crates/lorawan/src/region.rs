@@ -123,7 +123,7 @@ impl DataRate {
     /// Maximum application payload (bytes) at this DR (EU868, repeater-safe).
     pub fn max_payload(self) -> usize {
         match self.0 {
-            0 | 1 | 2 => 51,
+            0..=2 => 51,
             3 => 115,
             _ => 222,
         }
@@ -157,9 +157,18 @@ impl Region {
     pub fn eu868() -> Region {
         Region {
             channels: vec![
-                Channel { frequency_hz: 868_100_000, index: 0 },
-                Channel { frequency_hz: 868_300_000, index: 1 },
-                Channel { frequency_hz: 868_500_000, index: 2 },
+                Channel {
+                    frequency_hz: 868_100_000,
+                    index: 0,
+                },
+                Channel {
+                    frequency_hz: 868_300_000,
+                    index: 1,
+                },
+                Channel {
+                    frequency_hz: 868_500_000,
+                    index: 2,
+                },
             ],
             max_tx_power_dbm: 14.0,
             duty_cycle: 0.01,

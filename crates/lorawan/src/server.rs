@@ -9,6 +9,7 @@ use crate::region::DataRate;
 use crate::sim::DeliveredUplink;
 use ctt_core::ids::{DevEui, GatewayId};
 use ctt_core::time::Timestamp;
+use ctt_core::units::Dbm;
 use std::collections::HashMap;
 
 /// Per-device state on the network server.
@@ -114,7 +115,7 @@ impl NetworkServer {
         st.received_frames += 1;
         let best = delivery.best();
         st.adr.record_snr(best.snr_db);
-        let adr_cmd = st.adr.recommend(st.data_rate, st.tx_power_dbm);
+        let adr_cmd = st.adr.recommend(st.data_rate, Dbm(st.tx_power_dbm));
         if let Some(cmd) = adr_cmd {
             st.data_rate = cmd.data_rate;
             st.tx_power_dbm = cmd.tx_power_dbm;

@@ -19,6 +19,7 @@ use crate::region::{Region, SpreadingFactor};
 use ctt_core::geo::LatLon;
 use ctt_core::ids::{DevEui, GatewayId};
 use ctt_core::time::Timestamp;
+use ctt_core::units::Dbm;
 use std::collections::HashMap;
 
 /// A gateway in the simulation.
@@ -323,7 +324,7 @@ impl RadioSimulator {
     fn budget(&self, tx: &InFlight, gw: &GatewayConfig) -> crate::propagation::LinkBudget {
         link_budget(
             &self.config.path_loss,
-            tx.req.tx_power_dbm,
+            Dbm(tx.req.tx_power_dbm),
             tx.req.position,
             gw.position,
             gw.antenna_m,
@@ -339,8 +340,7 @@ impl RadioSimulator {
         let mut saw_busy = false;
         for gw in &self.gateways {
             let lb = self.budget(tx, gw);
-            if lb.rssi_dbm < tx.req.sf.sensitivity_dbm()
-                || lb.snr_db < tx.req.sf.required_snr_db()
+            if lb.rssi_dbm < tx.req.sf.sensitivity_dbm() || lb.snr_db < tx.req.sf.required_snr_db()
             {
                 continue; // below this gateway's floor
             }
@@ -362,9 +362,7 @@ impl RadioSimulator {
                 .collect();
             let earlier = overlapping
                 .iter()
-                .filter(|o| {
-                    (o.start_s, o.nonce) < (tx.start_s, tx.nonce)
-                })
+                .filter(|o| (o.start_s, o.nonce) < (tx.start_s, tx.nonce))
                 .count();
             if earlier + 1 > gw.demod_paths {
                 saw_busy = true;
@@ -642,7 +640,10 @@ mod tests {
                 );
             }
             let d = s.drain();
-            (d.len(), d.first().map(|u| (u.best().rssi_dbm, u.best().snr_db)))
+            (
+                d.len(),
+                d.first().map(|u| (u.best().rssi_dbm, u.best().snr_db)),
+            )
         };
         assert_eq!(run(), run());
     }

@@ -16,6 +16,7 @@
 //!   | `11` + 5-bit leading + 6-bit length + meaningful bits
 
 use crate::bits::{BitReader, BitWriter};
+use crate::error::TsdbError;
 use ctt_core::time::Timestamp;
 
 /// Streaming Gorilla encoder for one chunk.
@@ -157,55 +158,68 @@ impl CompressedChunk {
         self.data.len()
     }
 
-    /// Decode all points.
-    pub fn decode(&self) -> Vec<(Timestamp, f64)> {
+    /// Decode all points. A truncated or corrupt bitstream yields a typed
+    /// error rather than a panic — chunks can arrive from disk or the wire.
+    pub fn decode(&self) -> Result<Vec<(Timestamp, f64)>, TsdbError> {
         let mut out = Vec::with_capacity(self.count as usize);
         if self.count == 0 {
-            return out;
+            return Ok(out);
         }
+        let truncated = |decoded: usize| TsdbError::TruncatedChunk {
+            decoded: decoded as u32,
+            expected: self.count,
+        };
         let mut r = BitReader::new(&self.data);
-        let err = "corrupt gorilla chunk";
-        let mut ts = r.read_bits(64).expect(err) as i64;
-        let mut vbits = r.read_bits(64).expect(err);
+        let mut ts = r.read_bits(64).ok_or_else(|| truncated(0))? as i64;
+        let mut vbits = r.read_bits(64).ok_or_else(|| truncated(0))?;
         out.push((Timestamp(ts), f64::from_bits(vbits)));
         let mut delta: i64 = 0;
         let mut leading: u8 = 0;
         let mut trailing: u8 = 0;
         for i in 1..self.count {
+            let short = truncated(i as usize);
             if i == 1 {
-                delta = r.read_bits(27).expect(err) as i64 - (1 << 26);
+                delta = r.read_bits(27).ok_or(short.clone())? as i64 - (1 << 26);
             } else {
-                let dod = if !r.read_bit().expect(err) {
+                let dod = if !r.read_bit().ok_or(short.clone())? {
                     0
-                } else if !r.read_bit().expect(err) {
-                    r.read_bits(7).expect(err) as i64 - 63
-                } else if !r.read_bit().expect(err) {
-                    r.read_bits(9).expect(err) as i64 - 255
-                } else if !r.read_bit().expect(err) {
-                    r.read_bits(12).expect(err) as i64 - 2047
+                } else if !r.read_bit().ok_or(short.clone())? {
+                    r.read_bits(7).ok_or(short.clone())? as i64 - 63
+                } else if !r.read_bit().ok_or(short.clone())? {
+                    r.read_bits(9).ok_or(short.clone())? as i64 - 255
+                } else if !r.read_bit().ok_or(short.clone())? {
+                    r.read_bits(12).ok_or(short.clone())? as i64 - 2047
                 } else {
-                    i64::from(r.read_bits(32).expect(err) as u32 as i32)
+                    i64::from(r.read_bits(32).ok_or(short.clone())? as u32 as i32)
                 };
-                delta += dod;
+                delta = delta.wrapping_add(dod);
             }
-            ts += delta;
+            ts = ts.wrapping_add(delta);
             // Value.
-            if r.read_bit().expect(err) {
-                if r.read_bit().expect(err) {
-                    leading = r.read_bits(5).expect(err) as u8;
-                    let sig = r.read_bits(6).expect(err) as u8 + 1;
+            if r.read_bit().ok_or(short.clone())? {
+                if r.read_bit().ok_or(short.clone())? {
+                    leading = r.read_bits(5).ok_or(short.clone())? as u8;
+                    let sig = r.read_bits(6).ok_or(short.clone())? as u8 + 1;
+                    // A corrupt header can claim leading + sig > 64, which
+                    // would underflow `trailing` below. Reject it.
+                    if leading + sig > 64 {
+                        return Err(TsdbError::InvalidValueWindow {
+                            leading,
+                            significant: sig,
+                        });
+                    }
                     trailing = 64 - leading - sig;
-                    let bits = r.read_bits(sig).expect(err);
+                    let bits = r.read_bits(sig).ok_or(short.clone())?;
                     vbits ^= bits << trailing;
                 } else {
                     let sig = 64 - leading - trailing;
-                    let bits = r.read_bits(sig).expect(err);
+                    let bits = r.read_bits(sig).ok_or(short.clone())?;
                     vbits ^= bits << trailing;
                 }
             }
             out.push((Timestamp(ts), f64::from_bits(vbits)));
         }
-        out
+        Ok(out)
     }
 
     /// Serialize to bytes (length-prefixed) for export.
@@ -223,15 +237,12 @@ impl CompressedChunk {
         if bytes.len() < 8 {
             return None;
         }
-        let count = u32::from_be_bytes(bytes[0..4].try_into().ok()?);
-        let len = u32::from_be_bytes(bytes[4..8].try_into().ok()?) as usize;
-        if bytes.len() < 8 + len {
-            return None;
-        }
+        let count = u32::from_be_bytes(bytes.get(0..4)?.try_into().ok()?);
+        let len = u32::from_be_bytes(bytes.get(4..8)?.try_into().ok()?) as usize;
         Some((
             CompressedChunk {
                 count,
-                data: bytes[8..8 + len].to_vec(),
+                data: bytes.get(8..8 + len)?.to_vec(),
             },
             8 + len,
         ))
@@ -250,7 +261,7 @@ mod tests {
         }
         let chunk = enc.finish();
         assert_eq!(chunk.count() as usize, points.len());
-        let decoded = chunk.decode();
+        let decoded = chunk.decode().expect("roundtrip chunk decodes");
         assert_eq!(decoded.len(), points.len());
         for (i, (&(t, v), &(dt, dv))) in points.iter().zip(&decoded).enumerate() {
             assert_eq!(t, dt, "timestamp {i}");
@@ -265,7 +276,7 @@ mod tests {
     fn empty_chunk() {
         let chunk = GorillaEncoder::new().finish();
         assert_eq!(chunk.count(), 0);
-        assert!(chunk.decode().is_empty());
+        assert!(chunk.decode().expect("empty chunk decodes").is_empty());
     }
 
     #[test]
@@ -282,7 +293,12 @@ mod tests {
     fn regular_cadence_roundtrip() {
         let start = Timestamp::from_civil(2017, 1, 1, 0, 0, 0);
         let pts: Vec<_> = (0..500)
-            .map(|i| (start + Span::minutes(5 * i), 400.0 + (i as f64 * 0.1).sin() * 20.0))
+            .map(|i| {
+                (
+                    start + Span::minutes(5 * i),
+                    400.0 + (i as f64 * 0.1).sin() * 20.0,
+                )
+            })
             .collect();
         roundtrip(&pts);
     }
@@ -294,8 +310,14 @@ mod tests {
         let mut t = start;
         let mut pts = Vec::new();
         for i in 0..300i64 {
-            let step = if i < 100 { 5 } else if i < 200 { 15 } else { 60 };
-            t = t + Span::minutes(step);
+            let step = if i < 100 {
+                5
+            } else if i < 200 {
+                15
+            } else {
+                60
+            };
+            t += Span::minutes(step);
             pts.push((t, f64::from(i as i32) * 0.25 - 3.0));
         }
         roundtrip(&pts);
@@ -363,7 +385,11 @@ mod tests {
 
     #[test]
     fn equal_timestamps_allowed() {
-        roundtrip(&[(Timestamp(5), 1.0), (Timestamp(5), 2.0), (Timestamp(5), 3.0)]);
+        roundtrip(&[
+            (Timestamp(5), 1.0),
+            (Timestamp(5), 2.0),
+            (Timestamp(5), 3.0),
+        ]);
     }
 
     #[test]
@@ -372,6 +398,84 @@ mod tests {
         let mut enc = GorillaEncoder::new();
         enc.append(Timestamp(100), 1.0);
         enc.append(Timestamp(50), 2.0);
+    }
+
+    #[test]
+    fn truncated_bitstream_is_an_error_not_a_panic() {
+        // Regression: decode() used to .expect() on every read, so a chunk
+        // whose bitstream was cut short (disk corruption, partial write)
+        // panicked the ingest thread. It must return TruncatedChunk instead.
+        let mut enc = GorillaEncoder::new();
+        for i in 0..50i64 {
+            enc.append(Timestamp(i * 300), 400.0 + i as f64);
+        }
+        let chunk = enc.finish();
+        let full = chunk.to_bytes();
+        // Drop trailing payload bytes but keep the 8-byte header intact and
+        // patch the length field so from_bytes accepts the short payload.
+        for cut in 1..(full.len() - 8).min(24) {
+            let mut bytes = full[..full.len() - cut].to_vec();
+            let new_len = (bytes.len() - 8) as u32;
+            bytes[4..8].copy_from_slice(&new_len.to_be_bytes());
+            let (short, _) = CompressedChunk::from_bytes(&bytes).expect("header ok");
+            match short.decode() {
+                Err(TsdbError::TruncatedChunk { decoded, expected }) => {
+                    assert_eq!(expected, 50);
+                    assert!(decoded < 50);
+                }
+                other => panic!("cut {cut}: expected TruncatedChunk, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_value_window_is_an_error_not_a_panic() {
+        // Regression: a value header claiming leading + significant > 64
+        // underflowed `64 - leading - sig` (u8) and panicked in debug
+        // builds. Craft that header by hand: 2 points, second value takes
+        // the "new window" path with leading=31, sig=64.
+        let mut w = BitWriter::new();
+        w.write_bits(0, 64); // first timestamp
+        w.write_bits(42.0f64.to_bits(), 64); // first value
+        w.write_bits(300 + (1 << 26), 27); // first delta (offset-encoded)
+        w.write_bit(true); // value differs
+        w.write_bit(true); // new window
+        w.write_bits(31, 5); // leading = 31
+        w.write_bits(63, 6); // sig - 1 = 63 → sig = 64 → 31 + 64 > 64
+        w.write_bits(0, 64);
+        let chunk = CompressedChunk {
+            count: 2,
+            data: w.into_bytes(),
+        };
+        assert_eq!(
+            chunk.decode(),
+            Err(TsdbError::InvalidValueWindow {
+                leading: 31,
+                significant: 64
+            })
+        );
+    }
+
+    #[test]
+    fn random_garbage_never_panics() {
+        // Any byte soup must decode to Ok or a typed error — never unwind.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..200 {
+            let len = (next() % 96) as usize;
+            let data: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            let chunk = CompressedChunk {
+                count: (next() % 64) as u32,
+                data,
+            };
+            let _ = chunk.decode(); // must not panic
+            let _ = trial;
+        }
     }
 
     #[test]

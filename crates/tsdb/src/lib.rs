@@ -13,14 +13,17 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod bits;
+pub mod error;
 pub mod gorilla;
 pub mod model;
 pub mod query;
 pub mod store;
 pub mod text;
 
+pub use error::TsdbError;
 pub use gorilla::{CompressedChunk, GorillaEncoder};
 pub use model::{DataPoint, ModelError, TagFilter, TagSet};
 pub use query::{execute, Aggregator, Downsample, FillPolicy, Query, QueryResult};

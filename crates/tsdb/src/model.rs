@@ -230,8 +230,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ModelError::BadMetric("x y".into()).to_string().contains("x y"));
-        assert!(ModelError::BadTag("k".into(), "v v".into()).to_string().contains('k'));
+        assert!(ModelError::BadMetric("x y".into())
+            .to_string()
+            .contains("x y"));
+        assert!(ModelError::BadTag("k".into(), "v v".into())
+            .to_string()
+            .contains('k'));
         assert!(ModelError::BadValue.to_string().contains("finite"));
     }
 }

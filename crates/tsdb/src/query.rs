@@ -6,6 +6,7 @@
 //! cross-series aggregator. Wildcarded tag keys become group-by dimensions,
 //! so `device=*` yields one result series per device.
 
+use crate::error::TsdbError;
 use crate::model::{TagFilter, TagSet};
 use crate::store::{SeriesId, Tsdb};
 use ctt_core::measurement::Series as OutSeries;
@@ -56,7 +57,8 @@ impl Aggregator {
         })
     }
 
-    /// Apply to a non-empty slice of values (time-ordered).
+    /// Apply to a non-empty slice of values (time-ordered). An empty slice
+    /// yields NaN for value aggregators (0 for `Count`) rather than a panic.
     pub fn apply(self, values: &[f64]) -> f64 {
         debug_assert!(!values.is_empty());
         match self {
@@ -65,8 +67,8 @@ impl Aggregator {
             Aggregator::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
             Aggregator::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
             Aggregator::Count => values.len() as f64,
-            Aggregator::First => values[0],
-            Aggregator::Last => values[values.len() - 1],
+            Aggregator::First => values.first().copied().unwrap_or(f64::NAN),
+            Aggregator::Last => values.last().copied().unwrap_or(f64::NAN),
             Aggregator::Median => percentile(values, 0.50),
             Aggregator::P95 => percentile(values, 0.95),
             Aggregator::Dev => {
@@ -74,8 +76,7 @@ impl Aggregator {
                     return 0.0;
                 }
                 let mean = values.iter().sum::<f64>() / values.len() as f64;
-                (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-                    / (values.len() - 1) as f64)
+                (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64)
                     .sqrt()
             }
         }
@@ -100,12 +101,12 @@ impl fmt::Display for Aggregator {
     }
 }
 
-/// Nearest-rank percentile of an unsorted slice.
+/// Nearest-rank percentile of an unsorted slice (NaN when empty).
 fn percentile(values: &[f64], p: f64) -> f64 {
     let mut v: Vec<f64> = values.to_vec();
     v.sort_by(f64::total_cmp);
     let rank = ((p * v.len() as f64).ceil() as usize).clamp(1, v.len());
-    v[rank - 1]
+    v.get(rank - 1).copied().unwrap_or(f64::NAN)
 }
 
 /// Missing-bucket fill policy for downsampling.
@@ -229,7 +230,12 @@ pub struct QueryResult {
 }
 
 /// Downsample a sorted point list.
-fn downsample_points(points: &[(Timestamp, f64)], ds: Downsample, start: Timestamp, end: Timestamp) -> Vec<(Timestamp, f64)> {
+fn downsample_points(
+    points: &[(Timestamp, f64)],
+    ds: Downsample,
+    start: Timestamp,
+    end: Timestamp,
+) -> Vec<(Timestamp, f64)> {
     let mut out = Vec::new();
     if points.is_empty() && ds.fill == FillPolicy::None {
         return out;
@@ -241,9 +247,12 @@ fn downsample_points(points: &[(Timestamp, f64)], ds: Downsample, start: Timesta
     while bucket_start < end {
         let bucket_end = bucket_start + ds.interval;
         let mut vals = Vec::new();
-        while idx < points.len() && points[idx].0 < bucket_end {
-            if points[idx].0 >= bucket_start {
-                vals.push(points[idx].1);
+        while let Some(&(t, v)) = points.get(idx) {
+            if t >= bucket_end {
+                break;
+            }
+            if t >= bucket_start {
+                vals.push(v);
             }
             idx += 1;
         }
@@ -270,20 +279,22 @@ fn downsample_points(points: &[(Timestamp, f64)], ds: Downsample, start: Timesta
 /// Convert a point list to per-second rates (length n-1).
 fn to_rate(points: &[(Timestamp, f64)]) -> Vec<(Timestamp, f64)> {
     points
-        .windows(2)
-        .filter_map(|w| {
-            let dt = (w[1].0 - w[0].0).as_seconds();
+        .iter()
+        .zip(points.iter().skip(1))
+        .filter_map(|(&(t0, v0), &(t1, v1))| {
+            let dt = (t1 - t0).as_seconds();
             if dt <= 0 {
                 None
             } else {
-                Some((w[1].0, (w[1].1 - w[0].1) / dt as f64))
+                Some((t1, (v1 - v0) / dt as f64))
             }
         })
         .collect()
 }
 
-/// Execute a query.
-pub fn execute(db: &Tsdb, q: &Query) -> Vec<QueryResult> {
+/// Execute a query. Errors surface storage corruption ([`TsdbError`]); an
+/// unmatched metric or filter is an empty result set, not an error.
+pub fn execute(db: &Tsdb, q: &Query) -> Result<Vec<QueryResult>, TsdbError> {
     // 1. Find matching series.
     let matching: Vec<SeriesId> = db
         .series_for_metric(&q.metric)
@@ -291,7 +302,10 @@ pub fn execute(db: &Tsdb, q: &Query) -> Vec<QueryResult> {
         .copied()
         .filter(|&id| {
             q.filters.iter().all(|(k, f)| {
-                db.tags(id).get(k).map(|v| f.matches(v)).unwrap_or(false)
+                db.tags(id)
+                    .and_then(|tags| tags.get(k))
+                    .map(|v| f.matches(v))
+                    .unwrap_or(false)
             })
         })
         .collect();
@@ -306,7 +320,7 @@ pub fn execute(db: &Tsdb, q: &Query) -> Vec<QueryResult> {
     for id in matching {
         let mut group = TagSet::new();
         for &k in &group_keys {
-            if let Some(v) = db.tags(id).get(k) {
+            if let Some(v) = db.tags(id).and_then(|tags| tags.get(k)) {
                 group.insert(k.clone(), v.clone());
             }
         }
@@ -315,35 +329,39 @@ pub fn execute(db: &Tsdb, q: &Query) -> Vec<QueryResult> {
     // 3. Per group: fetch, rate, downsample, cross-series aggregate.
     let mut results = Vec::with_capacity(groups.len());
     for (group, ids) in groups {
-        let mut per_series: Vec<Vec<(Timestamp, f64)>> = ids
-            .iter()
-            .map(|&id| {
-                let mut pts = db.read(id, q.start, q.end);
-                if q.rate {
-                    pts = to_rate(&pts);
-                }
-                if let Some(ds) = q.downsample {
-                    pts = downsample_points(&pts, ds, q.start, q.end);
-                }
-                pts
-            })
-            .collect();
-        let series = if per_series.len() == 1 {
-            OutSeries::from_points(per_series.pop().expect("len 1"))
-        } else {
-            // Merge: aggregate equal timestamps across series.
-            let mut merged: BTreeMap<Timestamp, Vec<f64>> = BTreeMap::new();
-            for pts in per_series {
-                for (t, v) in pts {
-                    merged.entry(t).or_default().push(v);
-                }
+        let mut per_series: Vec<Vec<(Timestamp, f64)>> = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            let mut pts = db.read(id, q.start, q.end)?;
+            if q.rate {
+                pts = to_rate(&pts);
             }
-            OutSeries::from_points(
-                merged
-                    .into_iter()
-                    .map(|(t, vals)| (t, q.aggregator.apply(&vals)))
-                    .collect(),
-            )
+            if let Some(ds) = q.downsample {
+                pts = downsample_points(&pts, ds, q.start, q.end);
+            }
+            per_series.push(pts);
+        }
+        let sole = if per_series.len() == 1 {
+            per_series.pop()
+        } else {
+            None
+        };
+        let series = match sole {
+            Some(only) => OutSeries::from_points(only),
+            None => {
+                // Merge: aggregate equal timestamps across series.
+                let mut merged: BTreeMap<Timestamp, Vec<f64>> = BTreeMap::new();
+                for pts in per_series {
+                    for (t, v) in pts {
+                        merged.entry(t).or_default().push(v);
+                    }
+                }
+                OutSeries::from_points(
+                    merged
+                        .into_iter()
+                        .map(|(t, vals)| (t, q.aggregator.apply(&vals)))
+                        .collect(),
+                )
+            }
         };
         results.push(QueryResult {
             group,
@@ -351,7 +369,7 @@ pub fn execute(db: &Tsdb, q: &Query) -> Vec<QueryResult> {
             source_series: ids.len(),
         });
     }
-    results
+    Ok(results)
 }
 
 #[cfg(test)]
@@ -401,7 +419,9 @@ mod tests {
 
     #[test]
     fn aggregator_parse_display_roundtrip() {
-        for name in ["avg", "sum", "min", "max", "count", "first", "last", "median", "p95", "dev"] {
+        for name in [
+            "avg", "sum", "min", "max", "count", "first", "last", "median", "p95", "dev",
+        ] {
             let a = Aggregator::parse(name).unwrap();
             let shown = a.to_string();
             assert_eq!(Aggregator::parse(&shown), Some(a));
@@ -414,7 +434,10 @@ mod tests {
         let ds = Downsample::parse("1h-avg").unwrap();
         assert_eq!(ds.interval, Span::hours(1));
         assert_eq!(ds.aggregator, Aggregator::Avg);
-        assert_eq!(Downsample::parse("15m-max").unwrap().interval, Span::minutes(15));
+        assert_eq!(
+            Downsample::parse("15m-max").unwrap().interval,
+            Span::minutes(15)
+        );
         assert!(Downsample::parse("nope").is_none());
         assert!(Downsample::parse("1x-avg").is_none());
         assert!(Downsample::parse("1h-bogus").is_none());
@@ -424,7 +447,7 @@ mod tests {
     fn single_series_query() {
         let db = sample_db();
         let q = Query::range("co2", Timestamp(0), Timestamp(3600)).with_tag("device", "n1");
-        let rs = execute(&db, &q);
+        let rs = execute(&db, &q).unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(rs[0].source_series, 1);
         assert_eq!(rs[0].series.len(), 12);
@@ -435,7 +458,7 @@ mod tests {
     fn cross_series_average() {
         let db = sample_db();
         let q = Query::range("co2", Timestamp(0), Timestamp(3600)).with_tag("city", "trd");
-        let rs = execute(&db, &q);
+        let rs = execute(&db, &q).unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(rs[0].source_series, 2);
         // avg(400, 500) = 450 at t=0.
@@ -446,7 +469,7 @@ mod tests {
     fn group_by_device() {
         let db = sample_db();
         let q = Query::range("co2", Timestamp(0), Timestamp(3600)).group_by("device");
-        let rs = execute(&db, &q);
+        let rs = execute(&db, &q).unwrap();
         assert_eq!(rs.len(), 3);
         let groups: Vec<String> = rs
             .iter()
@@ -461,7 +484,7 @@ mod tests {
         let q = Query::range("co2", Timestamp(0), Timestamp(3600))
             .with_tag("city", "trd")
             .group_by("device");
-        let rs = execute(&db, &q);
+        let rs = execute(&db, &q).unwrap();
         assert_eq!(rs.len(), 2);
     }
 
@@ -473,7 +496,7 @@ mod tests {
             "device".to_string(),
             TagFilter::OneOf(vec!["n1".to_string(), "n3".to_string()]),
         );
-        let rs = execute(&db, &q);
+        let rs = execute(&db, &q).unwrap();
         assert_eq!(rs[0].source_series, 2);
     }
 
@@ -487,7 +510,7 @@ mod tests {
                 aggregator: Aggregator::Avg,
                 fill: FillPolicy::None,
             });
-        let rs = execute(&db, &q);
+        let rs = execute(&db, &q).unwrap();
         // 12 points over 60 min → 4 buckets of 3.
         assert_eq!(rs[0].series.len(), 4);
         // First bucket: avg(400,401,402) = 401.
@@ -506,8 +529,20 @@ mod tests {
         let none = downsample_points(&pts, mk(FillPolicy::None), Timestamp(0), Timestamp(3000));
         assert_eq!(none.len(), 2);
         let zero = downsample_points(&pts, mk(FillPolicy::Zero), Timestamp(0), Timestamp(3000));
-        assert_eq!(zero, vec![(Timestamp(0), 1.0), (Timestamp(1000), 0.0), (Timestamp(2000), 5.0)]);
-        let prev = downsample_points(&pts, mk(FillPolicy::Previous), Timestamp(0), Timestamp(3000));
+        assert_eq!(
+            zero,
+            vec![
+                (Timestamp(0), 1.0),
+                (Timestamp(1000), 0.0),
+                (Timestamp(2000), 5.0)
+            ]
+        );
+        let prev = downsample_points(
+            &pts,
+            mk(FillPolicy::Previous),
+            Timestamp(0),
+            Timestamp(3000),
+        );
         assert_eq!(prev[1], (Timestamp(1000), 1.0));
     }
 
@@ -521,7 +556,7 @@ mod tests {
         let q = Query::range("ctr", Timestamp(0), Timestamp(3000))
             .with_tag("device", "n1")
             .as_rate();
-        let rs = execute(&db, &q);
+        let rs = execute(&db, &q).unwrap();
         assert_eq!(rs[0].series.len(), 4);
         for &(_, v) in &rs[0].series.points {
             assert!((v - 0.2).abs() < 1e-12);
@@ -532,9 +567,9 @@ mod tests {
     fn empty_results() {
         let db = sample_db();
         let q = Query::range("nope", Timestamp(0), Timestamp(3600));
-        assert!(execute(&db, &q).is_empty());
+        assert!(execute(&db, &q).unwrap().is_empty());
         let q = Query::range("co2", Timestamp(0), Timestamp(3600)).with_tag("device", "nope");
-        assert!(execute(&db, &q).is_empty());
+        assert!(execute(&db, &q).unwrap().is_empty());
     }
 
     #[test]
@@ -551,7 +586,7 @@ mod tests {
             .unwrap(),
         );
         let q = Query::range("co2", Timestamp(0), Timestamp(3600)).group_by("city");
-        let rs = execute(&db, &q);
+        let rs = execute(&db, &q).unwrap();
         // n9 has no city tag: excluded by the wildcard filter.
         let total: usize = rs.iter().map(|r| r.source_series).sum();
         assert_eq!(total, 3);

@@ -5,6 +5,7 @@
 //! chunk size it is sorted and sealed into an immutable compressed chunk.
 //! Reads merge sealed chunks and the open buffer.
 
+use crate::error::TsdbError;
 use crate::gorilla::{CompressedChunk, GorillaEncoder};
 use crate::model::{series_key, DataPoint, TagSet};
 use ctt_core::time::Timestamp;
@@ -46,16 +47,14 @@ impl Series {
     }
 
     fn seal_open(&mut self) {
-        if self.open.is_empty() {
-            return;
-        }
         self.open.sort_by_key(|&(t, _)| t);
+        let (Some(&(start, _)), Some(&(end, _))) = (self.open.first(), self.open.last()) else {
+            return; // nothing buffered
+        };
         let mut enc = GorillaEncoder::new();
         for &(t, v) in &self.open {
             enc.append(t, v);
         }
-        let start = self.open.first().expect("non-empty").0;
-        let end = self.open.last().expect("non-empty").0;
         self.sealed.push(SealedChunk {
             chunk: enc.finish(),
             start,
@@ -65,7 +64,11 @@ impl Series {
     }
 
     /// Collect points within `[start, end)`, sorted by time.
-    fn collect(&self, start: Timestamp, end: Timestamp) -> Vec<(Timestamp, f64)> {
+    fn collect(
+        &self,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<Vec<(Timestamp, f64)>, TsdbError> {
         let mut out = Vec::new();
         for sc in &self.sealed {
             if sc.end < start || sc.start >= end {
@@ -73,18 +76,26 @@ impl Series {
             }
             out.extend(
                 sc.chunk
-                    .decode()
+                    .decode()?
                     .into_iter()
                     .filter(|&(t, _)| t >= start && t < end),
             );
         }
-        out.extend(self.open.iter().copied().filter(|&(t, _)| t >= start && t < end));
+        out.extend(
+            self.open
+                .iter()
+                .copied()
+                .filter(|&(t, _)| t >= start && t < end),
+        );
         out.sort_by_key(|&(t, _)| t);
-        out
+        Ok(out)
     }
 
     fn compressed_bytes(&self) -> usize {
-        self.sealed.iter().map(|s| s.chunk.size_bytes()).sum::<usize>()
+        self.sealed
+            .iter()
+            .map(|s| s.chunk.size_bytes())
+            .sum::<usize>()
             + self.open.len() * std::mem::size_of::<(Timestamp, f64)>()
     }
 }
@@ -146,21 +157,21 @@ impl Tsdb {
                 id
             }
         };
-        let series = &mut self.series[id.0 as usize];
-        series.open.push((point.time, point.value));
-        series.points += 1;
-        if series.open.len() >= self.chunk_size {
-            series.seal_open();
+        // by_key and series grow together, so an interned id is always in
+        // range; the fallback keeps this path panic-free regardless.
+        if let Some(series) = self.series.get_mut(id.0 as usize) {
+            series.open.push((point.time, point.value));
+            series.points += 1;
+            if series.open.len() >= self.chunk_size {
+                series.seal_open();
+            }
         }
         id
     }
 
     /// All series ids for a metric.
     pub fn series_for_metric(&self, metric: &str) -> &[SeriesId] {
-        self.by_metric
-            .get(metric)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.by_metric.get(metric).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// A series id by exact metric + tags.
@@ -168,14 +179,14 @@ impl Tsdb {
         self.by_key.get(&series_key(metric, tags)).copied()
     }
 
-    /// The tag set of a series.
-    pub fn tags(&self, id: SeriesId) -> &TagSet {
-        &self.series[id.0 as usize].tags
+    /// The tag set of a series, if the id is known.
+    pub fn tags(&self, id: SeriesId) -> Option<&TagSet> {
+        self.series.get(id.0 as usize).map(|s| &s.tags)
     }
 
-    /// The metric name of a series.
-    pub fn metric(&self, id: SeriesId) -> &str {
-        &self.series[id.0 as usize].metric
+    /// The metric name of a series, if the id is known.
+    pub fn metric(&self, id: SeriesId) -> Option<&str> {
+        self.series.get(id.0 as usize).map(|s| s.metric.as_str())
     }
 
     /// All distinct metric names (sorted).
@@ -186,13 +197,21 @@ impl Tsdb {
     }
 
     /// Points of one series in `[start, end)`, time-sorted.
-    pub fn read(&self, id: SeriesId, start: Timestamp, end: Timestamp) -> Vec<(Timestamp, f64)> {
-        self.series[id.0 as usize].collect(start, end)
+    pub fn read(
+        &self,
+        id: SeriesId,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<Vec<(Timestamp, f64)>, TsdbError> {
+        self.series
+            .get(id.0 as usize)
+            .ok_or(TsdbError::UnknownSeries(id))?
+            .collect(start, end)
     }
 
-    /// Number of points stored for a series.
+    /// Number of points stored for a series (0 for unknown ids).
     pub fn point_count(&self, id: SeriesId) -> u64 {
-        self.series[id.0 as usize].points
+        self.series.get(id.0 as usize).map_or(0, |s| s.points)
     }
 
     /// Storage statistics.
@@ -213,9 +232,12 @@ impl Tsdb {
     }
 
     /// Retention: drop all data strictly before `cutoff`. Sealed chunks that
-    /// straddle the cutoff are re-encoded. Returns points dropped.
-    pub fn evict_before(&mut self, cutoff: Timestamp) -> u64 {
+    /// straddle the cutoff are re-encoded. Returns points dropped, or the
+    /// decode error if a straddling chunk is corrupt (no data is discarded
+    /// for that series in that case — the chunk is kept as-is).
+    pub fn evict_before(&mut self, cutoff: Timestamp) -> Result<u64, TsdbError> {
         let mut dropped = 0u64;
+        let mut first_err = None;
         for s in &mut self.series {
             let mut kept_sealed = Vec::with_capacity(s.sealed.len());
             for sc in s.sealed.drain(..) {
@@ -225,22 +247,25 @@ impl Tsdb {
                     kept_sealed.push(sc);
                 } else {
                     // Straddles: re-encode the surviving tail.
-                    let pts: Vec<_> = sc
-                        .chunk
-                        .decode()
-                        .into_iter()
-                        .filter(|&(t, _)| t >= cutoff)
-                        .collect();
+                    let pts: Vec<_> = match sc.chunk.decode() {
+                        Ok(pts) => pts.into_iter().filter(|&(t, _)| t >= cutoff).collect(),
+                        Err(e) => {
+                            // Keep the undecodable chunk rather than guess.
+                            first_err.get_or_insert(e);
+                            kept_sealed.push(sc);
+                            continue;
+                        }
+                    };
                     dropped += u64::from(sc.chunk.count()) - pts.len() as u64;
-                    if !pts.is_empty() {
+                    if let (Some(&(start, _)), Some(&(end, _))) = (pts.first(), pts.last()) {
                         let mut enc = GorillaEncoder::new();
                         for &(t, v) in &pts {
                             enc.append(t, v);
                         }
                         kept_sealed.push(SealedChunk {
                             chunk: enc.finish(),
-                            start: pts.first().expect("non-empty").0,
-                            end: pts.last().expect("non-empty").0,
+                            start,
+                            end,
                         });
                     }
                 }
@@ -249,14 +274,16 @@ impl Tsdb {
             let before = s.open.len();
             s.open.retain(|&(t, _)| t >= cutoff);
             dropped += (before - s.open.len()) as u64;
-            s.points -= (before - s.open.len()) as u64;
         }
-        // Recompute per-series point counts for sealed drops.
+        // Recompute per-series point counts after sealed drops.
         for s in &mut self.series {
             let sealed_pts: u64 = s.sealed.iter().map(|c| u64::from(c.chunk.count())).sum();
             s.points = sealed_pts + s.open.len() as u64;
         }
-        dropped
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(dropped),
+        }
     }
 }
 
@@ -280,9 +307,9 @@ mod tests {
         for i in 0..100 {
             db.put(&dp("m", "n1", i * 300, i as f64));
         }
-        let tags = db.tags(SeriesId(0)).clone();
+        let tags = db.tags(SeriesId(0)).expect("series 0 exists").clone();
         let id = db.series_id("m", &tags).expect("series exists");
-        let pts = db.read(id, Timestamp(0), Timestamp(100 * 300));
+        let pts = db.read(id, Timestamp(0), Timestamp(100 * 300)).unwrap();
         assert_eq!(pts.len(), 100);
         assert_eq!(pts[7], (Timestamp(7 * 300), 7.0));
     }
@@ -297,8 +324,11 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(db.series_for_metric("m").len(), 2);
         assert_eq!(db.series_for_metric("other").len(), 0);
-        assert_eq!(db.metric(a), "m");
-        assert_eq!(db.tags(c).get("device").map(String::as_str), Some("n2"));
+        assert_eq!(db.metric(a), Some("m"));
+        assert_eq!(
+            db.tags(c).unwrap().get("device").map(String::as_str),
+            Some("n2")
+        );
     }
 
     #[test]
@@ -311,7 +341,9 @@ mod tests {
         assert_eq!(st.chunks, 2, "two sealed chunks of 10");
         assert_eq!(st.points, 25);
         // All 25 still readable.
-        let pts = db.read(SeriesId(0), Timestamp(0), Timestamp(i64::MAX / 2));
+        let pts = db
+            .read(SeriesId(0), Timestamp(0), Timestamp(i64::MAX / 2))
+            .unwrap();
         assert_eq!(pts.len(), 25);
     }
 
@@ -321,7 +353,9 @@ mod tests {
         db.put(&dp("m", "n1", 600, 2.0));
         db.put(&dp("m", "n1", 0, 0.0));
         db.put(&dp("m", "n1", 300, 1.0));
-        let pts = db.read(SeriesId(0), Timestamp(0), Timestamp(10_000));
+        let pts = db
+            .read(SeriesId(0), Timestamp(0), Timestamp(10_000))
+            .unwrap();
         assert_eq!(
             pts,
             vec![
@@ -341,7 +375,9 @@ mod tests {
         }
         // Late straggler older than the sealed chunk.
         db.put(&dp("m", "n1", 500, 9.9));
-        let pts = db.read(SeriesId(0), Timestamp(0), Timestamp(10_000));
+        let pts = db
+            .read(SeriesId(0), Timestamp(0), Timestamp(10_000))
+            .unwrap();
         assert_eq!(pts.first(), Some(&(Timestamp(500), 9.9)));
         assert_eq!(pts.len(), 5);
         assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0));
@@ -353,7 +389,9 @@ mod tests {
         for i in 0..50 {
             db.put(&dp("m", "n1", i * 100, i as f64));
         }
-        let pts = db.read(SeriesId(0), Timestamp(1000), Timestamp(2000));
+        let pts = db
+            .read(SeriesId(0), Timestamp(1000), Timestamp(2000))
+            .unwrap();
         assert_eq!(pts.len(), 10);
         assert_eq!(pts.first().unwrap().0, Timestamp(1000));
         assert_eq!(pts.last().unwrap().0, Timestamp(1900));
@@ -383,9 +421,11 @@ mod tests {
         for i in 0..100 {
             db.put(&dp("m", "n1", i * 100, i as f64));
         }
-        let dropped = db.evict_before(Timestamp(5000));
+        let dropped = db.evict_before(Timestamp(5000)).unwrap();
         assert_eq!(dropped, 50);
-        let pts = db.read(SeriesId(0), Timestamp(0), Timestamp(100 * 100));
+        let pts = db
+            .read(SeriesId(0), Timestamp(0), Timestamp(100 * 100))
+            .unwrap();
         assert_eq!(pts.len(), 50);
         assert!(pts.iter().all(|&(t, _)| t >= Timestamp(5000)));
         assert_eq!(db.point_count(SeriesId(0)), 50);
@@ -399,9 +439,11 @@ mod tests {
             db.put(&dp("m", "n1", i * 100, i as f64));
         }
         // Chunk spans 0..900; cutoff mid-chunk.
-        let dropped = db.evict_before(Timestamp(450));
+        let dropped = db.evict_before(Timestamp(450)).unwrap();
         assert_eq!(dropped, 5);
-        let pts = db.read(SeriesId(0), Timestamp(0), Timestamp(10_000));
+        let pts = db
+            .read(SeriesId(0), Timestamp(0), Timestamp(10_000))
+            .unwrap();
         assert_eq!(pts.len(), 5);
         assert_eq!(pts.first().unwrap().0, Timestamp(500));
     }

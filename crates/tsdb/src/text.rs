@@ -100,12 +100,15 @@ pub fn import(db: &mut Tsdb, text: &str) -> (usize, Vec<(usize, ParseError)>) {
     (ok, errors)
 }
 
-/// Export every point of a metric within a range as `put` lines.
+/// Export every point of a metric within a range as `put` lines. Series
+/// whose chunks fail to decode are skipped (partial export over no export).
 pub fn export(db: &Tsdb, metric: &str, start: Timestamp, end: Timestamp) -> String {
     let mut out = String::new();
     for &id in db.series_for_metric(metric) {
-        let tags = db.tags(id).clone();
-        for (t, v) in db.read(id, start, end) {
+        let Some(tags) = db.tags(id).cloned() else {
+            continue;
+        };
+        for (t, v) in db.read(id, start, end).unwrap_or_default() {
             let p = DataPoint {
                 metric: metric.to_string(),
                 tags: tags.clone(),
@@ -121,8 +124,14 @@ pub fn export(db: &Tsdb, metric: &str, start: Timestamp, end: Timestamp) -> Stri
 
 /// Render a query result as an aligned text table (for terminal demos).
 pub fn render_table(db: &Tsdb, q: &Query) -> String {
-    let results = execute(db, q);
     let mut out = String::new();
+    let results = match execute(db, q) {
+        Ok(results) => results,
+        Err(e) => {
+            let _ = writeln!(out, "query failed: {e}");
+            return out;
+        }
+    };
     let _ = writeln!(out, "metric: {}  [{} .. {})", q.metric, q.start, q.end);
     for r in results {
         let group: Vec<String> = r.group.iter().map(|(k, v)| format!("{k}={v}")).collect();
@@ -163,12 +172,30 @@ mod tests {
     fn parse_errors() {
         assert_eq!(parse_line("get m 0 1"), Err(ParseError::NotPut));
         assert_eq!(parse_line("put"), Err(ParseError::MissingField("metric")));
-        assert_eq!(parse_line("put m"), Err(ParseError::MissingField("timestamp")));
-        assert_eq!(parse_line("put m 0"), Err(ParseError::MissingField("value")));
-        assert!(matches!(parse_line("put m x 1"), Err(ParseError::BadNumber(_))));
-        assert!(matches!(parse_line("put m 0 y"), Err(ParseError::BadNumber(_))));
-        assert!(matches!(parse_line("put m 0 1 notag"), Err(ParseError::BadTag(_))));
-        assert!(matches!(parse_line("put bad&metric 0 1"), Err(ParseError::Model(_))));
+        assert_eq!(
+            parse_line("put m"),
+            Err(ParseError::MissingField("timestamp"))
+        );
+        assert_eq!(
+            parse_line("put m 0"),
+            Err(ParseError::MissingField("value"))
+        );
+        assert!(matches!(
+            parse_line("put m x 1"),
+            Err(ParseError::BadNumber(_))
+        ));
+        assert!(matches!(
+            parse_line("put m 0 y"),
+            Err(ParseError::BadNumber(_))
+        ));
+        assert!(matches!(
+            parse_line("put m 0 1 notag"),
+            Err(ParseError::BadTag(_))
+        ));
+        assert!(matches!(
+            parse_line("put bad&metric 0 1"),
+            Err(ParseError::Model(_))
+        ));
     }
 
     #[test]
@@ -182,7 +209,8 @@ mod tests {
     #[test]
     fn import_counts_and_reports_errors() {
         let mut db = Tsdb::new();
-        let text = "\n# comment\nput m 0 1.0 d=a\nput m 300 2.0 d=a\nbogus line\nput m 600 3.0 d=a\n";
+        let text =
+            "\n# comment\nput m 0 1.0 d=a\nput m 300 2.0 d=a\nbogus line\nput m 600 3.0 d=a\n";
         let (ok, errs) = import(&mut db, text);
         assert_eq!(ok, 3);
         assert_eq!(errs.len(), 1);
@@ -202,7 +230,9 @@ mod tests {
         assert!(errs.is_empty());
         assert_eq!(db2.stats().points, 3);
         assert_eq!(
-            db2.read(SeriesId(0), Timestamp(0), Timestamp(301)).len(),
+            db2.read(SeriesId(0), Timestamp(0), Timestamp(301))
+                .unwrap()
+                .len(),
             2
         );
     }

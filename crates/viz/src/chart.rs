@@ -74,17 +74,20 @@ impl LineChart {
     pub fn render_canvas(&self) -> Canvas {
         let mut c = Canvas::new(self.width, self.height);
         c.background("#ffffff");
-        c.text(self.width / 2.0, 18.0, 13.0, "#222222", Anchor::Middle, &self.title);
+        c.text(
+            self.width / 2.0,
+            18.0,
+            13.0,
+            "#222222",
+            Anchor::Middle,
+            &self.title,
+        );
         let plot_x0 = MARGIN_LEFT;
         let plot_x1 = self.width - MARGIN_RIGHT;
         let plot_y0 = self.height - MARGIN_BOTTOM;
         let plot_y1 = MARGIN_TOP;
         // Domains.
-        let all_times: Vec<Timestamp> = self
-            .series
-            .iter()
-            .flat_map(|s| s.series.times())
-            .collect();
+        let all_times: Vec<Timestamp> = self.series.iter().flat_map(|s| s.series.times()).collect();
         let (t0, t1) = match (all_times.iter().min(), all_times.iter().max()) {
             (Some(&a), Some(&b)) if a < b => (a, b),
             (Some(&a), _) => (a, Timestamp(a.as_seconds() + 1)),
@@ -108,9 +111,23 @@ impl LineChart {
         for v in ys.ticks(6) {
             let y = ys.map(v);
             c.dashed_line(plot_x0, y, plot_x1, y, "#dddddd", 0.6);
-            c.text(plot_x0 - 6.0, y + 3.0, 10.0, "#444444", Anchor::End, &format_tick(v));
+            c.text(
+                plot_x0 - 6.0,
+                y + 3.0,
+                10.0,
+                "#444444",
+                Anchor::End,
+                &format_tick(v),
+            );
         }
-        c.text(14.0, (plot_y0 + plot_y1) / 2.0, 11.0, "#333333", Anchor::Middle, &self.y_label);
+        c.text(
+            14.0,
+            (plot_y0 + plot_y1) / 2.0,
+            11.0,
+            "#333333",
+            Anchor::Middle,
+            &self.y_label,
+        );
         // Series.
         for s in &self.series {
             let pts: Vec<(f64, f64)> = s
@@ -125,7 +142,14 @@ impl LineChart {
         let mut lx = plot_x0 + 8.0;
         for s in &self.series {
             c.rect(lx, plot_y1 - 10.0, 10.0, 4.0, &s.color, None);
-            c.text(lx + 14.0, plot_y1 - 5.0, 10.0, "#333333", Anchor::Start, &s.name);
+            c.text(
+                lx + 14.0,
+                plot_y1 - 5.0,
+                10.0,
+                "#333333",
+                Anchor::Start,
+                &s.name,
+            );
             lx += 14.0 + 7.0 * s.name.len() as f64 + 16.0;
         }
         c
@@ -199,7 +223,10 @@ impl ScatterChart {
 
     /// Add one point.
     pub fn push(&mut self, x: f64, y: f64, category: usize) {
-        assert!(category < self.categories.len(), "unknown category {category}");
+        assert!(
+            category < self.categories.len(),
+            "unknown category {category}"
+        );
         self.points.push(ScatterPoint { x, y, category });
     }
 
@@ -212,7 +239,14 @@ impl ScatterChart {
     pub fn render_canvas(&self) -> Canvas {
         let mut c = Canvas::new(self.width, self.height);
         c.background("#ffffff");
-        c.text(self.width / 2.0, 18.0, 13.0, "#222222", Anchor::Middle, &self.title);
+        c.text(
+            self.width / 2.0,
+            18.0,
+            13.0,
+            "#222222",
+            Anchor::Middle,
+            &self.title,
+        );
         let plot_x0 = MARGIN_LEFT;
         let plot_x1 = self.width - MARGIN_RIGHT;
         let plot_y0 = self.height - MARGIN_BOTTOM;
@@ -224,12 +258,26 @@ impl ScatterChart {
         for v in xs.ticks(8) {
             let x = xs.map(v);
             c.line(x, plot_y0, x, plot_y0 + 4.0, "#444444", 1.0);
-            c.text(x, plot_y0 + 16.0, 10.0, "#444444", Anchor::Middle, &format_tick(v));
+            c.text(
+                x,
+                plot_y0 + 16.0,
+                10.0,
+                "#444444",
+                Anchor::Middle,
+                &format_tick(v),
+            );
         }
         for v in ys.ticks(6) {
             let y = ys.map(v);
             c.dashed_line(plot_x0, y, plot_x1, y, "#dddddd", 0.6);
-            c.text(plot_x0 - 6.0, y + 3.0, 10.0, "#444444", Anchor::End, &format_tick(v));
+            c.text(
+                plot_x0 - 6.0,
+                y + 3.0,
+                10.0,
+                "#444444",
+                Anchor::End,
+                &format_tick(v),
+            );
         }
         c.text(
             (plot_x0 + plot_x1) / 2.0,
@@ -239,20 +287,40 @@ impl ScatterChart {
             Anchor::Middle,
             &self.x_label,
         );
-        c.text(14.0, (plot_y0 + plot_y1) / 2.0, 11.0, "#333333", Anchor::Middle, &self.y_label);
+        c.text(
+            14.0,
+            (plot_y0 + plot_y1) / 2.0,
+            11.0,
+            "#333333",
+            Anchor::Middle,
+            &self.y_label,
+        );
         // Zero line if the y domain crosses zero.
         if ys.d0 < 0.0 && ys.d1 > 0.0 {
             let y = ys.map(0.0);
             c.line(plot_x0, y, plot_x1, y, "#999999", 0.8);
         }
         for p in &self.points {
-            c.circle(xs.map(p.x), ys.map(p.y), 2.2, &self.colors[p.category], None);
+            c.circle(
+                xs.map(p.x),
+                ys.map(p.y),
+                2.2,
+                &self.colors[p.category],
+                None,
+            );
         }
         // Legend.
         let mut lx = plot_x0 + 8.0;
         for (i, name) in self.categories.iter().enumerate() {
             c.circle(lx, plot_y1 - 8.0, 4.0, &self.colors[i], None);
-            c.text(lx + 8.0, plot_y1 - 5.0, 10.0, "#333333", Anchor::Start, name);
+            c.text(
+                lx + 8.0,
+                plot_y1 - 5.0,
+                10.0,
+                "#333333",
+                Anchor::Start,
+                name,
+            );
             lx += 8.0 + 7.0 * name.len() as f64 + 18.0;
         }
         c
@@ -313,7 +381,11 @@ mod tests {
             vec!["dark".to_string(), "sunlit".to_string()],
         );
         for i in 0..48 {
-            sc.push(f64::from(i) / 2.0, (f64::from(i) * 0.7).sin(), (i % 2) as usize);
+            sc.push(
+                f64::from(i) / 2.0,
+                (f64::from(i) * 0.7).sin(),
+                (i % 2) as usize,
+            );
         }
         let svg = sc.render();
         assert!(svg.contains("Battery delta"));

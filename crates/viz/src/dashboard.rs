@@ -24,8 +24,22 @@ impl StatTile {
         let mut c = Canvas::new(width, height);
         c.background("#ffffff");
         c.rect(0.0, 0.0, width, 4.0, &self.color, None);
-        c.text(width / 2.0, height * 0.55, 24.0, "#111111", Anchor::Middle, &self.value);
-        c.text(width / 2.0, height * 0.85, 11.0, "#666666", Anchor::Middle, &self.label);
+        c.text(
+            width / 2.0,
+            height * 0.55,
+            24.0,
+            "#111111",
+            Anchor::Middle,
+            &self.value,
+        );
+        c.text(
+            width / 2.0,
+            height * 0.85,
+            11.0,
+            "#666666",
+            Anchor::Middle,
+            &self.label,
+        );
         c
     }
 }
@@ -63,7 +77,14 @@ impl AlarmList {
             );
         }
         if self.rows.is_empty() {
-            c.text(26.0, 44.0, 11.0, "#2ca02c", Anchor::Start, "no active alarms");
+            c.text(
+                26.0,
+                44.0,
+                11.0,
+                "#2ca02c",
+                Anchor::Start,
+                "no active alarms",
+            );
         }
         c
     }
@@ -122,8 +143,12 @@ impl Dashboard {
 
     /// Place a panel; panics if it falls outside the grid.
     pub fn place(&mut self, col: u32, row: u32, col_span: u32, row_span: u32, content: Canvas) {
-        assert!(col + col_span <= self.cols && row + row_span <= self.rows,
-            "panel at ({col},{row}) span ({col_span},{row_span}) exceeds {}x{} grid", self.cols, self.rows);
+        assert!(
+            col + col_span <= self.cols && row + row_span <= self.rows,
+            "panel at ({col},{row}) span ({col_span},{row_span}) exceeds {}x{} grid",
+            self.cols,
+            self.rows
+        );
         assert!(col_span > 0 && row_span > 0);
         self.panels.push(Panel {
             col,
@@ -154,12 +179,26 @@ impl Dashboard {
         let mut c = Canvas::new(w, h);
         c.background("#e8eaed");
         c.rect(0.0, 0.0, w, TITLE_H, "#1f3044", None);
-        c.text(12.0, TITLE_H - 12.0, 16.0, "#ffffff", Anchor::Start, &self.title);
+        c.text(
+            12.0,
+            TITLE_H - 12.0,
+            16.0,
+            "#ffffff",
+            Anchor::Start,
+            &self.title,
+        );
         for p in &self.panels {
             let x = GAP + f64::from(p.col) * (self.cell_w + GAP);
             let y = TITLE_H + GAP + f64::from(p.row) * (self.cell_h + GAP);
             let (pw, ph) = self.span_size(p.col_span, p.row_span);
-            c.rect(x - 1.0, y - 1.0, pw + 2.0, ph + 2.0, "#ffffff", Some(("#c5c9ce", 1.0)));
+            c.rect(
+                x - 1.0,
+                y - 1.0,
+                pw + 2.0,
+                ph + 2.0,
+                "#ffffff",
+                Some(("#c5c9ce", 1.0)),
+            );
             c.embed(x, y, &p.content);
         }
         c.finish()

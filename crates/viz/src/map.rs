@@ -118,7 +118,14 @@ impl MapView {
     pub fn render_canvas(&self) -> Canvas {
         let mut c = Canvas::new(self.width, self.height);
         c.background("#f4f2ee");
-        c.text(self.width / 2.0, 20.0, 14.0, "#222222", Anchor::Middle, &self.title);
+        c.text(
+            self.width / 2.0,
+            20.0,
+            14.0,
+            "#222222",
+            Anchor::Middle,
+            &self.title,
+        );
         let bb = self.extent();
         for l in &self.links {
             let (x1, y1) = self.to_px(&bb, l.from);
@@ -133,9 +140,14 @@ impl MapView {
             let (x, y) = self.to_px(&bb, m.position);
             match m.kind {
                 MarkerKind::Sensor => c.circle(x, y, 6.0, &m.color, Some(("#333333", 1.0))),
-                MarkerKind::Gateway => {
-                    c.rect(x - 6.0, y - 6.0, 12.0, 12.0, &m.color, Some(("#333333", 1.0)))
-                }
+                MarkerKind::Gateway => c.rect(
+                    x - 6.0,
+                    y - 6.0,
+                    12.0,
+                    12.0,
+                    &m.color,
+                    Some(("#333333", 1.0)),
+                ),
                 MarkerKind::Station => {
                     c.polygon(
                         &[(x, y - 8.0), (x + 8.0, y), (x, y + 8.0), (x - 8.0, y)],

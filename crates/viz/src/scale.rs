@@ -134,7 +134,7 @@ impl TimeScale {
                 format!("{:02}:{:02}", c.hour, c.minute)
             };
             out.push((t, label));
-            t = t + Span::seconds(step);
+            t += Span::seconds(step);
         }
         out
     }
@@ -195,7 +195,11 @@ mod tests {
         let t1 = t0 + Span::days(1);
         let ts = TimeScale::new(t0, t1, 0.0, 800.0);
         let ticks = ts.ticks(10);
-        assert!(ticks.len() >= 4 && ticks.len() <= 10, "{} ticks", ticks.len());
+        assert!(
+            ticks.len() >= 4 && ticks.len() <= 10,
+            "{} ticks",
+            ticks.len()
+        );
         // Labels are HH:MM for sub-day steps.
         assert!(ticks[0].1.contains(':'));
         assert_eq!(ts.map(t0), 0.0);

@@ -71,14 +71,26 @@ impl Canvas {
     }
 
     /// Rectangle with optional stroke `(color, width)`.
-    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<(&str, f64)>) {
+    pub fn rect(
+        &mut self,
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+        fill: &str,
+        stroke: Option<(&str, f64)>,
+    ) {
         let _ = write!(
             self.body,
             r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{}""#,
             escape(fill)
         );
         if let Some((color, sw)) = stroke {
-            let _ = write!(self.body, r#" stroke="{}" stroke-width="{sw}""#, escape(color));
+            let _ = write!(
+                self.body,
+                r#" stroke="{}" stroke-width="{sw}""#,
+                escape(color)
+            );
         }
         self.body.push_str("/>\n");
     }
@@ -91,7 +103,11 @@ impl Canvas {
             escape(fill)
         );
         if let Some((color, sw)) = stroke {
-            let _ = write!(self.body, r#" stroke="{}" stroke-width="{sw}""#, escape(color));
+            let _ = write!(
+                self.body,
+                r#" stroke="{}" stroke-width="{sw}""#,
+                escape(color)
+            );
         }
         self.body.push_str("/>\n");
     }
@@ -119,7 +135,10 @@ impl Canvas {
         if points.len() < 2 {
             return;
         }
-        let pts: Vec<String> = points.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
         let _ = writeln!(
             self.body,
             r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="{width}"/>"#,
@@ -133,7 +152,10 @@ impl Canvas {
         if points.len() < 3 {
             return;
         }
-        let pts: Vec<String> = points.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
         let _ = write!(
             self.body,
             r#"<polygon points="{}" fill="{}""#,
@@ -141,7 +163,11 @@ impl Canvas {
             escape(fill)
         );
         if let Some((color, sw)) = stroke {
-            let _ = write!(self.body, r#" stroke="{}" stroke-width="{sw}""#, escape(color));
+            let _ = write!(
+                self.body,
+                r#" stroke="{}" stroke-width="{sw}""#,
+                escape(color)
+            );
         }
         self.body.push_str("/>\n");
     }
@@ -214,7 +240,11 @@ mod tests {
         let mut c = Canvas::new(10.0, 10.0);
         c.polygon(&[(0.0, 0.0), (5.0, 5.0)], "#000", None);
         assert!(!c.clone().finish().contains("polygon"));
-        c.polygon(&[(0.0, 0.0), (5.0, 5.0), (0.0, 5.0)], "#000", Some(("#111", 0.5)));
+        c.polygon(
+            &[(0.0, 0.0), (5.0, 5.0), (0.0, 5.0)],
+            "#000",
+            Some(("#111", 0.5)),
+        );
         let svg = c.finish();
         assert!(svg.contains("polygon"));
         assert!(svg.contains("stroke=\"#111\""));

@@ -25,8 +25,18 @@ fn main() {
     let mut worst = AqiBand::VeryLow;
     for node in pipeline.deployment.nodes.clone() {
         let window = (end - Span::hours(1), end);
-        let no2 = pipeline.device_series(node.eui, Quantity::Pollutant(Pollutant::No2), window.0, window.1);
-        let pm10 = pipeline.device_series(node.eui, Quantity::Pollutant(Pollutant::Pm10), window.0, window.1);
+        let no2 = pipeline.device_series(
+            node.eui,
+            Quantity::Pollutant(Pollutant::No2),
+            window.0,
+            window.1,
+        );
+        let pm10 = pipeline.device_series(
+            node.eui,
+            Quantity::Pollutant(Pollutant::Pm10),
+            window.0,
+            window.1,
+        );
         let mean = |s: &Series| s.values().sum::<f64>() / s.len().max(1) as f64;
         let band = caqi(&[
             (Pollutant::No2, mean(&no2) * 1.9125),
@@ -51,7 +61,11 @@ fn main() {
     traffic_chart.add("arterial", jam.clone());
 
     // CO2 trend panel.
-    let co2_city = pipeline.city_series(Quantity::Pollutant(Pollutant::Co2), end - Span::days(1), end);
+    let co2_city = pipeline.city_series(
+        Quantity::Pollutant(Pollutant::Co2),
+        end - Span::days(1),
+        end,
+    );
     let mut co2_chart = LineChart::new("City CO₂ (last 24 h)", "ppm");
     co2_chart.add("city mean", co2_city.clone());
 
@@ -65,9 +79,25 @@ fn main() {
         }
         .render_canvas(360.0, 260.0)
     };
-    dash.place(0, 0, 1, 1, tile("overall air quality", worst.label().to_string(), worst.color()));
+    dash.place(
+        0,
+        0,
+        1,
+        1,
+        tile(
+            "overall air quality",
+            worst.label().to_string(),
+            worst.color(),
+        ),
+    );
     let jam_now = jam.points.last().map(|&(_, v)| v).unwrap_or(0.0);
-    dash.place(0, 1, 1, 1, tile("jam factor now", format!("{jam_now:.1}"), "#0072B2"));
+    dash.place(
+        0,
+        1,
+        1,
+        1,
+        tile("jam factor now", format!("{jam_now:.1}"), "#0072B2"),
+    );
     let mut co2_canvas = co2_chart;
     co2_canvas.width = 740.0;
     co2_canvas.height = 260.0;
@@ -85,7 +115,10 @@ fn main() {
     // Historic browser: anomalous emission days over the whole week.
     let dev = pipeline.deployment.nodes[0].eui;
     let co2_hist = pipeline.device_series(dev, Quantity::Pollutant(Pollutant::Co2), start, end);
-    println!("\nAnomalous CO₂ days at {} (z > 1.7):", pipeline.deployment.nodes[0].name);
+    println!(
+        "\nAnomalous CO₂ days at {} (z > 1.7):",
+        pipeline.deployment.nodes[0].name
+    );
     let days = anomalous_days(&co2_hist, 1.7);
     if days.is_empty() {
         println!("  none in this window — try a longer run");

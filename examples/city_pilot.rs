@@ -36,11 +36,18 @@ fn main() {
         );
         println!(
             "    losses:       coverage={} collision={} duty={} busy={}",
-            radio.lost_no_coverage, radio.lost_collision, radio.lost_duty_cycle, radio.lost_gateway_busy
+            radio.lost_no_coverage,
+            radio.lost_collision,
+            radio.lost_duty_cycle,
+            radio.lost_gateway_busy
         );
         println!("  ADR commands:   {}", st.adr_commands);
-        println!("  TSDB:           {} points, {} series, {} bytes",
-            pipeline.tsdb.stats().points, pipeline.tsdb.stats().series, pipeline.tsdb.stats().bytes);
+        println!(
+            "  TSDB:           {} points, {} series, {} bytes",
+            pipeline.tsdb.stats().points,
+            pipeline.tsdb.stats().series,
+            pipeline.tsdb.stats().bytes
+        );
 
         // Per-node completeness (the §2.2 missing-data reality).
         for n in &pipeline.deployment.nodes.clone() {
@@ -53,13 +60,37 @@ fn main() {
         let mut trace = ProtocolTrace::new();
         let t0 = start + Span::hours(1);
         trace.record(Stage::SensorUplink, t0, true, "SF10, 34 B PHY");
-        trace.record(Stage::GatewayForward, t0 + Span::seconds(1), true,
-            format!("{}", pipeline.gateway_ids()[0]));
-        trace.record(Stage::TtnBackend, t0 + Span::seconds(1), true, "dedup + ADR");
+        trace.record(
+            Stage::GatewayForward,
+            t0 + Span::seconds(1),
+            true,
+            format!("{}", pipeline.gateway_ids()[0]),
+        );
+        trace.record(
+            Stage::TtnBackend,
+            t0 + Span::seconds(1),
+            true,
+            "dedup + ADR",
+        );
         trace.record(Stage::MqttPublish, t0 + Span::seconds(2), true, "QoS1");
-        trace.record(Stage::DataportIngest, t0 + Span::seconds(2), true, "twin updated");
-        trace.record(Stage::DatabaseWrite, t0 + Span::seconds(2), true, "9 points");
-        trace.record(Stage::Visualization, t0 + Span::seconds(3), true, "dashboard refresh");
+        trace.record(
+            Stage::DataportIngest,
+            t0 + Span::seconds(2),
+            true,
+            "twin updated",
+        );
+        trace.record(
+            Stage::DatabaseWrite,
+            t0 + Span::seconds(2),
+            true,
+            "9 points",
+        );
+        trace.record(
+            Stage::Visualization,
+            t0 + Span::seconds(3),
+            true,
+            "dashboard refresh",
+        );
         println!("\n  Fig. 2 protocol trace:\n{}", indent(&trace.render(), 4));
 
         // Calibration against the official station (Trondheim only).
@@ -69,11 +100,13 @@ fn main() {
                 Site::kerbside(station_spec.position),
                 7,
             );
-            let reference =
-                station.hourly_series(pipeline.emission(), Pollutant::Co2, start, end);
-            let colocated = station_spec.colocated_node.expect("paper: node 1 co-located");
+            let reference = station.hourly_series(pipeline.emission(), Pollutant::Co2, start, end);
+            let colocated = station_spec
+                .colocated_node
+                .expect("paper: node 1 co-located");
             // Hourly means of the co-located sensor to match the station.
-            let raw = pipeline.device_series(colocated, Quantity::Pollutant(Pollutant::Co2), start, end);
+            let raw =
+                pipeline.device_series(colocated, Quantity::Pollutant(Pollutant::Co2), start, end);
             let hourly = ctt::integration::resample(
                 &raw,
                 start,
@@ -86,11 +119,16 @@ fn main() {
                     println!("  calibration vs {}:", station.name);
                     println!(
                         "    absolute accuracy: RMSE {:.1} → {:.1} ppm, bias {:+.1} → {:+.1} ppm",
-                        report.before.rmse, report.after.rmse, report.before.bias, report.after.bias
+                        report.before.rmse,
+                        report.after.rmse,
+                        report.before.bias,
+                        report.after.bias
                     );
                     println!(
                         "    relative accuracy: r = {:.3} (gain {:.3}, offset {:+.1})",
-                        report.after.r, report.calibration.fit.slope, report.calibration.fit.intercept
+                        report.after.r,
+                        report.calibration.fit.slope,
+                        report.calibration.fit.intercept
                     );
                 }
                 None => println!("  calibration: not enough co-located pairs in one day"),

@@ -27,7 +27,10 @@ fn print_alarms(pipeline: &Pipeline, when: &str) {
     let alarms = pipeline.dataport.active_alarms();
     println!("\n— alarms {when}: {} active", alarms.len());
     for a in &alarms {
-        println!("  [{}] {:?} {} — {}", a.severity, a.kind, a.source, a.message);
+        println!(
+            "  [{}] {:?} {} — {}",
+            a.severity, a.kind, a.source, a.message
+        );
     }
 }
 
@@ -40,8 +43,14 @@ fn main() {
     let snap = pipeline.dataport.snapshot(pipeline.now());
     println!(
         "phase 1: {} sensors online, {} gateways up, watchdog: {:?}",
-        snap.sensors.iter().filter(|s| s.state == TwinState::Online).count(),
-        snap.gateways.iter().filter(|g| g.state == GatewayState::Up).count(),
+        snap.sensors
+            .iter()
+            .filter(|s| s.state == TwinState::Online)
+            .count(),
+        snap.gateways
+            .iter()
+            .filter(|g| g.state == GatewayState::Up)
+            .count(),
         WatchdogVerdict::Healthy,
     );
     print_alarms(&pipeline, "after 2 h healthy");
@@ -73,7 +82,8 @@ fn main() {
         .collect();
     for s in &snap.sensors {
         let spec = deployment.node(s.device).expect("known node");
-        if let (Some(gw), Some(&to)) = (s.last_gateway, s.last_gateway.and_then(|g| gw_pos.get(&g))) {
+        if let (Some(gw), Some(&to)) = (s.last_gateway, s.last_gateway.and_then(|g| gw_pos.get(&g)))
+        {
             let _ = gw;
             map.links.push(Link {
                 from: spec.site.position,
@@ -95,7 +105,12 @@ fn main() {
         map.markers.push(Marker {
             position: gw_pos[&g.gateway],
             kind: MarkerKind::Gateway,
-            color: if g.state == GatewayState::Up { "#2ca02c" } else { "#d7191c" }.to_string(),
+            color: if g.state == GatewayState::Up {
+                "#2ca02c"
+            } else {
+                "#d7191c"
+            }
+            .to_string(),
             label: format!("gw {}", g.gateway.seq()),
             value: Some(format!("{} frames", g.frames)),
         });
@@ -107,6 +122,9 @@ fn main() {
     // Actor-system introspection: the supervision hierarchy of §2.3.
     println!("\nactor paths (first three sensors):");
     for n in deployment.nodes.iter().take(3) {
-        println!("  {}", pipeline.dataport.sensor_path(n.eui).expect("registered"));
+        println!(
+            "  {}",
+            pipeline.dataport.sensor_path(n.eui).expect("registered")
+        );
     }
 }

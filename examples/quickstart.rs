@@ -51,7 +51,10 @@ fn main() {
         );
     }
     for g in &snapshot.gateways {
-        println!("gateway {}  state={:?}  frames={}", g.gateway, g.state, g.frames);
+        println!(
+            "gateway {}  state={:?}  frames={}",
+            g.gateway, g.state, g.frames
+        );
     }
     println!(
         "active alarms: {}   (suppressed by correlation: {})",

@@ -27,13 +27,20 @@ fn main() {
     // Candidate planning scenarios to discuss with attendees.
     let scenarios: Vec<(&str, ScenarioKind, f64)> = vec![
         ("baseline (no intervention)", ScenarioKind::Event, 0.0),
-        ("construction site at Vejle midtby", ScenarioKind::ConstructionSite, 1.0),
+        (
+            "construction site at Vejle midtby",
+            ScenarioKind::ConstructionSite,
+            1.0,
+        ),
         ("new factory north of centre", ScenarioKind::Factory, 1.0),
         ("road closure on Horsensvej", ScenarioKind::RoadClosure, 1.0),
     ];
 
     println!("Urban planning what-if study — {} pilot\n", deployment.city);
-    println!("{:<38} {:>10} {:>10} {:>10}", "scenario", "NO₂ ppb", "PM10", "CAQI band");
+    println!(
+        "{:<38} {:>10} {:>10} {:>10}",
+        "scenario", "NO₂ ppb", "PM10", "CAQI band"
+    );
 
     for (name, kind, intensity) in scenarios {
         let mut pipeline = Pipeline::new(Deployment::vejle(), 42);
@@ -79,7 +86,10 @@ fn main() {
         ])
         .map(|c| c.band())
         .unwrap_or(AqiBand::VeryLow);
-        println!("{name:<38} {no2_mean:>10.1} {pm10_mean:>10.1} {:>10}", caqi.label());
+        println!(
+            "{name:<38} {no2_mean:>10.1} {pm10_mean:>10.1} {:>10}",
+            caqi.label()
+        );
     }
 
     // Site selection: building density across the 3D model guides where a

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod pipeline;
 

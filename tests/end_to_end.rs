@@ -13,7 +13,10 @@ fn paper_deployment_facts_hold() {
     assert_eq!(trondheim.nodes.len(), 12);
     assert_eq!(vejle.nodes.len(), 2);
     // §3: "collected since January 2017".
-    assert_eq!(trondheim.started, Timestamp::from_civil(2017, 1, 1, 0, 0, 0));
+    assert_eq!(
+        trondheim.started,
+        Timestamp::from_civil(2017, 1, 1, 0, 0, 0)
+    );
     // §1: 250 units for one station.
     assert_eq!(CostModel::default().units_per_station(), 250.0);
 }
@@ -24,7 +27,12 @@ fn five_minute_cadence_flows_to_storage() {
     let start = p.deployment.started;
     p.run_until(start + Span::hours(4));
     let dev = p.deployment.nodes[0].eui;
-    let s = p.device_series(dev, Quantity::Pollutant(Pollutant::Co2), start, start + Span::hours(4));
+    let s = p.device_series(
+        dev,
+        Quantity::Pollutant(Pollutant::Co2),
+        start,
+        start + Span::hours(4),
+    );
     // §3: five-minute interval → ~48 points in 4 hours (minus radio losses).
     assert!(s.len() >= 40, "{} points", s.len());
     let cadence = analytics::stats::mean_cadence(&s).expect("enough points");
@@ -57,7 +65,8 @@ fn radio_losses_show_up_as_gaps_and_get_imputed() {
         return;
     }
     let gaps = analytics::find_gaps(&s, Span::minutes(5), 1.5);
-    let (filled, imputed) = analytics::impute(&s, Span::minutes(5), analytics::ImputeMethod::Linear);
+    let (filled, imputed) =
+        analytics::impute(&s, Span::minutes(5), analytics::ImputeMethod::Linear);
     if completeness < 0.999 {
         assert!(!gaps.is_empty() || imputed > 0 || s.len() < 72);
     }
@@ -72,7 +81,11 @@ fn colocated_calibration_improves_absolute_accuracy() {
     let start = p.deployment.started;
     let end = start + Span::days(3);
     p.run_until(end);
-    let station_spec = p.deployment.reference_station.clone().expect("Trondheim has one");
+    let station_spec = p
+        .deployment
+        .reference_station
+        .clone()
+        .expect("Trondheim has one");
     let station = NiluStation::new("Elgeseter", Site::kerbside(station_spec.position), 7);
     let reference = station.hourly_series(p.emission(), Pollutant::Co2, start, end);
     let colocated = station_spec.colocated_node.unwrap();
@@ -129,7 +142,9 @@ fn broker_consumers_see_live_uplinks() {
     use ctt::broker::{QoS, UplinkEvent};
     let mut p = Pipeline::new(Deployment::vejle(), 9);
     // A dashboard subscribes live, before the run.
-    let dashboard = p.broker().subscribe(UplinkEvent::city_filter("vejle"), QoS::AtMostOnce, 4096);
+    let dashboard = p
+        .broker()
+        .subscribe(UplinkEvent::city_filter("vejle"), QoS::AtMostOnce, 4096);
     let start = p.deployment.started;
     p.run_until(start + Span::hours(1));
     let events = dashboard.drain();
@@ -183,7 +198,11 @@ fn gateway_outage_is_distinguished_from_node_failures() {
         .iter()
         .filter(|a| a.kind == AlarmKind::SensorOffline)
         .count();
-    assert_eq!(gw_down, 1, "gateway outage not detected: {:?}", snap.active_alarms);
+    assert_eq!(
+        gw_down, 1,
+        "gateway outage not detected: {:?}",
+        snap.active_alarms
+    );
     assert_eq!(
         sensors_offline, 0,
         "sensor alarms should be suppressed under the gateway outage"
@@ -220,7 +239,9 @@ fn table1_sources_all_produce_data() {
     let to = from + Span::days(32);
     // Official air quality.
     let station = NiluStation::new("Elgeseter", Site::kerbside(d.center), 7);
-    assert!(!station.hourly_series(&em, Pollutant::No2, from, to).is_empty());
+    assert!(!station
+        .hourly_series(&em, Pollutant::No2, from, to)
+        .is_empty());
     // Remote sensing.
     let sat = Oco2::default();
     assert!(!sat.collect(&em, d.center, from, to).is_empty());
@@ -228,7 +249,10 @@ fn table1_sources_all_produce_data() {
     let feed = TrafficFeed::new(d.traffic_model(42), 1);
     assert!(!feed.series(from, to).is_empty());
     // Municipal counts.
-    let campaign = CountingCampaign { start: from, days: 7 };
+    let campaign = CountingCampaign {
+        start: from,
+        days: 7,
+    };
     assert_eq!(campaign.daily_counts(feed.model()).len(), 7);
     // National statistics.
     let inv = NationalInventory::new(0.035);

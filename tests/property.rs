@@ -106,7 +106,7 @@ proptest! {
             pts.push((Timestamp(t), *v));
         }
         let decoded = enc.finish().decode();
-        prop_assert_eq!(decoded, pts);
+        prop_assert_eq!(decoded, Ok(pts));
     }
 
     /// Topic filters: `#` matches everything under the prefix; an exact

@@ -1,0 +1,298 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API surface `crates/bench` uses: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`black_box`],
+//! and both forms of [`criterion_group!`] plus [`criterion_main!`].
+//!
+//! Timing is a simple mean over `sample_size` batches — no outlier
+//! rejection or HTML reports. When invoked with `--test` (as `cargo test`
+//! does for `harness = false` bench targets), every benchmark body runs
+//! exactly once so the test suite stays fast.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque a value to the optimizer so benchmarked work is not elided.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver (one per `criterion_group!`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    /// `--test` mode: run each body once, report nothing.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches per benchmark (builder-style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Apply process arguments (`--test` → smoke mode). Called by the
+    /// `criterion_group!` expansion.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, self.test_mode, f);
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the timed batch count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F)
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&label, samples, self.criterion.test_mode, f);
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F)
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &P),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group (kept for API parity; reporting is per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// A benchmark label with a parameter, e.g. `encode/1024`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Label from a bare parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted benchmark identifiers: `&str`, `String`, or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The display label for the benchmark.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// Handed to each benchmark body; call [`Bencher::iter`] with the workload.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, running it `samples` times (once in `--test` mode).
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Small warmup so first-touch costs don't skew the mean.
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.elapsed = Some(start.elapsed());
+    }
+
+    /// Like [`Bencher::iter`], but rebuild the routine's input with `setup`
+    /// before every invocation; only the routine itself is timed.
+    pub fn iter_with_setup<S, I, O, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..2 {
+            black_box(routine(setup()));
+        }
+        let mut timed = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+        }
+        self.elapsed = Some(timed);
+    }
+}
+
+fn run_one<F>(label: &str, samples: usize, test_mode: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples,
+        test_mode,
+        elapsed: None,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("bench {label}: ok (smoke)");
+        return;
+    }
+    match b.elapsed {
+        Some(total) => {
+            let per_iter = total / samples as u32;
+            println!("bench {label}: {per_iter:?}/iter ({samples} samples)");
+        }
+        None => println!("bench {label}: no iter() call"),
+    }
+}
+
+/// Define a benchmark group function. Supports both the positional form
+/// `criterion_group!(benches, f1, f2)` and the configured form
+/// `criterion_group!(name = benches; config = Criterion::default(); targets = f1, f2)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main()` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(c: &mut Criterion) {
+        c.bench_function("wave", |b| b.iter(|| (0..64).sum::<i64>()));
+    }
+
+    criterion_group!(positional_group, wave);
+    criterion_group!(
+        name = configured_group;
+        config = Criterion::default().sample_size(3);
+        targets = wave,
+    );
+
+    #[test]
+    fn groups_run() {
+        positional_group();
+        configured_group();
+    }
+
+    #[test]
+    fn group_api_shapes() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("sized", 8), &8usize, |b, &n| {
+            b.iter(|| vec![0u8; n])
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,491 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API used by `tests/property.rs`:
+//! the [`proptest!`] macro over functions with `pattern in strategy`
+//! arguments, `prop_assert!`/`prop_assert_eq!`, range and `any::<T>()`
+//! strategies, `collection::vec`, tuple strategies, and a small
+//! character-class regex subset for string strategies.
+//!
+//! Differences from the real crate: cases are drawn from a deterministic
+//! SplitMix64 stream seeded per test name (override the case count with
+//! `PROPTEST_CASES`), and failing cases are **not shrunk** — the failing
+//! input is printed as-is.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator backing all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name (stable across runs) plus `PROPTEST_SEED`.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRng {
+            state: h ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// A failed property within a [`proptest!`] case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure carrying `msg`.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Something that can produce values for a [`proptest!`] argument.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only; the real crate's any::<f64>() includes
+        // specials, but no workspace test relies on that via any().
+        (rng.unit() - 0.5) * 2e12
+    }
+}
+
+/// Strategy for any value of `T` — `any::<u64>()` etc.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The `any::<T>()` strategy constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi.wrapping_sub(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let v = self.start + (self.end - self.start) * rng.unit() as $t;
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:ident $idx:tt),+)),+) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A 0, B 1), (A 0, B 1, C 2), (A 0, B 1, C 2, D 3));
+
+/// Regex-subset string strategy: a `&str` pattern is itself a strategy.
+///
+/// Supported syntax: literal characters, character classes like
+/// `[a-z0-9_]`, and `{n}` / `{m,n}` repetition after a class or literal.
+/// Anything else panics at generation time — extend the parser rather than
+/// silently generating wrong strings.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        // 1. Parse one atom: a class or a literal.
+        let alphabet: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let class = &chars[i + 1..i + close];
+                i += close + 1;
+                expand_class(class, pattern)
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                i += 2;
+                vec![c]
+            }
+            '(' | ')' | '|' | '*' | '+' | '?' | '.' => {
+                panic!("unsupported regex construct {:?} in {pattern:?}", chars[i])
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // 2. Optional {n} / {m,n} repetition.
+        let (lo, hi) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let spec: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            let parse = |s: &str| -> usize {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repetition {spec:?} in {pattern:?}"))
+            };
+            match spec.split_once(',') {
+                Some((m, n)) => (parse(m), parse(n)),
+                None => (parse(&spec), parse(&spec)),
+            }
+        } else {
+            (1, 1)
+        };
+        let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..count {
+            let pick = rng.below(alphabet.len() as u64) as usize;
+            out.push(alphabet[pick]);
+        }
+    }
+    out
+}
+
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut j = 0usize;
+    while j < class.len() {
+        if j + 2 < class.len() && class[j + 1] == '-' {
+            let (lo, hi) = (class[j], class[j + 2]);
+            assert!(lo <= hi, "inverted class range in {pattern:?}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            j += 3;
+        } else {
+            set.push(class[j]);
+            j += 1;
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in {pattern:?}");
+    set
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of `elem` values with a length in `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(strategy, range)` — the proptest vector combinator.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Number of cases per property (override with `PROPTEST_CASES`).
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(96)
+}
+
+/// Driver used by the generated test body: run `f` for every case.
+pub fn run_cases<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = case_count();
+    let mut rng = TestRng::from_name(name);
+    for case in 0..cases {
+        if let Err(e) = f(&mut rng) {
+            panic!("property {name} failed at case {case}/{cases}: {e}");
+        }
+    }
+}
+
+/// The proptest entry macro: wraps `fn name(arg in strategy, ...) { .. }`
+/// test bodies into exhaustively-sampled `#[test]` functions.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__pt_rng| {
+                    $crate::__proptest_bind!(__pt_rng; $($args)*);
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Internal: bind `pattern in strategy` arguments to generated values.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; mut $name:ident in $strat:expr) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:ident; mut $name:ident in $strat:expr, $($rest:tt)*) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args..)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n at {}:{}",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r,
+                        file!(),
+                        line!()
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        format!($($fmt)+),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary, Strategy, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -50i64..50, y in 0.0..1.0f64, b in 1u8..=9) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!((1..=9).contains(&b));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in collection::vec(any::<u8>(), 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn string_pattern_subset(s in "[a-c0-1]{2,4}") {
+            prop_assert!((2..=4).contains(&s.len()), "len {}", s.len());
+            prop_assert!(s.chars().all(|c| "abc01".contains(c)));
+        }
+
+        #[test]
+        fn tuples_compose(mut pair in (0i64..10, 5.0..6.0f64)) {
+            pair.0 += 1;
+            prop_assert!((1..11).contains(&pair.0));
+            prop_assert!((5.0..6.0).contains(&pair.1));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_context() {
+        crate::run_cases("doomed", |_| Err(TestCaseError::fail("nope")));
+    }
+}
