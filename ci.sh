@@ -14,6 +14,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> ctt-lint"
 cargo run --offline -q -p ctt-lint
 
+echo "==> chaos soak (fault injection + loss-ledger conservation)"
+cargo test --offline -q -p ctt-chaos
+
 echo "==> cargo test"
 cargo test --offline -q --workspace
 

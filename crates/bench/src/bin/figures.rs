@@ -11,13 +11,14 @@
 use ctt::prelude::*;
 use ctt_analytics as analytics;
 use ctt_bench::SEED;
+use ctt_chaos::{FaultKind, FaultPlan};
 use ctt_citymodel::{generate_district, overlay, project::project_model, PlacedSensor, P2};
 use ctt_core::aqi::AqiBand;
 use ctt_core::battery::{AdaptivePolicy, Battery, BatteryConfig};
 use ctt_core::deployment::CostModel;
 use ctt_core::emission::Site;
 use ctt_core::node::{SensorNode, SensorSpec};
-use ctt_dataport::{GatewayState, ProtocolTrace, Stage, TwinState};
+use ctt_dataport::{AlarmKind, GatewayState, ProtocolTrace, Stage, TwinState};
 use ctt_integration::{info, resample, NiluStation, Oco2, ResampleMethod, SourceKind, TrafficFeed};
 use ctt_viz::{
     AlarmList, Anchor, Canvas, Dashboard, LineChart, Link, MapView, Marker, MarkerKind,
@@ -760,6 +761,112 @@ fn cost() {
     out("cost_model.csv", &csv);
 }
 
+/// §2.3 failure-detection claims under injected faults (TXT3): measured
+/// detection latency and false-alarm rate from a deterministic chaos run,
+/// plus the loss ledger's conservation verdict.
+fn txt3() {
+    println!("TXT3 — failure detection under injected faults (Vejle, 2 days)");
+    let d = Deployment::vejle();
+    let start = d.started;
+    let dead = d.nodes[0].eui;
+    let gw = d.gateways[0].id;
+    let death_from = start + Span::hours(6);
+    let death_until = start + Span::hours(12);
+    let outage_from = start + Span::days(1) + Span::hours(6);
+    let outage_until = outage_from + Span::minutes(45);
+    let plan = FaultPlan::new()
+        .with(
+            FaultKind::NodeDeath { device: dead },
+            death_from,
+            death_until,
+        )
+        .with(
+            FaultKind::GatewayOutage { gateway: gw },
+            outage_from,
+            outage_until,
+        );
+    let mut p = ctt::Pipeline::with_chaos(d, SEED, plan);
+    p.run_until(start + Span::days(2));
+
+    let log = p.dataport.alarm_log();
+    let offline_latency = log
+        .iter()
+        .find(|a| {
+            a.kind == AlarmKind::SensorOffline
+                && a.time >= death_from
+                && a.source.contains(&dead.to_string())
+        })
+        .map(|a| (a.time - death_from).as_seconds());
+    let outage_latency = log
+        .iter()
+        .find(|a| a.kind == AlarmKind::GatewayOutage && a.time >= outage_from)
+        .map(|a| (a.time - outage_from).as_seconds());
+    // A raise is justified if its underlying fault window (plus the twin's
+    // own detection lag) covers it; anything else is a false alarm.
+    let grace = Span::minutes(15);
+    let covered = |t: Timestamp, from: Timestamp, until: Timestamp| from <= t && t < until + grace;
+    let mut raises = 0u64;
+    let mut false_alarms = 0u64;
+    for a in &log {
+        match a.kind {
+            AlarmKind::SensorOffline => {
+                raises += 1;
+                let justified = (a.source.contains(&dead.to_string())
+                    && covered(a.time, death_from, death_until))
+                    || covered(a.time, outage_from, outage_until);
+                if !justified {
+                    false_alarms += 1;
+                }
+            }
+            AlarmKind::GatewayOutage => {
+                raises += 1;
+                if !covered(a.time, outage_from, outage_until) {
+                    false_alarms += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let rate = false_alarms as f64 / raises.max(1) as f64;
+    let suppressed = p.dataport.snapshot(p.now()).suppressed_alarms;
+    let verdict = p.ledger().verify();
+    println!(
+        "  detection latency: sensor-offline {} s after death, gateway-outage {} s after cut",
+        offline_latency.unwrap_or(-1),
+        outage_latency.unwrap_or(-1)
+    );
+    println!(
+        "  false alarms: {false_alarms} of {raises} offline/outage raises (rate {rate:.3}); {suppressed} suppressed by correlation"
+    );
+    println!(
+        "  loss ledger: produced={} stored={} attributed={} unattributed={}",
+        verdict.produced,
+        verdict.stored,
+        verdict.attributed,
+        verdict.unattributed.len()
+    );
+    let mut csv = String::from("metric,value\n");
+    let _ = writeln!(
+        csv,
+        "sensor_offline_detection_latency_s,{}",
+        offline_latency.unwrap_or(-1)
+    );
+    let _ = writeln!(
+        csv,
+        "gateway_outage_detection_latency_s,{}",
+        outage_latency.unwrap_or(-1)
+    );
+    let _ = writeln!(csv, "offline_outage_raises,{raises}");
+    let _ = writeln!(csv, "false_alarms,{false_alarms}");
+    let _ = writeln!(csv, "false_alarm_rate,{rate:.4}");
+    let _ = writeln!(csv, "suppressed_alarms,{suppressed}");
+    let _ = writeln!(csv, "uplinks_produced,{}", verdict.produced);
+    let _ = writeln!(csv, "uplinks_stored,{}", verdict.stored);
+    let _ = writeln!(csv, "losses_attributed,{}", verdict.attributed);
+    let _ = writeln!(csv, "losses_unattributed,{}", verdict.unattributed.len());
+    out("txt3_chaos.csv", &csv);
+}
+
 /// §2.4 co-located calibration (TXT4): absolute + relative accuracy
 /// before/after.
 fn calibration() {
@@ -920,6 +1027,9 @@ fn main() {
     }
     if want("--cost") {
         cost();
+    }
+    if want("--txt3") {
+        txt3();
     }
     if want("--calibration") {
         calibration();

@@ -11,7 +11,7 @@ use crate::broker::Broker;
 use crate::message::{Message, QoS};
 use crate::topic::{Topic, TopicFilter};
 use ctt_core::ids::{DevEui, GatewayId};
-use ctt_core::time::Timestamp;
+use ctt_core::time::{Span, Timestamp};
 use std::fmt;
 
 /// An uplink event as carried over MQTT.
@@ -185,6 +185,68 @@ impl UplinkEvent {
             Message::new(self.topic(), self.encode(), self.time).with_qos(QoS::AtLeastOnce),
         )
     }
+
+    /// Publish with bounded retry: when the QoS1 publish defers on a full
+    /// subscriber queue, retry the deferred deliveries under exponential
+    /// backoff until they land or the attempt budget runs out. Undelivered
+    /// messages stay in the broker's in-flight store either way, so giving
+    /// up here loses nothing — a later ack/redeliver cycle recovers them.
+    pub fn publish_with_retry(&self, broker: &Broker, policy: RetryPolicy) -> PublishReport {
+        let outcome = broker.publish_with_outcome(
+            Message::new(self.topic(), self.encode(), self.time).with_qos(QoS::AtLeastOnce),
+        );
+        let mut report = PublishReport {
+            routed: outcome.routed,
+            enqueued: outcome.enqueued,
+            retries: 0,
+            backoff: Span::seconds(0),
+            still_deferred: outcome.deferred_qos1,
+        };
+        while report.still_deferred > 0 && report.retries < policy.max_attempts {
+            // Simulated-time backoff: 1×, 2×, 4×, … the base interval.
+            let factor = 1i64 << report.retries.min(16);
+            report.backoff =
+                report.backoff + Span::seconds(policy.base_backoff.as_seconds() * factor);
+            report.retries += 1;
+            let recovered = broker.redeliver_deferred();
+            report.enqueued += recovered;
+            report.still_deferred = report.still_deferred.saturating_sub(recovered);
+        }
+        report
+    }
+}
+
+/// Bounded exponential backoff for deferred QoS1 publishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts after the initial publish.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each attempt.
+    pub base_backoff: Span,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Span::seconds(1),
+        }
+    }
+}
+
+/// What a retried publish accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublishReport {
+    /// Subscriptions the message was routed to.
+    pub routed: usize,
+    /// Deliveries enqueued (initial + recovered by retry).
+    pub enqueued: usize,
+    /// Retry rounds performed.
+    pub retries: u32,
+    /// Total simulated backoff accumulated across retries.
+    pub backoff: Span,
+    /// Deliveries still deferred when the attempt budget ran out.
+    pub still_deferred: usize,
 }
 
 #[cfg(test)]
@@ -204,6 +266,32 @@ mod tests {
             gateway_count: 2,
             payload: vec![0x01, 0xAB, 0xFF, 0x00],
         }
+    }
+
+    #[test]
+    fn publish_with_retry_bounded_giveup_preserves_message() {
+        let broker = Broker::new();
+        let sub = broker.subscribe(UplinkEvent::all_filter(), QoS::AtLeastOnce, 1);
+        let e = event();
+        let first = e.publish_with_retry(&broker, RetryPolicy::default());
+        assert_eq!(
+            (first.enqueued, first.retries, first.still_deferred),
+            (1, 0, 0)
+        );
+        // Queue full and the consumer stalled: retries are bounded…
+        let second = e.publish_with_retry(&broker, RetryPolicy::default());
+        assert_eq!(second.retries, RetryPolicy::default().max_attempts);
+        assert_eq!(second.still_deferred, 1);
+        // …under exponential backoff: 1 + 2 + 4 + 8 seconds.
+        assert_eq!(second.backoff, Span::seconds(15));
+        // Giving up lost nothing: drain + deferred retry recovers it.
+        let d = sub.try_recv().unwrap();
+        broker.ack(sub.id, d.packet_id.unwrap());
+        assert_eq!(broker.redeliver_deferred(), 1);
+        let d2 = sub.try_recv().unwrap();
+        broker.ack(sub.id, d2.packet_id.unwrap());
+        assert_eq!(broker.inflight_count(sub.id), 0);
+        assert_eq!(broker.deferred_count(), 0);
     }
 
     #[test]

@@ -46,6 +46,32 @@ pub struct BrokerStats {
     pub subscriptions: usize,
 }
 
+/// Per-subscriber delivery counters (aggregated in [`BrokerStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubscriberStats {
+    /// Deliveries enqueued to this subscriber.
+    pub delivered: u64,
+    /// QoS0 deliveries dropped on a full queue.
+    pub dropped_qos0: u64,
+    /// QoS1 deliveries deferred to the in-flight store on a full queue.
+    pub deferred_qos1: u64,
+    /// Redeliveries enqueued (both explicit and deferred-retry).
+    pub redelivered: u64,
+}
+
+/// What happened to one publish, per delivery attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublishOutcome {
+    /// Subscriptions the message was routed to.
+    pub routed: usize,
+    /// Deliveries that made it into a subscriber queue.
+    pub enqueued: usize,
+    /// QoS1 deliveries deferred to the in-flight store (queue full).
+    pub deferred_qos1: usize,
+    /// QoS0 deliveries dropped (queue full).
+    pub dropped_qos0: usize,
+}
+
 #[derive(Debug, Default)]
 struct TrieNode {
     children: HashMap<String, TrieNode>,
@@ -114,6 +140,17 @@ struct Session {
     tx: Sender<Delivery>,
     next_pid: u16,
     inflight: HashMap<u16, Message>,
+    /// Packet ids whose initial delivery hit a full queue, in deferral
+    /// order; retried by [`Broker::redeliver_deferred`].
+    deferred: Vec<u16>,
+    stats: SubscriberStats,
+}
+
+/// Result of one delivery attempt.
+enum DeliverOutcome {
+    Enqueued,
+    Deferred,
+    Dropped,
 }
 
 #[derive(Debug, Default)]
@@ -185,6 +222,8 @@ impl Broker {
             tx,
             next_pid: 1,
             inflight: HashMap::new(),
+            deferred: Vec::new(),
+            stats: SubscriberStats::default(),
         };
         // Replay retained messages.
         let retained: Vec<Message> = inner
@@ -212,7 +251,11 @@ impl Broker {
         inner.stats.subscriptions = inner.sessions.len();
     }
 
-    fn deliver_to(session: &mut Session, message: Message, stats: &mut BrokerStats) {
+    fn deliver_to(
+        session: &mut Session,
+        message: Message,
+        stats: &mut BrokerStats,
+    ) -> DeliverOutcome {
         let effective = message.qos.min(session.qos);
         let packet_id = if effective == QoS::AtLeastOnce {
             let pid = session.next_pid;
@@ -223,13 +266,22 @@ impl Broker {
             None
         };
         match session.tx.try_send(Delivery { message, packet_id }) {
-            Ok(()) => stats.delivered += 1,
+            Ok(()) => {
+                stats.delivered += 1;
+                session.stats.delivered += 1;
+                DeliverOutcome::Enqueued
+            }
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                if packet_id.is_some() {
+                if let Some(pid) = packet_id {
                     // Still in the in-flight store: will be redelivered.
                     stats.deferred_qos1 += 1;
+                    session.stats.deferred_qos1 += 1;
+                    session.deferred.push(pid);
+                    DeliverOutcome::Deferred
                 } else {
                     stats.dropped_qos0 += 1;
+                    session.stats.dropped_qos0 += 1;
+                    DeliverOutcome::Dropped
                 }
             }
         }
@@ -238,6 +290,12 @@ impl Broker {
     /// Publish a message; returns the number of subscriptions it was routed
     /// to (before any queue-full drops).
     pub fn publish(&self, message: Message) -> usize {
+        self.publish_with_outcome(message).routed
+    }
+
+    /// Publish a message and report per-attempt delivery outcomes, so
+    /// publishers (e.g. the TTN bridge) can react to deferrals.
+    pub fn publish_with_outcome(&self, message: Message) -> PublishOutcome {
         let mut inner = self.inner.lock();
         inner.stats.published += 1;
         if message.retain {
@@ -256,16 +314,23 @@ impl Broker {
         inner.trie.collect(&levels, &mut ids);
         ids.sort_unstable();
         ids.dedup();
-        let count = ids.len();
+        let mut outcome = PublishOutcome {
+            routed: ids.len(),
+            ..PublishOutcome::default()
+        };
         // Split borrows: move stats out, restore after.
         let mut stats = inner.stats;
         for id in ids {
             if let Some(session) = inner.sessions.get_mut(&id) {
-                Self::deliver_to(session, message.clone(), &mut stats);
+                match Self::deliver_to(session, message.clone(), &mut stats) {
+                    DeliverOutcome::Enqueued => outcome.enqueued += 1,
+                    DeliverOutcome::Deferred => outcome.deferred_qos1 += 1,
+                    DeliverOutcome::Dropped => outcome.dropped_qos0 += 1,
+                }
             }
         }
         inner.stats = stats;
-        count
+        outcome
     }
 
     /// Acknowledge a QoS1 delivery.
@@ -304,11 +369,69 @@ impl Broker {
             {
                 n += 1;
                 redelivered += 1;
+                session.deferred.retain(|&d| d != pid);
+            }
+        }
+        session.stats.redelivered += redelivered;
+        session.stats.delivered += redelivered;
+        inner.stats.redelivered += redelivered;
+        inner.stats.delivered += redelivered;
+        n
+    }
+
+    /// Retry only deliveries that were deferred on a full queue (a subset
+    /// of [`Broker::redeliver`] that cannot duplicate messages still
+    /// sitting in a subscriber queue). Returns how many were re-enqueued
+    /// across all subscriptions.
+    pub fn redeliver_deferred(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let mut ids: Vec<SubscriptionId> = inner.sessions.keys().copied().collect();
+        ids.sort_unstable();
+        let mut n = 0;
+        let mut redelivered = 0u64;
+        for id in ids {
+            let Some(session) = inner.sessions.get_mut(&id) else {
+                continue;
+            };
+            let pending = std::mem::take(&mut session.deferred);
+            for pid in pending {
+                // Acked while deferred: nothing left to deliver.
+                let Some(msg) = session.inflight.get(&pid).cloned() else {
+                    continue;
+                };
+                match session.tx.try_send(Delivery {
+                    message: msg,
+                    packet_id: Some(pid),
+                }) {
+                    Ok(()) => {
+                        n += 1;
+                        redelivered += 1;
+                        session.stats.redelivered += 1;
+                        session.stats.delivered += 1;
+                    }
+                    Err(_) => session.deferred.push(pid),
+                }
             }
         }
         inner.stats.redelivered += redelivered;
         inner.stats.delivered += redelivered;
         n
+    }
+
+    /// Deferred (queue-full) QoS1 deliveries currently awaiting retry,
+    /// across all subscriptions.
+    pub fn deferred_count(&self) -> usize {
+        self.inner
+            .lock()
+            .sessions
+            .values()
+            .map(|s| s.deferred.len())
+            .sum()
+    }
+
+    /// Per-subscriber delivery counters, if the subscription exists.
+    pub fn subscriber_stats(&self, sub: SubscriptionId) -> Option<SubscriberStats> {
+        self.inner.lock().sessions.get(&sub).map(|s| s.stats)
     }
 
     /// Number of unacknowledged in-flight messages for a subscription.
@@ -417,6 +540,56 @@ mod tests {
         let second = s.try_recv().unwrap();
         b.ack(s.id, second.packet_id.unwrap());
         assert_eq!(b.inflight_count(s.id), 0);
+    }
+
+    #[test]
+    fn per_subscriber_counters_split_qos0_drops_from_qos1_deferrals() {
+        let b = Broker::new();
+        // Two capacity-1 subscribers on the same topic: one QoS0, one QoS1.
+        let s0 = b.subscribe(filter("t"), QoS::AtMostOnce, 1);
+        let s1 = b.subscribe(filter("t"), QoS::AtLeastOnce, 1);
+        for body in ["a", "b", "c"] {
+            b.publish(msg("t", body).with_qos(QoS::AtLeastOnce));
+        }
+        let st0 = b.subscriber_stats(s0.id).unwrap();
+        let st1 = b.subscriber_stats(s1.id).unwrap();
+        // QoS0 subscriber: overflow is dropped outright, never deferred.
+        assert_eq!(st0.delivered, 1);
+        assert_eq!(st0.dropped_qos0, 2);
+        assert_eq!(st0.deferred_qos1, 0);
+        // QoS1 subscriber: overflow is deferred into the in-flight store.
+        assert_eq!(st1.delivered, 1);
+        assert_eq!(st1.dropped_qos0, 0);
+        assert_eq!(st1.deferred_qos1, 2);
+        assert_eq!(b.inflight_count(s1.id), 3);
+        // Aggregates are the per-subscriber sums.
+        let agg = b.stats();
+        assert_eq!(agg.dropped_qos0, st0.dropped_qos0);
+        assert_eq!(agg.deferred_qos1, st1.deferred_qos1);
+        assert_eq!(agg.delivered, st0.delivered + st1.delivered);
+    }
+
+    #[test]
+    fn redeliver_deferred_retries_only_queue_full_deferrals() {
+        let b = Broker::new();
+        let s = b.subscribe(filter("t"), QoS::AtLeastOnce, 1);
+        b.publish(msg("t", "a").with_qos(QoS::AtLeastOnce));
+        b.publish(msg("t", "b").with_qos(QoS::AtLeastOnce));
+        assert_eq!(b.deferred_count(), 1);
+        // Queue still full: the deferred delivery cannot land yet…
+        assert_eq!(b.redeliver_deferred(), 0);
+        // …and crucially, "a" (undelivered but queued) is NOT duplicated.
+        let first = s.try_recv().unwrap();
+        assert_eq!(first.message.payload_str(), Some("a"));
+        b.ack(s.id, first.packet_id.unwrap());
+        assert_eq!(b.redeliver_deferred(), 1);
+        assert_eq!(b.deferred_count(), 0);
+        let second = s.try_recv().unwrap();
+        assert_eq!(second.message.payload_str(), Some("b"));
+        assert!(s.try_recv().is_none(), "no duplicate of a");
+        b.ack(s.id, second.packet_id.unwrap());
+        assert_eq!(b.inflight_count(s.id), 0);
+        assert_eq!(b.subscriber_stats(s.id).unwrap().redelivered, 1);
     }
 
     #[test]

@@ -15,7 +15,9 @@ pub mod broker;
 pub mod message;
 pub mod topic;
 
-pub use bridge::UplinkEvent;
-pub use broker::{Broker, BrokerStats, Delivery, Subscriber, SubscriptionId};
+pub use bridge::{PublishReport, RetryPolicy, UplinkEvent};
+pub use broker::{
+    Broker, BrokerStats, Delivery, PublishOutcome, Subscriber, SubscriberStats, SubscriptionId,
+};
 pub use message::{Message, QoS};
 pub use topic::{Topic, TopicError, TopicFilter};

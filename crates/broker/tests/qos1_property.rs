@@ -1,0 +1,108 @@
+//! Property test: QoS1 delivery is exactly-once-after-ack.
+//!
+//! A consumer that treats a successful [`Broker::ack`] as its processing
+//! gate must process every published message exactly once, no matter how
+//! publishes, consumer stalls, acks, and redeliveries interleave. The
+//! broker may hand the same packet id over multiple times (at-least-once
+//! wire semantics); the ack return value is what de-duplicates.
+
+use ctt_broker::{Broker, Message, QoS, Subscriber, Topic, TopicFilter};
+use ctt_core::time::Timestamp;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One step of the interleaving, decoded from a byte.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Publish the next message in sequence.
+    Publish,
+    /// Consume one queued delivery (ack gates processing). A stalled
+    /// consumer is simply the absence of this op for a while.
+    Consume,
+    /// Redeliver every unacked in-flight message.
+    Redeliver,
+    /// Retry only queue-full deferrals.
+    RedeliverDeferred,
+}
+
+impl Op {
+    fn from_byte(b: u8) -> Op {
+        match b % 4 {
+            0 => Op::Publish,
+            1 => Op::Consume,
+            2 => Op::Redeliver,
+            _ => Op::RedeliverDeferred,
+        }
+    }
+}
+
+/// Consume one delivery; returns the processed payload if the ack said
+/// this packet id was still outstanding (first delivery wins).
+fn consume_one(broker: &Broker, sub: &Subscriber) -> Option<u64> {
+    let d = sub.try_recv()?;
+    let pid = d.packet_id?;
+    if !broker.ack(sub.id, pid) {
+        return None; // duplicate redelivery of an already-processed pid
+    }
+    d.message.payload_str().and_then(|s| s.parse::<u64>().ok())
+}
+
+proptest! {
+    #[test]
+    fn qos1_exactly_once_after_ack(ops in vec(any::<u8>(), 1..120)) {
+        let broker = Broker::new();
+        // Tiny queue so deferrals are common in the interleavings.
+        let sub = broker.subscribe(
+            TopicFilter::new("q1/#").unwrap(),
+            QoS::AtLeastOnce,
+            2,
+        );
+        let topic = Topic::new("q1/up").unwrap();
+        let mut published = 0u64;
+        let mut processed: Vec<u64> = Vec::new();
+        for (i, &b) in ops.iter().enumerate() {
+            match Op::from_byte(b) {
+                Op::Publish => {
+                    let body = published.to_string().into_bytes();
+                    broker.publish(
+                        Message::new(topic.clone(), body, Timestamp(i as i64))
+                            .with_qos(QoS::AtLeastOnce),
+                    );
+                    published += 1;
+                }
+                Op::Consume => processed.extend(consume_one(&broker, &sub)),
+                Op::Redeliver => {
+                    broker.redeliver(sub.id);
+                }
+                Op::RedeliverDeferred => {
+                    broker.redeliver_deferred();
+                }
+            }
+        }
+        // Final recovery: redeliver until every in-flight message is acked.
+        let drain = |processed: &mut Vec<u64>| {
+            while let Some(d) = sub.try_recv() {
+                if let Some(pid) = d.packet_id {
+                    if broker.ack(sub.id, pid) {
+                        processed.extend(
+                            d.message.payload_str().and_then(|s| s.parse::<u64>().ok()),
+                        );
+                    }
+                }
+            }
+        };
+        let mut guard = 0;
+        drain(&mut processed);
+        while broker.inflight_count(sub.id) > 0 {
+            broker.redeliver(sub.id);
+            drain(&mut processed);
+            guard += 1;
+            prop_assert!(guard < 10_000, "recovery loop did not converge");
+        }
+        // Exactly once: every published sequence number, no duplicates.
+        processed.sort_unstable();
+        let expect: Vec<u64> = (0..published).collect();
+        prop_assert_eq!(processed, expect);
+        prop_assert_eq!(broker.deferred_count(), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # ctt-chaos — deterministic fault injection with conservation accounting
+//!
+//! The paper's operational claim (§2.3) is that the CTT stack *degrades*
+//! under partial failure — twins disambiguate a dead sensor from a downed
+//! gateway, the broker defers rather than drops QoS1 traffic, and storage
+//! corruption narrows a query instead of failing it. This crate makes that
+//! claim testable:
+//!
+//! * a [`FaultPlan`] is a time-ordered schedule of typed faults
+//!   ([`FaultKind`]) — gateway outages, node death, stuck batteries, frame
+//!   corruption/truncation on the air interface, broker consumer stalls,
+//!   TSDB chunk bit-flips, and per-node clock skew;
+//! * a [`ChaosEngine`] answers, deterministically (seeded), "what fault is
+//!   active here, now?" at every pipeline stage boundary;
+//! * a [`LossLedger`] performs conservation accounting: every reading a
+//!   node produces must end up stored in the TSDB or be attributed to a
+//!   specific cause ([`CauseCode`]). [`LossLedger::verify`] reports any
+//!   unattributed loss — the chaos soak fails on a single one.
+//!
+//! Everything is deterministic: the same seed and plan reproduce a
+//! byte-identical [`LossLedger::render`] and alarm sequence.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+pub mod ledger;
+pub mod plan;
+
+pub use ledger::{LedgerVerdict, LossLedger, UplinkOutcome};
+pub use plan::{CauseCode, ChaosEngine, Fault, FaultKind, FaultPlan, FrameFault, InjectionStats};

@@ -510,11 +510,19 @@ impl Dataport {
 
     /// Periodic tick: run twin timeout checks and component monitoring.
     pub fn tick(&mut self, now: Timestamp) {
-        let refs: Vec<ActorRef> = self
-            .sensor_refs
-            .values()
-            .chain(self.gateway_refs.values())
-            .copied()
+        // Tick twins in id order, not map order: same-tick alarms must land
+        // in the log in a reproducible sequence (replays are compared
+        // byte-for-byte by the chaos determinism tests).
+        let mut sensors: Vec<(DevEui, ActorRef)> =
+            self.sensor_refs.iter().map(|(&d, &r)| (d, r)).collect();
+        sensors.sort_unstable_by_key(|&(d, _)| d);
+        let mut gateways: Vec<(GatewayId, ActorRef)> =
+            self.gateway_refs.iter().map(|(&g, &r)| (g, r)).collect();
+        gateways.sort_unstable_by_key(|&(g, _)| g);
+        let refs: Vec<ActorRef> = sensors
+            .into_iter()
+            .map(|(_, r)| r)
+            .chain(gateways.into_iter().map(|(_, r)| r))
             .collect();
         for r in refs {
             self.system.send(r, Box::new(TickMsg { now }));

@@ -103,10 +103,12 @@ impl Default for LintConfig {
         LintConfig {
             hot_paths: vec![
                 "crates/broker/src/".into(),
+                "crates/chaos/src/".into(),
                 "crates/tsdb/src/gorilla.rs".into(),
                 "crates/tsdb/src/store.rs".into(),
                 "crates/tsdb/src/query.rs".into(),
                 "crates/lorawan/src/server.rs".into(),
+                "crates/lorawan/src/sim.rs".into(),
                 "crates/dataport/src/".into(),
                 "src/pipeline.rs".into(),
             ],

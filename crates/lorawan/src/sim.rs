@@ -93,7 +93,14 @@ pub struct DeliveredUplink {
 impl DeliveredUplink {
     /// The strongest reception (the network server's canonical gateway).
     pub fn best(&self) -> &Reception {
-        &self.receptions[0]
+        const NO_RECEPTION: Reception = Reception {
+            gateway: GatewayId(0),
+            rssi_dbm: f64::NEG_INFINITY,
+            snr_db: f64::NEG_INFINITY,
+        };
+        // Delivered uplinks always carry ≥1 reception; the fallback keeps
+        // this hot path panic-free.
+        self.receptions.first().unwrap_or(&NO_RECEPTION)
     }
 }
 
@@ -108,6 +115,27 @@ pub enum LossReason {
     Collision,
     /// All reachable gateways were out of demodulation paths.
     GatewayBusy,
+    /// Every reachable gateway was inside an injected outage window.
+    GatewayDown,
+}
+
+/// A scheduled gateway outage window (fault injection): the gateway hears
+/// nothing in `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// The gateway taken down.
+    pub gateway: GatewayId,
+    /// Outage start (inclusive).
+    pub from: Timestamp,
+    /// Outage end (exclusive).
+    pub until: Timestamp,
+}
+
+impl OutageWindow {
+    /// Whether this window covers gateway `gw` at instant `t`.
+    pub fn covers(&self, gw: GatewayId, t: Timestamp) -> bool {
+        self.gateway == gw && self.from <= t && t < self.until
+    }
 }
 
 /// A lost transmission with its cause.
@@ -136,6 +164,8 @@ pub struct SimStats {
     pub lost_collision: u64,
     /// Lost: gateway demodulator exhaustion.
     pub lost_gateway_busy: u64,
+    /// Lost: every reachable gateway was in an injected outage window.
+    pub lost_gateway_down: u64,
 }
 
 impl SimStats {
@@ -198,6 +228,7 @@ pub struct RadioSimulator {
     stats: SimStats,
     next_nonce: u64,
     last_submit_s: f64,
+    outages: Vec<OutageWindow>,
 }
 
 impl RadioSimulator {
@@ -213,12 +244,24 @@ impl RadioSimulator {
             stats: SimStats::default(),
             next_nonce: 1,
             last_submit_s: f64::NEG_INFINITY,
+            outages: Vec::new(),
         }
     }
 
     /// The gateway list.
     pub fn gateways(&self) -> &[GatewayConfig] {
         &self.gateways
+    }
+
+    /// Install scheduled gateway outage windows (fault injection). A gateway
+    /// inside one of its windows hears nothing; losses caused only by the
+    /// outage are attributed to [`LossReason::GatewayDown`].
+    pub fn set_outages(&mut self, outages: Vec<OutageWindow>) {
+        self.outages = outages;
+    }
+
+    fn gateway_down(&self, gw: GatewayId, t: Timestamp) -> bool {
+        self.outages.iter().any(|w| w.covers(gw, t))
     }
 
     /// Aggregate statistics so far (only counts finalized transmissions).
@@ -285,9 +328,13 @@ impl RadioSimulator {
             .map(|(i, _)| i)
             .collect();
         for idx in to_resolve {
-            let tx = self.in_flight[idx].clone();
+            let Some(tx) = self.in_flight.get(idx).cloned() else {
+                continue;
+            };
             let outcome = self.resolve(&tx, idx);
-            self.in_flight[idx].resolved = true;
+            if let Some(entry) = self.in_flight.get_mut(idx) {
+                entry.resolved = true;
+            }
             match outcome {
                 Ok(delivery) => {
                     self.stats.delivered += 1;
@@ -298,6 +345,7 @@ impl RadioSimulator {
                         LossReason::NoCoverage => self.stats.lost_no_coverage += 1,
                         LossReason::Collision => self.stats.lost_collision += 1,
                         LossReason::GatewayBusy => self.stats.lost_gateway_busy += 1,
+                        LossReason::GatewayDown => self.stats.lost_gateway_down += 1,
                         LossReason::DutyCycle => unreachable!("handled at submit"),
                     }
                     self.lost.push(LostUplink {
@@ -338,6 +386,7 @@ impl RadioSimulator {
         let mut receptions = Vec::new();
         let mut saw_sensitivity = false;
         let mut saw_busy = false;
+        let mut saw_outage = false;
         for gw in &self.gateways {
             let lb = self.budget(tx, gw);
             if lb.rssi_dbm < tx.req.sf.sensitivity_dbm() || lb.snr_db < tx.req.sf.required_snr_db()
@@ -345,6 +394,14 @@ impl RadioSimulator {
                 continue; // below this gateway's floor
             }
             saw_sensitivity = true;
+
+            // Injected outage: the gateway would have heard this frame but
+            // is scheduled down. Attribution beats busy/collision so the
+            // fault plan, not a coincident RF event, owns the loss.
+            if self.gateway_down(gw.id, tx.time) {
+                saw_outage = true;
+                continue;
+            }
 
             // Demod-path check: how many *receivable* transmissions overlap
             // this one at this gateway (including itself), in start order?
@@ -400,6 +457,9 @@ impl RadioSimulator {
             });
         }
         if receptions.is_empty() {
+            if saw_outage {
+                return Err(LossReason::GatewayDown);
+            }
             if saw_busy {
                 return Err(LossReason::GatewayBusy);
             }
@@ -615,6 +675,53 @@ mod tests {
         let pos = GW_POS.offset(0.0, 200.0);
         s.submit(Timestamp(100), req(1, pos, SpreadingFactor::Sf9, 0, 0));
         s.submit(Timestamp(50), req(2, pos, SpreadingFactor::Sf9, 0, 0));
+    }
+
+    #[test]
+    fn outage_window_attributes_gateway_down() {
+        let mut s = sim();
+        s.set_outages(vec![OutageWindow {
+            gateway: GatewayId::ctt(1),
+            from: Timestamp(100),
+            until: Timestamp(200),
+        }]);
+        let pos = GW_POS.offset(0.0, 200.0);
+        // Before, inside, and after the window (distinct devices so the
+        // duty cycle stays out of the way).
+        s.submit(Timestamp(0), req(1, pos, SpreadingFactor::Sf9, 0, 0));
+        s.submit(Timestamp(150), req(2, pos, SpreadingFactor::Sf9, 1, 0));
+        s.submit(Timestamp(300), req(3, pos, SpreadingFactor::Sf9, 2, 0));
+        let out = s.drain();
+        assert_eq!(out.len(), 2);
+        let lost = s.drain_lost();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].device, DevEui::ctt(2));
+        assert_eq!(lost[0].reason, LossReason::GatewayDown);
+        assert_eq!(s.stats().lost_gateway_down, 1);
+    }
+
+    #[test]
+    fn outage_attribution_beats_collision() {
+        // Two colliding frames during an outage: both losses must be
+        // attributed to the injected fault, not the coincident collision.
+        let mut cfg = SimConfig::urban(1);
+        cfg.capture_effect = false;
+        cfg.path_loss = PathLossModel::free_space(1);
+        let mut s = RadioSimulator::new(cfg, vec![gateway()]);
+        s.set_outages(vec![OutageWindow {
+            gateway: GatewayId::ctt(1),
+            from: Timestamp(0),
+            until: Timestamp(10),
+        }]);
+        let a = GW_POS.offset(0.0, 300.0);
+        let b = GW_POS.offset(180.0, 300.0);
+        s.submit(Timestamp(0), req(1, a, SpreadingFactor::Sf12, 0, 0));
+        s.submit(Timestamp(0), req(2, b, SpreadingFactor::Sf12, 0, 0));
+        assert!(s.drain().is_empty());
+        let lost = s.drain_lost();
+        assert_eq!(lost.len(), 2);
+        assert!(lost.iter().all(|l| l.reason == LossReason::GatewayDown));
+        assert_eq!(s.stats().lost_collision, 0);
     }
 
     #[test]

@@ -158,6 +158,22 @@ impl CompressedChunk {
         self.data.len()
     }
 
+    /// Fault injection: flip one bit of the compressed bitstream (index
+    /// taken modulo the stream length). Returns `false` when the chunk has
+    /// no data bytes to corrupt.
+    pub fn flip_bit(&mut self, bit: u64) -> bool {
+        if self.data.is_empty() {
+            return false;
+        }
+        let b = bit % (self.data.len() as u64 * 8);
+        if let Some(byte) = self.data.get_mut((b / 8) as usize) {
+            *byte ^= 1 << (b % 8);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Decode all points. A truncated or corrupt bitstream yields a typed
     /// error rather than a panic — chunks can arrive from disk or the wire.
     pub fn decode(&self) -> Result<Vec<(Timestamp, f64)>, TsdbError> {

@@ -27,4 +27,4 @@ pub use error::TsdbError;
 pub use gorilla::{CompressedChunk, GorillaEncoder};
 pub use model::{DataPoint, ModelError, TagFilter, TagSet};
 pub use query::{execute, Aggregator, Downsample, FillPolicy, Query, QueryResult};
-pub use store::{SeriesId, StoreStats, Tsdb};
+pub use store::{BitFlipOutcome, IntegrityReport, QuarantineReport, SeriesId, StoreStats, Tsdb};

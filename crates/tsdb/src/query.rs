@@ -227,6 +227,10 @@ pub struct QueryResult {
     pub series: OutSeries,
     /// How many stored series contributed.
     pub source_series: usize,
+    /// Corrupt chunks skipped (quarantined) while reading this group.
+    pub quarantined_chunks: usize,
+    /// Points those quarantined chunks advertised.
+    pub quarantined_points: u64,
 }
 
 /// Downsample a sorted point list.
@@ -292,8 +296,9 @@ fn to_rate(points: &[(Timestamp, f64)]) -> Vec<(Timestamp, f64)> {
         .collect()
 }
 
-/// Execute a query. Errors surface storage corruption ([`TsdbError`]); an
-/// unmatched metric or filter is an empty result set, not an error.
+/// Execute a query. Storage corruption does not fail the query: corrupt
+/// chunks are quarantined and surfaced in the per-group quarantine counts.
+/// An unmatched metric or filter is an empty result set, not an error.
 pub fn execute(db: &Tsdb, q: &Query) -> Result<Vec<QueryResult>, TsdbError> {
     // 1. Find matching series.
     let matching: Vec<SeriesId> = db
@@ -330,8 +335,10 @@ pub fn execute(db: &Tsdb, q: &Query) -> Result<Vec<QueryResult>, TsdbError> {
     let mut results = Vec::with_capacity(groups.len());
     for (group, ids) in groups {
         let mut per_series: Vec<Vec<(Timestamp, f64)>> = Vec::with_capacity(ids.len());
+        let mut quarantine = crate::store::QuarantineReport::default();
         for &id in &ids {
-            let mut pts = db.read(id, q.start, q.end)?;
+            let (mut pts, skipped) = db.read_with_quarantine(id, q.start, q.end)?;
+            quarantine.merge(skipped);
             if q.rate {
                 pts = to_rate(&pts);
             }
@@ -367,6 +374,8 @@ pub fn execute(db: &Tsdb, q: &Query) -> Result<Vec<QueryResult>, TsdbError> {
             group,
             series,
             source_series: ids.len(),
+            quarantined_chunks: quarantine.chunks,
+            quarantined_points: quarantine.points,
         });
     }
     Ok(results)

@@ -63,23 +63,27 @@ impl Series {
         self.open.clear();
     }
 
-    /// Collect points within `[start, end)`, sorted by time.
+    /// Collect points within `[start, end)`, sorted by time. Corrupt
+    /// sealed chunks are quarantined — skipped and counted — so one bad
+    /// chunk degrades the read instead of failing the whole range.
     fn collect(
         &self,
         start: Timestamp,
         end: Timestamp,
-    ) -> Result<Vec<(Timestamp, f64)>, TsdbError> {
+    ) -> (Vec<(Timestamp, f64)>, QuarantineReport) {
         let mut out = Vec::new();
+        let mut quarantine = QuarantineReport::default();
         for sc in &self.sealed {
             if sc.end < start || sc.start >= end {
                 continue;
             }
-            out.extend(
-                sc.chunk
-                    .decode()?
-                    .into_iter()
-                    .filter(|&(t, _)| t >= start && t < end),
-            );
+            match sc.chunk.decode() {
+                Ok(pts) => out.extend(pts.into_iter().filter(|&(t, _)| t >= start && t < end)),
+                Err(_) => {
+                    quarantine.chunks += 1;
+                    quarantine.points += u64::from(sc.chunk.count());
+                }
+            }
         }
         out.extend(
             self.open
@@ -88,7 +92,7 @@ impl Series {
                 .filter(|&(t, _)| t >= start && t < end),
         );
         out.sort_by_key(|&(t, _)| t);
-        Ok(out)
+        (out, quarantine)
     }
 
     fn compressed_bytes(&self) -> usize {
@@ -98,6 +102,49 @@ impl Series {
             .sum::<usize>()
             + self.open.len() * std::mem::size_of::<(Timestamp, f64)>()
     }
+}
+
+/// Corruption encountered (and skipped) during a read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Sealed chunks that failed to decode and were skipped.
+    pub chunks: usize,
+    /// Points those chunks advertised (the data made unreadable).
+    pub points: u64,
+}
+
+impl QuarantineReport {
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: QuarantineReport) {
+        self.chunks += other.chunks;
+        self.points += other.points;
+    }
+}
+
+/// Outcome of injecting a bit flip into a sealed chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitFlipOutcome {
+    /// No sealed chunk exists to corrupt.
+    NoChunks,
+    /// The flipped chunk still decodes (the corruption changed values,
+    /// not structure) — no points are lost.
+    StillReadable,
+    /// The flipped chunk no longer decodes; reads will quarantine it.
+    Quarantined {
+        /// Points the chunk advertised before corruption.
+        points: u32,
+    },
+}
+
+/// Full-store integrity summary from trial-decoding every sealed chunk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityReport {
+    /// Points recoverable by reads (decodable chunks + open buffers).
+    pub readable_points: u64,
+    /// Sealed chunks that fail to decode.
+    pub quarantined_chunks: usize,
+    /// Points advertised by the quarantined chunks.
+    pub quarantined_points: u64,
 }
 
 /// Storage statistics.
@@ -196,17 +243,84 @@ impl Tsdb {
         v
     }
 
-    /// Points of one series in `[start, end)`, time-sorted.
+    /// Points of one series in `[start, end)`, time-sorted. Corrupt chunks
+    /// are silently quarantined; use [`Tsdb::read_with_quarantine`] when the
+    /// caller needs to know how much data was unreadable.
     pub fn read(
         &self,
         id: SeriesId,
         start: Timestamp,
         end: Timestamp,
     ) -> Result<Vec<(Timestamp, f64)>, TsdbError> {
-        self.series
+        self.read_with_quarantine(id, start, end)
+            .map(|(pts, _)| pts)
+    }
+
+    /// Like [`Tsdb::read`], but also reports chunks that failed to decode
+    /// and were skipped (graceful degradation under storage corruption).
+    pub fn read_with_quarantine(
+        &self,
+        id: SeriesId,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<(Vec<(Timestamp, f64)>, QuarantineReport), TsdbError> {
+        Ok(self
+            .series
             .get(id.0 as usize)
             .ok_or(TsdbError::UnknownSeries(id))?
-            .collect(start, end)
+            .collect(start, end))
+    }
+
+    /// Fault injection: flip one bit in the `nth` sealed chunk (modulo the
+    /// number of sealed chunks, in series order) and report whether the
+    /// chunk survived. Returns [`BitFlipOutcome::NoChunks`] when nothing is
+    /// sealed yet.
+    pub fn flip_chunk_bit(&mut self, nth_chunk: u64, bit: u64) -> BitFlipOutcome {
+        let total: usize = self.series.iter().map(|s| s.sealed.len()).sum();
+        if total == 0 {
+            return BitFlipOutcome::NoChunks;
+        }
+        let mut target = (nth_chunk % total as u64) as usize;
+        for s in &mut self.series {
+            if target >= s.sealed.len() {
+                target -= s.sealed.len();
+                continue;
+            }
+            let Some(sc) = s.sealed.get_mut(target) else {
+                break;
+            };
+            if !sc.chunk.flip_bit(bit) {
+                return BitFlipOutcome::NoChunks;
+            }
+            return match sc.chunk.decode() {
+                Ok(_) => BitFlipOutcome::StillReadable,
+                Err(_) => BitFlipOutcome::Quarantined {
+                    points: sc.chunk.count(),
+                },
+            };
+        }
+        BitFlipOutcome::NoChunks
+    }
+
+    /// Trial-decode every sealed chunk and summarize what reads can still
+    /// recover versus what is quarantined. `readable_points +
+    /// quarantined_points` equals [`StoreStats::points`] — the conservation
+    /// invariant the chaos loss ledger checks.
+    pub fn integrity_scan(&self) -> IntegrityReport {
+        let mut report = IntegrityReport::default();
+        for s in &self.series {
+            for sc in &s.sealed {
+                match sc.chunk.decode() {
+                    Ok(pts) => report.readable_points += pts.len() as u64,
+                    Err(_) => {
+                        report.quarantined_chunks += 1;
+                        report.quarantined_points += u64::from(sc.chunk.count());
+                    }
+                }
+            }
+            report.readable_points += s.open.len() as u64;
+        }
+        report
     }
 
     /// Number of points stored for a series (0 for unknown ids).
@@ -446,6 +560,60 @@ mod tests {
             .unwrap();
         assert_eq!(pts.len(), 5);
         assert_eq!(pts.first().unwrap().0, Timestamp(500));
+    }
+
+    #[test]
+    fn corrupt_chunk_quarantined_rest_of_range_survives() {
+        let mut db = Tsdb::with_chunk_size(10);
+        for i in 0..30 {
+            db.put(&dp("m", "n1", i * 100, i as f64));
+        }
+        db.seal_all();
+        assert_eq!(db.stats().chunks, 3);
+        // Corrupt until a chunk actually quarantines (some flips only
+        // perturb values without breaking the bitstream).
+        let mut outcome = db.flip_chunk_bit(1, 3);
+        let mut bit = 4u64;
+        while outcome == BitFlipOutcome::StillReadable {
+            outcome = db.flip_chunk_bit(1, bit);
+            bit += 7;
+        }
+        let BitFlipOutcome::Quarantined { points } = outcome else {
+            panic!("expected a quarantine, got {outcome:?}");
+        };
+        assert_eq!(points, 10);
+        // The read degrades to the surviving chunks instead of failing.
+        let (pts, q) = db
+            .read_with_quarantine(SeriesId(0), Timestamp(0), Timestamp(10_000))
+            .unwrap();
+        assert_eq!(q.chunks, 1);
+        assert_eq!(q.points, 10);
+        assert_eq!(pts.len(), 20);
+        // Plain read agrees, and the conservation invariant holds.
+        assert_eq!(
+            db.read(SeriesId(0), Timestamp(0), Timestamp(10_000))
+                .unwrap()
+                .len(),
+            20
+        );
+        let scan = db.integrity_scan();
+        assert_eq!(scan.quarantined_chunks, 1);
+        assert_eq!(
+            scan.readable_points + scan.quarantined_points,
+            db.stats().points
+        );
+    }
+
+    #[test]
+    fn integrity_scan_counts_open_buffer() {
+        let mut db = Tsdb::with_chunk_size(100);
+        for i in 0..7 {
+            db.put(&dp("m", "n1", i * 100, i as f64));
+        }
+        let scan = db.integrity_scan();
+        assert_eq!(scan.readable_points, 7);
+        assert_eq!(scan.quarantined_chunks, 0);
+        assert_eq!(db.flip_chunk_bit(0, 0), BitFlipOutcome::NoChunks);
     }
 
     #[test]

@@ -1,18 +1,21 @@
-//! Network monitoring with the dataport (§2.3, Figs. 3 and 8).
+//! Network monitoring under injected faults (§2.3, Figs. 3 and 8).
 //!
-//! Runs the Trondheim pilot, injects a node hardware failure and then a
-//! gateway outage, and shows how the digital twins distinguish the two —
-//! including the hierarchical alarm suppression. Writes the Fig. 3-style
-//! network SVG to `results/example_network.svg`.
+//! Runs the Trondheim pilot with a chaos plan that kills one node and then
+//! takes a gateway down while the node is still dead — the overlap case.
+//! The digital twins must disambiguate: the dead node is a real failure,
+//! the silent nodes behind the downed gateway are not. Prints the twins'
+//! verdict, the hierarchical alarm suppression, and the loss ledger's
+//! conservation accounting. Writes the Fig. 3-style network SVG to
+//! `results/example_network.svg`.
 //!
 //! ```sh
 //! cargo run --release --example network_monitoring
 //! ```
 
-use ctt::dataport::{GatewayState, TwinState, WatchdogVerdict};
+use ctt::chaos::{FaultKind, FaultPlan};
+use ctt::dataport::{AlarmKind, GatewayState, TwinState};
 use ctt::prelude::*;
 use ctt::viz::{Link, MapView, Marker, MarkerKind};
-use ctt_core::node::NodeHealth;
 
 fn state_color(s: TwinState) -> &'static str {
     match s {
@@ -35,14 +38,31 @@ fn print_alarms(pipeline: &Pipeline, when: &str) {
 }
 
 fn main() {
-    let mut pipeline = Pipeline::new(Deployment::trondheim(), 42);
-    let start = pipeline.deployment.started;
+    let deployment = Deployment::trondheim();
+    let start = deployment.started;
+    let dead_node = deployment.nodes[3].eui;
+    let downed_gw = deployment.gateways[0].id;
+
+    // The fault schedule: node 4 dies at +2 h and stays dead; gateway 1
+    // goes dark from +2 h 30 m to +3 h 30 m, overlapping the death.
+    let plan = FaultPlan::new()
+        .with(
+            FaultKind::NodeDeath { device: dead_node },
+            start + Span::hours(2),
+            start + Span::hours(5),
+        )
+        .with(
+            FaultKind::GatewayOutage { gateway: downed_gw },
+            start + Span::hours(2) + Span::minutes(30),
+            start + Span::hours(3) + Span::minutes(30),
+        );
+    let mut pipeline = Pipeline::with_chaos(deployment, 42, plan);
 
     // Phase 1: healthy operation.
     pipeline.run_until(start + Span::hours(2));
     let snap = pipeline.dataport.snapshot(pipeline.now());
     println!(
-        "phase 1: {} sensors online, {} gateways up, watchdog: {:?}",
+        "phase 1: {} sensors online, {} gateways up",
         snap.sensors
             .iter()
             .filter(|s| s.state == TwinState::Online)
@@ -51,25 +71,66 @@ fn main() {
             .iter()
             .filter(|g| g.state == GatewayState::Up)
             .count(),
-        WatchdogVerdict::Healthy,
     );
     print_alarms(&pipeline, "after 2 h healthy");
 
-    // Phase 2: one node dies (hardware failure).
-    pipeline.nodes_mut()[3].set_health(NodeHealth::Dead);
-    println!("\n>>> injecting hardware failure into node 4");
-    pipeline.run_until(start + Span::hours(3));
-    print_alarms(&pipeline, "after node failure");
+    // Phase 2: the node death fires; the gateway is still up, so the
+    // offline alarm is a genuine detection.
+    println!("\n>>> chaos plan: node {dead_node} dies at +2 h");
+    pipeline.run_until(start + Span::hours(2) + Span::minutes(25));
+    print_alarms(&pipeline, "after node death");
 
-    // Phase 3: the node recovers.
-    pipeline.nodes_mut()[3].set_health(NodeHealth::Healthy);
-    println!("\n>>> node repaired");
-    pipeline.run_until(start + Span::hours(4));
-    print_alarms(&pipeline, "after repair");
+    // Phase 3: mid-outage, the overlap case. The twins must not flag the
+    // healthy-but-silent nodes behind the downed gateway.
+    println!("\n>>> chaos plan: gateway {downed_gw} dark from +2 h 30 m");
+    pipeline.run_until(start + Span::hours(3) + Span::minutes(25));
+    print_alarms(&pipeline, "mid gateway outage");
+    let snap = pipeline.dataport.snapshot(pipeline.now());
+    let active = pipeline.dataport.active_alarms();
+    let false_offline = active
+        .iter()
+        .filter(|a| {
+            a.kind == AlarmKind::SensorOffline && !a.source.contains(&dead_node.to_string())
+        })
+        .count();
+    println!("\ntwin disambiguation verdict (mid-outage):");
     println!(
-        "suppressed alarms so far: {}",
-        pipeline.dataport.snapshot(pipeline.now()).suppressed_alarms
+        "  gateway outage alarm active: {}",
+        active.iter().any(|a| a.kind == AlarmKind::GatewayOutage)
     );
+    println!("  sensor-offline false alarms behind downed gateway: {false_offline}");
+    println!(
+        "  alarms suppressed by hierarchical correlation: {}",
+        snap.suppressed_alarms
+    );
+
+    // Phase 4: the gateway recovers; only the genuinely dead node is dark.
+    pipeline.run_until(start + Span::hours(4) + Span::minutes(30));
+    print_alarms(&pipeline, "after gateway recovery");
+    let snap = pipeline.dataport.snapshot(pipeline.now());
+    for s in &snap.sensors {
+        if s.state != TwinState::Online {
+            let verdict = if s.device == dead_node {
+                "real hardware failure"
+            } else {
+                "misattributed!"
+            };
+            println!("  {} is {:?} — {verdict}", s.device, s.state);
+        }
+    }
+
+    // Conservation: every produced uplink is stored or attributed.
+    let verdict = pipeline.ledger().verify();
+    println!(
+        "\nloss ledger: produced={} stored={} attributed={} unattributed={}",
+        verdict.produced,
+        verdict.stored,
+        verdict.attributed,
+        verdict.unattributed.len()
+    );
+    for (cause, n) in pipeline.ledger().cause_counts() {
+        println!("  {} = {n}", cause.label());
+    }
 
     // Render the Fig. 3 network view: sensors, gateways, links.
     let snap = pipeline.dataport.snapshot(pipeline.now());
@@ -82,9 +143,7 @@ fn main() {
         .collect();
     for s in &snap.sensors {
         let spec = deployment.node(s.device).expect("known node");
-        if let (Some(gw), Some(&to)) = (s.last_gateway, s.last_gateway.and_then(|g| gw_pos.get(&g)))
-        {
-            let _ = gw;
+        if let Some(&to) = s.last_gateway.and_then(|g| gw_pos.get(&g)) {
             map.links.push(Link {
                 from: spec.site.position,
                 to,

@@ -37,6 +37,7 @@ pub mod pipeline;
 
 pub use ctt_analytics as analytics;
 pub use ctt_broker as broker;
+pub use ctt_chaos as chaos;
 pub use ctt_citymodel as citymodel;
 pub use ctt_core as core;
 pub use ctt_dataport as dataport;

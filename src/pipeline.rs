@@ -7,12 +7,13 @@
 //! the time-series database; and the dataport's digital twins monitor the
 //! whole flow. One `Pipeline` is one city pilot.
 
-use ctt_broker::{Broker, QoS, Subscriber, UplinkEvent};
+use ctt_broker::{Broker, QoS, RetryPolicy, Subscriber, UplinkEvent};
+use ctt_chaos::{CauseCode, ChaosEngine, FaultPlan, FrameFault, InjectionStats, LossLedger};
 use ctt_core::deployment::Deployment;
 use ctt_core::emission::EmissionModel;
 use ctt_core::ids::{DevEui, GatewayId};
 use ctt_core::measurement::{SensorReading, Series};
-use ctt_core::node::SensorNode;
+use ctt_core::node::{NodeHealth, SensorNode};
 use ctt_core::payload;
 use ctt_core::quantity::Quantity;
 use ctt_core::scenario::ScenarioSet;
@@ -23,8 +24,9 @@ use ctt_lorawan::{
     DataRate, GatewayConfig, LinkBackoff, NetworkServer, RadioSimulator, SimConfig, TxRequest,
     UplinkFrame, UplinkRecord,
 };
-use ctt_tsdb::{execute, Aggregator, DataPoint, Query, Tsdb};
+use ctt_tsdb::{execute, Aggregator, BitFlipOutcome, DataPoint, Query, Tsdb};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 /// Pipeline counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -85,6 +87,16 @@ pub struct Pipeline {
     now: Timestamp,
     next_tick: Timestamp,
     stats: PipelineStats,
+    seed: u64,
+    /// Fault-injection interpreter, when chaos is attached.
+    chaos: Option<ChaosEngine>,
+    /// Conservation accounting — maintained on every run, chaos or not.
+    ledger: LossLedger,
+    /// Death state currently applied to each node, so health toggles only
+    /// on window edges (a revived node must not clobber other injections).
+    chaos_dead: HashMap<DevEui, bool>,
+    /// Deployment order of each device, for health toggling by EUI.
+    node_index: HashMap<DevEui, usize>,
 }
 
 impl Pipeline {
@@ -109,6 +121,12 @@ impl Pipeline {
         }
         let city_slug = deployment.city.to_lowercase();
         let start = deployment.started;
+        let node_index = deployment
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.eui, i))
+            .collect();
         Pipeline {
             deployment,
             emission,
@@ -125,7 +143,35 @@ impl Pipeline {
             now: start,
             next_tick: start,
             stats: PipelineStats::default(),
+            seed,
+            chaos: None,
+            ledger: LossLedger::new(),
+            chaos_dead: HashMap::new(),
+            node_index,
         }
+    }
+
+    /// Build a pipeline with a chaos plan attached from the start.
+    pub fn with_chaos(deployment: Deployment, seed: u64, plan: FaultPlan) -> Self {
+        let mut p = Pipeline::new(deployment, seed);
+        p.attach_chaos(plan);
+        p
+    }
+
+    /// Attach a fault plan. Gateway outage windows are handed to the radio
+    /// simulator; everything else is consulted at stage boundaries while
+    /// the simulation runs. The engine is seeded with the pipeline seed, so
+    /// the same (seed, plan) pair replays byte-identically.
+    pub fn attach_chaos(&mut self, plan: FaultPlan) {
+        if let Some(capacity) = plan.storage_queue_capacity {
+            self.broker.unsubscribe(&self.storage_sub);
+            self.storage_sub =
+                self.broker
+                    .subscribe(UplinkEvent::all_filter(), QoS::AtLeastOnce, capacity);
+        }
+        let engine = ChaosEngine::new(self.seed, plan);
+        self.radio.set_outages(engine.outage_windows());
+        self.chaos = Some(engine);
     }
 
     /// Current simulation time.
@@ -164,6 +210,38 @@ impl Pipeline {
         self.radio.stats()
     }
 
+    /// The loss ledger (conservation accounting for every uplink).
+    pub fn ledger(&self) -> &LossLedger {
+        &self.ledger
+    }
+
+    /// What the chaos engine has injected so far (zero when no plan).
+    pub fn chaos_stats(&self) -> InjectionStats {
+        self.chaos
+            .as_ref()
+            .map(|c| c.injected())
+            .unwrap_or_default()
+    }
+
+    /// Canonical rendering of the dataport's append-only alarm log, one
+    /// line per raise/clear in order. Byte-identical across replays of the
+    /// same seed + plan — determinism tests compare this directly.
+    pub fn alarm_trace(&self) -> String {
+        let mut out = String::new();
+        for a in self.dataport.alarm_log() {
+            let _ = writeln!(
+                out,
+                "t={} {:?} [{}] {} {}",
+                a.time.as_seconds(),
+                a.kind,
+                a.severity,
+                a.source,
+                a.message
+            );
+        }
+        out
+    }
+
     /// Advance the simulation until `end`, processing every uplink.
     pub fn run_until(&mut self, end: Timestamp) {
         // Each iteration handles the next node due to transmit.
@@ -184,6 +262,7 @@ impl Pipeline {
                 self.next_tick = t + Span::minutes(5);
             }
             self.now = due;
+            self.apply_chaos(due);
             // Produce the reading and transmit it. `idx` comes from the
             // enumerate above, but index panic-free anyway.
             let Some(node) = self.nodes.get_mut(idx) else {
@@ -194,20 +273,48 @@ impl Pipeline {
                 reading = self.scenario.apply_reading(&reading, node_pos);
                 self.stats.readings += 1;
                 let device = reading.device;
+                self.ledger.produced(device, due);
+                if let Some(level) = self
+                    .chaos
+                    .as_ref()
+                    .and_then(|c| c.battery_override(device, due))
+                {
+                    // Stuck telemetry only: the node's real battery (and
+                    // hence its transmit cadence) is untouched.
+                    reading.battery_pct = level;
+                }
                 let state = self.radio_state.entry(device).or_default();
-                let frame =
+                let mut frame =
                     UplinkFrame::new(device, state.fcnt, 2, payload::encode(&reading).to_vec());
                 let channel = usize::from(state.fcnt) % 3;
                 state.fcnt = state.fcnt.wrapping_add(1);
-                let req = TxRequest {
-                    device,
-                    position: node_pos,
-                    frame,
-                    sf: state.data_rate.spreading_factor(),
-                    tx_power_dbm: state.tx_power_dbm,
-                    channel,
-                };
-                self.radio.submit(due, req);
+                let sf = state.data_rate.spreading_factor();
+                let tx_power_dbm = state.tx_power_dbm;
+                let mut submit = true;
+                if let Some(fault) = self.chaos.as_mut().and_then(|c| c.frame_fault(device, due)) {
+                    match Self::mutate_frame(&frame, fault) {
+                        // The mangled frame still decodes (flip landed in
+                        // padding, truncation kept a valid prefix): it
+                        // travels on as-is.
+                        Ok(mangled) => frame = mangled,
+                        Err(cause) => {
+                            // Gateway CRC check drops it; own the loss.
+                            self.ledger.attribute(device, due, cause);
+                            submit = false;
+                        }
+                    }
+                }
+                if submit {
+                    let req = TxRequest {
+                        device,
+                        position: node_pos,
+                        frame,
+                        sf,
+                        tx_power_dbm,
+                        channel,
+                    };
+                    self.radio.submit(due, req);
+                }
             }
             // If nothing else transmits within the collision horizon, the
             // in-flight window can be safely resolved and consumed.
@@ -227,6 +334,80 @@ impl Pipeline {
         self.now = end;
     }
 
+    /// Apply time-windowed chaos state at `now`: node death transitions
+    /// and due TSDB bit flips. (Outage windows live in the radio simulator;
+    /// per-frame and per-delivery faults are consulted inline.)
+    fn apply_chaos(&mut self, now: Timestamp) {
+        if self.chaos.is_none() {
+            return;
+        }
+        let flips = self
+            .chaos
+            .as_mut()
+            .map(|c| c.due_bitflips(now))
+            .unwrap_or_default();
+        for (nth_chunk, bit) in flips {
+            if let BitFlipOutcome::Quarantined { points } = self.tsdb.flip_chunk_bit(nth_chunk, bit)
+            {
+                // The integrity scan must later account for exactly these.
+                self.ledger.storage_quarantined(u64::from(points));
+            }
+        }
+        let deaths: Vec<(DevEui, bool)> = self
+            .chaos
+            .as_ref()
+            .map(|c| {
+                c.death_devices()
+                    .into_iter()
+                    .map(|d| (d, c.death_active(d, now)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (device, want_dead) in deaths {
+            let applied = self.chaos_dead.get(&device).copied().unwrap_or(false);
+            if want_dead == applied {
+                continue;
+            }
+            if let Some(&idx) = self.node_index.get(&device) {
+                if let Some(node) = self.nodes.get_mut(idx) {
+                    node.set_health(if want_dead {
+                        NodeHealth::Dead
+                    } else {
+                        NodeHealth::Healthy
+                    });
+                    self.chaos_dead.insert(device, want_dead);
+                }
+            }
+        }
+    }
+
+    /// Apply an air-interface fault to an encoded frame. `Err(cause)` means
+    /// the gateway's CRC check rejects the result — the uplink is lost and
+    /// the cause is the attribution the ledger records.
+    fn mutate_frame(frame: &UplinkFrame, fault: FrameFault) -> Result<UplinkFrame, CauseCode> {
+        let mut bytes = frame.encode();
+        let cause = match fault {
+            FrameFault::CorruptBit { bit } => {
+                if !bytes.is_empty() {
+                    let b = bit % (bytes.len() as u64 * 8);
+                    if let Some(byte) = bytes.get_mut((b / 8) as usize) {
+                        *byte ^= 1 << (b % 8);
+                    }
+                }
+                CauseCode::FrameCorrupted
+            }
+            FrameFault::Truncate { keep } => {
+                let len = bytes.len().max(1) as u64;
+                bytes.truncate((keep % len) as usize);
+                CauseCode::FrameTruncated
+            }
+        };
+        match UplinkFrame::decode(&bytes) {
+            Ok(mangled) => Ok(mangled),
+            Err(_) => Err(cause),
+        }
+    }
+
     /// Drain the radio network and push deliveries through server → broker
     /// → storage → dataport.
     fn process_radio(&mut self) {
@@ -236,6 +417,8 @@ impl Pipeline {
         let lost = self.radio.drain_lost();
         self.stats.radio_lost += lost.len() as u64;
         for l in &lost {
+            self.ledger
+                .attribute(l.device, l.time, CauseCode::from_loss(l.reason));
             let st = self.radio_state.entry(l.device).or_default();
             let sf = st.data_rate.spreading_factor();
             let new_sf = st.backoff.on_uplink(false, sf);
@@ -250,8 +433,11 @@ impl Pipeline {
                 st.backoff.on_uplink(true, sf);
             }
             let Some((record, adr)) = self.server.ingest(&d) else {
-                continue; // duplicate
+                self.ledger
+                    .attribute(d.frame.dev_eui, d.time, CauseCode::ServerDuplicate);
+                continue;
             };
+            self.ledger.accepted(record.device, record.time);
             if let Some(cmd) = adr {
                 let st = self.radio_state.entry(record.device).or_default();
                 st.data_rate = cmd.data_rate;
@@ -277,36 +463,71 @@ impl Pipeline {
             gateway_count: r.gateway_count,
             payload: r.payload.clone(),
         };
-        event.publish(&self.broker);
+        // Bounded retry with exponential backoff: a full storage queue
+        // defers QoS1 deliveries instead of losing them, and the bridge
+        // gives up after the policy's attempts rather than spinning.
+        event.publish_with_retry(&self.broker, RetryPolicy::default());
     }
 
     /// The storage consumer: decode uplink events into TSDB points and feed
     /// the dataport twins.
     fn consume_storage(&mut self) {
-        while let Some(delivery) = self.storage_sub.try_recv() {
-            if let Some(pid) = delivery.packet_id {
-                self.broker.ack(self.storage_sub.id, pid);
+        if self
+            .chaos
+            .as_ref()
+            .map(|c| c.broker_stalled(self.now))
+            .unwrap_or(false)
+        {
+            // Injected consumer stall: deliveries wait in the broker queue
+            // (QoS1 keeps them in flight) until the window passes.
+            return;
+        }
+        loop {
+            while let Some(delivery) = self.storage_sub.try_recv() {
+                if let Some(pid) = delivery.packet_id {
+                    if !self.broker.ack(self.storage_sub.id, pid) {
+                        // Already acked: a redelivered copy of an uplink
+                        // this consumer has processed. Exactly-once gate.
+                        continue;
+                    }
+                }
+                let Ok(event) = UplinkEvent::decode(&delivery.message.payload) else {
+                    self.stats.decode_errors += 1;
+                    continue;
+                };
+                let Ok(reading) = payload::decode(&event.payload, event.device, event.time) else {
+                    self.stats.decode_errors += 1;
+                    self.ledger
+                        .attribute(event.device, event.time, CauseCode::DecodeError);
+                    continue;
+                };
+                let skew = self
+                    .chaos
+                    .as_ref()
+                    .and_then(|c| c.clock_skew(event.device, event.time))
+                    .unwrap_or(Span::seconds(0));
+                self.store_reading(&event, &reading, skew);
+                self.ledger.stored(event.device, event.time);
+                self.dataport.on_uplink(
+                    event.device,
+                    event.time,
+                    reading.battery_pct,
+                    event.gateway,
+                    Dbm(event.rssi_dbm),
+                );
             }
-            let Ok(event) = UplinkEvent::decode(&delivery.message.payload) else {
-                self.stats.decode_errors += 1;
-                continue;
-            };
-            let Ok(reading) = payload::decode(&event.payload, event.device, event.time) else {
-                self.stats.decode_errors += 1;
-                continue;
-            };
-            self.store_reading(&event, &reading);
-            self.dataport.on_uplink(
-                event.device,
-                event.time,
-                reading.battery_pct,
-                event.gateway,
-                Dbm(event.rssi_dbm),
-            );
+            // Queue drained: pull back any QoS1 deliveries that were
+            // deferred while it was full, until none remain.
+            if self.broker.redeliver_deferred() == 0 {
+                break;
+            }
         }
     }
 
-    fn store_reading(&mut self, event: &UplinkEvent, reading: &SensorReading) {
+    fn store_reading(&mut self, event: &UplinkEvent, reading: &SensorReading, skew: Span) {
+        // Clock skew perturbs only the stored timestamps — the twins (and
+        // the ledger key) still see the uplink's transport time.
+        let at = event.time + skew;
         let device_tag = format!("{:016x}", event.device.0);
         for q in Quantity::ALL {
             let point = DataPoint::new(
@@ -315,7 +536,7 @@ impl Pipeline {
                     ("city".to_string(), self.city_slug.clone()),
                     ("device".to_string(), device_tag.clone()),
                 ],
-                event.time,
+                at,
                 reading.value(q),
             );
             if let Ok(p) = point {
@@ -330,7 +551,7 @@ impl Pipeline {
                 ("city".to_string(), self.city_slug.clone()),
                 ("device".to_string(), device_tag),
             ],
-            event.time,
+            at,
             event.rssi_dbm,
         );
         if let Ok(p) = rssi {
@@ -409,6 +630,12 @@ mod tests {
         // 9 points per uplink (8 quantities + RSSI).
         assert_eq!(st.points_stored, st.delivered * 9);
         assert_eq!(p.tsdb.stats().points, st.points_stored);
+        // Conservation holds even without chaos: every reading is stored
+        // or attributed to a radio-level cause.
+        let verdict = p.ledger().verify();
+        assert!(verdict.is_balanced(), "{verdict:?}");
+        assert_eq!(verdict.produced, st.readings);
+        assert_eq!(verdict.stored, st.delivered);
     }
 
     #[test]
