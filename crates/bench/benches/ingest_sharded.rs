@@ -1,0 +1,98 @@
+//! Ingest throughput vs shard count, measured under the paper's actual
+//! workload: sensors write continuously while dashboards query (§2.4). A
+//! writer thread drives pre-built batches through `put_batch` while reader
+//! threads loop group-by range queries over the loaded store.
+//!
+//! With one shard, every dashboard query holds THE read lock for its whole
+//! collection pass and each write must wait it out; with four, a query
+//! only blocks the writer while it collects from the one shard the writer
+//! is currently targeting. That isolation is what sharding buys, and it
+//! shows up even on a single-core host (the CI gate compares the
+//! noise-robust `peak_elems_per_sec` minimum statistic).
+//!
+//! CI exports the results as `BENCH_ingest.json` (via `CRITERION_JSON`)
+//! and the `bench_check` validator asserts 4-shard throughput beats
+//! 1-shard.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ctt_core::time::{Span, Timestamp};
+use ctt_tsdb::{DataPoint, Query, ShardedTsdb};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const DEVICES: u32 = 8;
+const POINTS_PER_DEVICE: usize = 1_600;
+/// put_batch granularity: small enough that queries can slip between
+/// batches, large enough to amortize the per-batch lock acquisition.
+const BATCH: usize = 200;
+/// Dashboard threads querying while the writer ingests.
+const READERS: usize = 2;
+
+fn preloaded(shards: usize, batch: &[DataPoint]) -> ShardedTsdb {
+    let db = ShardedTsdb::new(shards);
+    db.put_batch(batch);
+    db.seal_all();
+    db
+}
+
+fn ingest_throughput(c: &mut Criterion) {
+    let batches = ctt_bench::writer_batches(1, DEVICES, POINTS_PER_DEVICE);
+    let batch = &batches[0];
+    let start = Timestamp::from_civil(2017, 1, 1, 0, 0, 0);
+    let query = Query::range("ctt.air.co2", start, start + Span::days(30)).group_by("device");
+    let mut g = c.benchmark_group("ingest");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(batch.len() as u64));
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            // Readers live across all samples; only the write loop is
+            // timed. Re-writing the same points each sample keeps the
+            // store stationary (duplicates collapse last-write-wins on
+            // seal), so every sample sees the same query working set.
+            let db = preloaded(shards, batch);
+            let done = AtomicBool::new(false);
+            let (db_ref, done_ref, query_ref) = (&db, &done, &query);
+            std::thread::scope(|s| {
+                for _ in 0..READERS {
+                    s.spawn(move || {
+                        while !done_ref.load(Ordering::Relaxed) {
+                            black_box(db_ref.execute(query_ref).expect("query ok"));
+                        }
+                    });
+                }
+                b.iter(|| {
+                    for chunk in batch.chunks(BATCH) {
+                        db_ref.put_batch(chunk);
+                    }
+                    black_box(())
+                });
+                done.store(true, Ordering::Relaxed);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn ingest_single_writer(c: &mut Criterion) {
+    // Single-threaded batched ingest with no read load: the per-point cost
+    // floor (hash + route + intern + append) at 1 vs 4 shards.
+    let batches = ctt_bench::writer_batches(1, DEVICES, POINTS_PER_DEVICE);
+    let batch = &batches[0];
+    let mut g = c.benchmark_group("ingest_serial");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(batch.len() as u64));
+    for shards in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let db = ShardedTsdb::new(shards);
+                for chunk in batch.chunks(BATCH) {
+                    db.put_batch(chunk);
+                }
+                black_box(db.stats().points)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ingest_throughput, ingest_single_writer);
+criterion_main!(benches);

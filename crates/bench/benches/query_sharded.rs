@@ -1,0 +1,64 @@
+//! Query latency against a loaded, sealed [`ShardedTsdb`]: raw range
+//! reads, downsample + cross-series aggregation, and group-by. Results are
+//! exported as `BENCH_query.json` in CI (via `CRITERION_JSON`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctt_core::time::{Span, Timestamp};
+use ctt_tsdb::{Aggregator, Downsample, FillPolicy, Query};
+
+const DEVICES: u32 = 32;
+const POINTS: usize = 2_000;
+
+fn window() -> (Timestamp, Timestamp) {
+    let start = Timestamp::from_civil(2017, 1, 1, 0, 0, 0);
+    (start, start + Span::minutes(5 * POINTS as i64))
+}
+
+fn range_query(c: &mut Criterion) {
+    let (start, end) = window();
+    let mut g = c.benchmark_group("query_range");
+    g.sample_size(20);
+    for shards in [1usize, 4] {
+        let db = ctt_bench::loaded_sharded_tsdb(shards, DEVICES, POINTS);
+        let q = Query::range("ctt.air.co2", start, end).group_by("device");
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            b.iter(|| black_box(db.execute(&q).expect("query ok")));
+        });
+    }
+    g.finish();
+}
+
+fn downsample_aggregate(c: &mut Criterion) {
+    let (start, end) = window();
+    let mut g = c.benchmark_group("query_downsample_aggregate");
+    g.sample_size(20);
+    for shards in [1usize, 4] {
+        let db = ctt_bench::loaded_sharded_tsdb(shards, DEVICES, POINTS);
+        let q = Query::range("ctt.air.co2", start, end)
+            .aggregate(Aggregator::Avg)
+            .downsample(Downsample {
+                interval: Span::hours(1),
+                aggregator: Aggregator::Avg,
+                fill: FillPolicy::None,
+            });
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            b.iter(|| black_box(db.execute(&q).expect("query ok")));
+        });
+    }
+    g.finish();
+}
+
+fn p95_aggregate(c: &mut Criterion) {
+    let (start, end) = window();
+    let mut g = c.benchmark_group("query_p95");
+    g.sample_size(20);
+    let db = ctt_bench::loaded_sharded_tsdb(4, DEVICES, POINTS);
+    let q = Query::range("ctt.air.co2", start, end).aggregate(Aggregator::P95);
+    g.bench_function("shards/4", |b| {
+        b.iter(|| black_box(db.execute(&q).expect("query ok")));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, range_query, downsample_aggregate, p95_aggregate);
+criterion_main!(benches);

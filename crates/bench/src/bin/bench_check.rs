@@ -1,0 +1,139 @@
+//! CI gate for the criterion JSON reports.
+//!
+//! Usage: `bench_check BENCH_ingest.json BENCH_query.json ...`
+//!
+//! Fails (exit 1) when a report is missing, unparsable, or empty — a smoke
+//! run that silently produced nothing must not pass CI. For the ingest
+//! report it additionally checks the headline acceptance criterion: 4-shard
+//! multi-writer ingest throughput must exceed 1-shard.
+//!
+//! The parser is a minimal hand-rolled reader for the exact shape the
+//! vendored criterion shim emits (`{"benchmarks": [{"name": ..,
+//! "mean_ns_per_iter": .., ...}]}`) — std-only, no serde.
+
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Bench {
+    name: String,
+    mean_ns_per_iter: f64,
+    elems_per_sec: Option<f64>,
+    /// Throughput at the fastest sampled iteration — robust to scheduler
+    /// noise (which only slows iterations down), so the scaling gate
+    /// compares this rather than the mean.
+    peak_elems_per_sec: Option<f64>,
+}
+
+/// Extract a string field from one JSON object body.
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Extract a numeric field from one JSON object body.
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn parse_report(text: &str) -> Result<Vec<Bench>, String> {
+    if !text.contains("\"benchmarks\"") {
+        return Err("missing \"benchmarks\" key".into());
+    }
+    let mut out = Vec::new();
+    // Benchmark objects are one per line in the shim's output; parse each
+    // `{...}` fragment that carries a name.
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.contains("\"name\"") {
+            continue;
+        }
+        let name = str_field(line, "name").ok_or_else(|| format!("object without name: {line}"))?;
+        let mean = num_field(line, "mean_ns_per_iter")
+            .ok_or_else(|| format!("'{name}' lacks mean_ns_per_iter"))?;
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(format!("'{name}' has nonsensical mean {mean}"));
+        }
+        out.push(Bench {
+            name,
+            mean_ns_per_iter: mean,
+            elems_per_sec: num_field(line, "elems_per_sec"),
+            peak_elems_per_sec: num_field(line, "peak_elems_per_sec"),
+        });
+    }
+    if out.is_empty() {
+        return Err("report contains zero benchmarks".into());
+    }
+    Ok(out)
+}
+
+/// The multi-writer ingest scaling criterion: shards=4 beats shards=1.
+fn check_ingest_scaling(benches: &[Bench]) -> Result<(), String> {
+    let throughput = |shards: &str| {
+        benches
+            .iter()
+            .find(|b| b.name == format!("ingest/shards/{shards}"))
+            .and_then(|b| b.peak_elems_per_sec.or(b.elems_per_sec))
+            .ok_or_else(|| format!("no ingest/shards/{shards} throughput in report"))
+    };
+    let one = throughput("1")?;
+    let four = throughput("4")?;
+    if four <= one {
+        return Err(format!(
+            "4-shard ingest ({four:.0} elems/s) does not beat 1-shard ({one:.0} elems/s)"
+        ));
+    }
+    println!(
+        "bench_check: ingest scaling ok — 1 shard {one:.0} elems/s, 4 shards {four:.0} elems/s ({:.2}x)",
+        four / one
+    );
+    Ok(())
+}
+
+fn check_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let benches = parse_report(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("bench_check: {path}: {} benchmarks", benches.len());
+    for b in &benches {
+        println!(
+            "  {}: {:.0} ns/iter{}",
+            b.name,
+            b.mean_ns_per_iter,
+            b.elems_per_sec
+                .map(|e| format!(", {e:.0} elems/s"))
+                .unwrap_or_default()
+        );
+    }
+    if benches.iter().any(|b| b.name.starts_with("ingest/")) {
+        check_ingest_scaling(&benches).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: bench_check <report.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        if let Err(e) = check_file(path) {
+            eprintln!("bench_check: FAIL: {e}");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -8,7 +8,7 @@
 use ctt_core::deployment::Deployment;
 use ctt_core::measurement::Series;
 use ctt_core::time::{Span, TimeRange, Timestamp};
-use ctt_tsdb::{DataPoint, Tsdb};
+use ctt_tsdb::{DataPoint, ShardedTsdb, Tsdb};
 
 /// Default seed used across the evaluation.
 pub const SEED: u64 = 42;
@@ -44,6 +44,38 @@ pub fn loaded_tsdb(devices: u32, points: usize) -> Tsdb {
             db.put(p);
         }
     }
+    db
+}
+
+/// Pre-built ingest workload for the sharded benches: one batch of points
+/// per writer thread, each writer owning a disjoint set of devices (as the
+/// per-city ingest paths do). Batches are independent of the shard count,
+/// so the same workload replays against 1-, 2-, 4-, and 8-shard stores.
+pub fn writer_batches(
+    writers: usize,
+    devices_per_writer: u32,
+    points: usize,
+) -> Vec<Vec<DataPoint>> {
+    (0..writers)
+        .map(|w| {
+            (0..devices_per_writer)
+                .flat_map(|d| {
+                    let device = w as u32 * devices_per_writer + d;
+                    synthetic_points(device, 0, points)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A sealed [`ShardedTsdb`] pre-loaded with `devices × points` synthetic
+/// points, for the query-latency benches.
+pub fn loaded_sharded_tsdb(shards: usize, devices: u32, points: usize) -> ShardedTsdb {
+    let db = ShardedTsdb::new(shards);
+    for d in 0..devices {
+        db.put_batch(&synthetic_points(d, 0, points));
+    }
+    db.seal_all();
     db
 }
 

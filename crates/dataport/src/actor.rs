@@ -18,8 +18,9 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
-/// A dynamically-typed message.
-pub type AnyMessage = Box<dyn Any>;
+/// A dynamically-typed message. `Send` so a whole actor system (and the
+/// pipeline that owns it) can move across threads for parallel city runs.
+pub type AnyMessage = Box<dyn Any + Send>;
 
 /// Actor failure signalled from `handle`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,7 +55,7 @@ pub const MAX_RESTARTS: u32 = 5;
 pub struct ActorRef(u64);
 
 /// Behaviour of an actor.
-pub trait Actor: Any {
+pub trait Actor: Any + Send {
     /// Handle one message. Returning `Err` triggers supervision.
     fn handle(&mut self, ctx: &mut Context<'_>, msg: AnyMessage) -> Result<(), Fault>;
 

@@ -107,10 +107,12 @@ impl Default for LintConfig {
                 "crates/tsdb/src/gorilla.rs".into(),
                 "crates/tsdb/src/store.rs".into(),
                 "crates/tsdb/src/query.rs".into(),
+                "crates/tsdb/src/shard.rs".into(),
                 "crates/lorawan/src/server.rs".into(),
                 "crates/lorawan/src/sim.rs".into(),
                 "crates/dataport/src/".into(),
                 "src/pipeline.rs".into(),
+                "src/parallel.rs".into(),
             ],
         }
     }

@@ -7,6 +7,8 @@
 //! * [`bits`] / [`gorilla`] — bit-packed Gorilla chunk compression
 //!   (delta-of-delta timestamps, XOR floats).
 //! * [`store`] — interned series, chunked storage, retention, stats.
+//! * [`shard`] — series-key-hash partitioning across N lock-guarded
+//!   shards with batched ingest and merge-on-read queries.
 //! * [`query`] — tag filters, group-by, downsampling (`1h-avg`),
 //!   cross-series aggregation, rate.
 //! * [`text`] — telnet-style `put` import/export and table rendering.
@@ -20,6 +22,7 @@ pub mod error;
 pub mod gorilla;
 pub mod model;
 pub mod query;
+pub mod shard;
 pub mod store;
 pub mod text;
 
@@ -27,4 +30,5 @@ pub use error::TsdbError;
 pub use gorilla::{CompressedChunk, GorillaEncoder};
 pub use model::{DataPoint, ModelError, TagFilter, TagSet};
 pub use query::{execute, Aggregator, Downsample, FillPolicy, Query, QueryResult};
+pub use shard::{ShardedTsdb, DEFAULT_SHARDS};
 pub use store::{BitFlipOutcome, IntegrityReport, QuarantineReport, SeriesId, StoreStats, Tsdb};

@@ -33,7 +33,8 @@ pub enum Aggregator {
     Last,
     /// Median (p50).
     Median,
-    /// 95th percentile (nearest-rank).
+    /// 95th percentile (linear interpolation between closest ranks —
+    /// same definition as `ctt-analytics`' `quantile`).
     P95,
     /// Sample standard deviation.
     Dev,
@@ -57,10 +58,17 @@ impl Aggregator {
         })
     }
 
-    /// Apply to a non-empty slice of values (time-ordered). An empty slice
-    /// yields NaN for value aggregators (0 for `Count`) rather than a panic.
+    /// Apply to a slice of values (time-ordered). An empty slice yields NaN
+    /// for value aggregators (0 for `Count`) rather than a panic — including
+    /// `Min`/`Max`, whose fold identities would otherwise leak ±∞ into
+    /// downsampled output.
     pub fn apply(self, values: &[f64]) -> f64 {
-        debug_assert!(!values.is_empty());
+        if values.is_empty() {
+            return match self {
+                Aggregator::Count => 0.0,
+                _ => f64::NAN,
+            };
+        }
         match self {
             Aggregator::Avg => values.iter().sum::<f64>() / values.len() as f64,
             Aggregator::Sum => values.iter().sum(),
@@ -101,12 +109,25 @@ impl fmt::Display for Aggregator {
     }
 }
 
-/// Nearest-rank percentile of an unsorted slice (NaN when empty).
+/// Percentile of an unsorted slice by linear interpolation on the sorted
+/// sample (NaN when empty). This is the *same* definition as
+/// `ctt-analytics::stats::quantile`, so a P95 computed in a query agrees
+/// bit-for-bit with the same P95 computed in figures — the cross-crate
+/// agreement test in `tests/percentile_agreement.rs` pins that.
 fn percentile(values: &[f64], p: f64) -> f64 {
     let mut v: Vec<f64> = values.to_vec();
     v.sort_by(f64::total_cmp);
-    let rank = ((p * v.len() as f64).ceil() as usize).clamp(1, v.len());
-    v.get(rank - 1).copied().unwrap_or(f64::NAN)
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    let pos = p * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    match (v.get(lo), v.get(hi)) {
+        (Some(&a), Some(&b)) => a + (b - a) * frac,
+        _ => f64::NAN,
+    }
 }
 
 /// Missing-bucket fill policy for downsampling.
@@ -280,11 +301,22 @@ fn downsample_points(
     out
 }
 
-/// Convert a point list to per-second rates (length n-1).
+/// Convert a point list to per-second rates (length n-1 after duplicate
+/// timestamps collapse). Colliding samples (dt == 0, e.g. a duplicate that
+/// survived to this layer) are collapsed last-write-wins *before* the
+/// pairwise rate, so the newer value still contributes to the next interval
+/// instead of being silently dropped.
 fn to_rate(points: &[(Timestamp, f64)]) -> Vec<(Timestamp, f64)> {
-    points
+    let mut collapsed: Vec<(Timestamp, f64)> = Vec::with_capacity(points.len());
+    for &(t, v) in points {
+        match collapsed.last_mut() {
+            Some(last) if last.0 == t => last.1 = v,
+            _ => collapsed.push((t, v)),
+        }
+    }
+    collapsed
         .iter()
-        .zip(points.iter().skip(1))
+        .zip(collapsed.iter().skip(1))
         .filter_map(|(&(t0, v0), &(t1, v1))| {
             let dt = (t1 - t0).as_seconds();
             if dt <= 0 {
@@ -296,11 +328,34 @@ fn to_rate(points: &[(Timestamp, f64)]) -> Vec<(Timestamp, f64)> {
         .collect()
 }
 
-/// Execute a query. Storage corruption does not fail the query: corrupt
-/// chunks are quarantined and surfaced in the per-group quarantine counts.
-/// An unmatched metric or filter is an empty result set, not an error.
-pub fn execute(db: &Tsdb, q: &Query) -> Result<Vec<QueryResult>, TsdbError> {
-    // 1. Find matching series.
+/// Raw per-series points collected for one result group, before any rate /
+/// downsample / cross-series aggregation. Each entry carries the canonical
+/// series key so merges across shards aggregate in a shard-count-independent
+/// order — the byte-identical-results guarantee of `ShardedTsdb`.
+#[derive(Debug, Default)]
+pub(crate) struct GroupCollection {
+    /// `(canonical series key, raw points in [start, end))`.
+    pub(crate) series: Vec<(String, Vec<(Timestamp, f64)>)>,
+    /// Corruption skipped while reading this group.
+    pub(crate) quarantine: crate::store::QuarantineReport,
+}
+
+impl GroupCollection {
+    /// Fold another shard's collection for the same group into this one.
+    pub(crate) fn merge(&mut self, other: GroupCollection) {
+        self.series.extend(other.series);
+        self.quarantine.merge(other.quarantine);
+    }
+}
+
+/// Phase 1 of query execution: match series against the filters, group by
+/// the wildcard tags, and read each series' raw points. No aggregation
+/// happens here, so collections from several shards can be merged before
+/// [`finalize_groups`] aggregates — averaging averages would be wrong.
+pub(crate) fn collect_groups(
+    db: &Tsdb,
+    q: &Query,
+) -> Result<BTreeMap<TagSet, GroupCollection>, TsdbError> {
     let matching: Vec<SeriesId> = db
         .series_for_metric(&q.metric)
         .iter()
@@ -314,14 +369,13 @@ pub fn execute(db: &Tsdb, q: &Query) -> Result<Vec<QueryResult>, TsdbError> {
             })
         })
         .collect();
-    // 2. Group by wildcard tags.
     let group_keys: Vec<&String> = q
         .filters
         .iter()
         .filter(|(_, f)| matches!(f, TagFilter::Wildcard))
         .map(|(k, _)| k)
         .collect();
-    let mut groups: BTreeMap<TagSet, Vec<SeriesId>> = BTreeMap::new();
+    let mut groups: BTreeMap<TagSet, GroupCollection> = BTreeMap::new();
     for id in matching {
         let mut group = TagSet::new();
         for &k in &group_keys {
@@ -329,16 +383,31 @@ pub fn execute(db: &Tsdb, q: &Query) -> Result<Vec<QueryResult>, TsdbError> {
                 group.insert(k.clone(), v.clone());
             }
         }
-        groups.entry(group).or_default().push(id);
+        let key = match (db.metric(id), db.tags(id)) {
+            (Some(metric), Some(tags)) => crate::model::series_key(metric, tags),
+            _ => continue, // unreachable: id came from the metric index
+        };
+        let (pts, skipped) = db.read_with_quarantine(id, q.start, q.end)?;
+        let entry = groups.entry(group).or_default();
+        entry.series.push((key, pts));
+        entry.quarantine.merge(skipped);
     }
-    // 3. Per group: fetch, rate, downsample, cross-series aggregate.
+    Ok(groups)
+}
+
+/// Phase 2 of query execution: per-series rate + downsample, then
+/// cross-series aggregation per group. Series are processed in canonical
+/// key order, so the result is independent of insertion (and shard) order.
+pub(crate) fn finalize_groups(
+    groups: BTreeMap<TagSet, GroupCollection>,
+    q: &Query,
+) -> Vec<QueryResult> {
     let mut results = Vec::with_capacity(groups.len());
-    for (group, ids) in groups {
-        let mut per_series: Vec<Vec<(Timestamp, f64)>> = Vec::with_capacity(ids.len());
-        let mut quarantine = crate::store::QuarantineReport::default();
-        for &id in &ids {
-            let (mut pts, skipped) = db.read_with_quarantine(id, q.start, q.end)?;
-            quarantine.merge(skipped);
+    for (group, mut coll) in groups {
+        coll.series.sort_by(|a, b| a.0.cmp(&b.0));
+        let source_series = coll.series.len();
+        let mut per_series: Vec<Vec<(Timestamp, f64)>> = Vec::with_capacity(source_series);
+        for (_, mut pts) in coll.series {
             if q.rate {
                 pts = to_rate(&pts);
             }
@@ -373,12 +442,19 @@ pub fn execute(db: &Tsdb, q: &Query) -> Result<Vec<QueryResult>, TsdbError> {
         results.push(QueryResult {
             group,
             series,
-            source_series: ids.len(),
-            quarantined_chunks: quarantine.chunks,
-            quarantined_points: quarantine.points,
+            source_series,
+            quarantined_chunks: coll.quarantine.chunks,
+            quarantined_points: coll.quarantine.points,
         });
     }
-    Ok(results)
+    results
+}
+
+/// Execute a query. Storage corruption does not fail the query: corrupt
+/// chunks are quarantined and surfaced in the per-group quarantine counts.
+/// An unmatched metric or filter is an empty result set, not an error.
+pub fn execute(db: &Tsdb, q: &Query) -> Result<Vec<QueryResult>, TsdbError> {
+    Ok(finalize_groups(collect_groups(db, q)?, q))
 }
 
 #[cfg(test)]
@@ -419,11 +495,49 @@ mod tests {
         assert_eq!(Aggregator::Count.apply(&v), 4.0);
         assert_eq!(Aggregator::First.apply(&v), 4.0);
         assert_eq!(Aggregator::Last.apply(&v), 2.0);
-        assert_eq!(Aggregator::Median.apply(&v), 2.0);
-        assert_eq!(Aggregator::P95.apply(&v), 4.0);
+        // Linear interpolation (same definition as ctt-analytics quantile).
+        assert_eq!(Aggregator::Median.apply(&v), 2.5);
+        assert!((Aggregator::P95.apply(&v) - 3.85).abs() < 1e-12);
         let dev = Aggregator::Dev.apply(&v);
         assert!((dev - 1.29099).abs() < 1e-4);
         assert_eq!(Aggregator::Dev.apply(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_slice_yields_nan_not_infinity() {
+        for agg in [
+            Aggregator::Avg,
+            Aggregator::Sum,
+            Aggregator::Min,
+            Aggregator::Max,
+            Aggregator::First,
+            Aggregator::Last,
+            Aggregator::Median,
+            Aggregator::P95,
+            Aggregator::Dev,
+        ] {
+            let v = agg.apply(&[]);
+            assert!(v.is_nan(), "{agg}([]) = {v}, want NaN");
+        }
+        assert_eq!(Aggregator::Count.apply(&[]), 0.0);
+    }
+
+    #[test]
+    fn rate_collapses_colliding_samples_last_write_wins() {
+        // A duplicate timestamp: the newer value (20) must feed the next
+        // interval's rate instead of being silently dropped.
+        let pts = vec![
+            (Timestamp(0), 0.0),
+            (Timestamp(100), 10.0),
+            (Timestamp(100), 20.0),
+            (Timestamp(200), 30.0),
+        ];
+        let rates = to_rate(&pts);
+        assert_eq!(
+            rates,
+            vec![(Timestamp(100), 0.2), (Timestamp(200), 0.1)],
+            "collision must collapse last-write-wins, not vanish"
+        );
     }
 
     #[test]

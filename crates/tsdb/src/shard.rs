@@ -1,0 +1,383 @@
+//! Sharded storage: N independent [`Tsdb`] partitions behind `RwLock`s.
+//!
+//! Series are partitioned by an FNV-1a hash of the canonical series key
+//! (`metric{k1=v1,...}`), so every series lives in exactly one shard and a
+//! point's destination is a pure function of its identity — stable across
+//! runs, process restarts, and shard counts that divide the hash space the
+//! same way. Each shard owns its own intern map, sealed chunks, and open
+//! buffers; writers contend only within a shard, and a batched write locks
+//! each touched shard once.
+//!
+//! Queries run in two phases (see [`crate::query`]): every shard *collects*
+//! raw per-series points under a read lock, the collections are merged, and
+//! aggregation happens once over the merged set. Aggregating per shard and
+//! then combining would be wrong (an average of averages weights shards,
+//! not points) — the two-phase split is what makes an N-shard store return
+//! byte-identical query results to a 1-shard store.
+
+use crate::error::TsdbError;
+use crate::model::{series_key, DataPoint, TagSet};
+use crate::query::{collect_groups, finalize_groups, GroupCollection, Query, QueryResult};
+use crate::store::{
+    BitFlipOutcome, IntegrityReport, QuarantineReport, StoreStats, Tsdb, DEFAULT_CHUNK_SIZE,
+};
+use ctt_core::time::Timestamp;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Default shard count: matches the ingest worker pool's default width.
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// FNV-1a 64-bit hash — deterministic (unlike `std`'s `RandomState`), so
+/// shard assignment is replay-stable across processes and runs.
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A time-series database partitioned across N single-owner shards.
+#[derive(Debug)]
+pub struct ShardedTsdb {
+    shards: Vec<RwLock<Tsdb>>,
+}
+
+impl Default for ShardedTsdb {
+    fn default() -> Self {
+        ShardedTsdb::new(DEFAULT_SHARDS)
+    }
+}
+
+impl ShardedTsdb {
+    /// New store with `shards` partitions (clamped to at least 1) and the
+    /// default points-per-chunk.
+    pub fn new(shards: usize) -> Self {
+        ShardedTsdb::with_chunk_size(shards, DEFAULT_CHUNK_SIZE)
+    }
+
+    /// New store with a custom points-per-chunk in every shard.
+    pub fn with_chunk_size(shards: usize, chunk_size: usize) -> Self {
+        let n = shards.max(1);
+        ShardedTsdb {
+            shards: (0..n)
+                .map(|_| RwLock::new(Tsdb::with_chunk_size(chunk_size)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index that owns a canonical series key.
+    pub fn shard_of_key(&self, key: &str) -> usize {
+        (fnv1a(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Insert one data point. Prefer [`ShardedTsdb::put_batch`] on the hot
+    /// path — it locks each touched shard once per batch, not per point.
+    pub fn put(&self, point: &DataPoint) {
+        let shard = self.shard_of_key(&point.series_key());
+        if let Some(s) = self.shards.get(shard) {
+            s.write().put(point);
+        }
+    }
+
+    /// Batched ingest: bucket points by owning shard, then lock each
+    /// touched shard exactly once. Returns the number of points written.
+    pub fn put_batch(&self, points: &[DataPoint]) -> u64 {
+        let mut buckets: Vec<Vec<&DataPoint>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for p in points {
+            let shard = self.shard_of_key(&p.series_key());
+            if let Some(bucket) = buckets.get_mut(shard) {
+                bucket.push(p);
+            }
+        }
+        let mut written = 0u64;
+        for (shard, bucket) in self.shards.iter().zip(&buckets) {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut guard = shard.write();
+            for p in bucket {
+                guard.put(p);
+                written += 1;
+            }
+        }
+        written
+    }
+
+    /// Execute a query across every shard: per-shard raw collection under
+    /// read locks, one merged aggregation pass. Byte-identical to running
+    /// the same query against a single [`Tsdb`] holding all the data.
+    pub fn execute(&self, q: &Query) -> Result<Vec<QueryResult>, TsdbError> {
+        let mut merged: BTreeMap<TagSet, GroupCollection> = BTreeMap::new();
+        for shard in &self.shards {
+            // Collect fully under the read lock, merge after releasing it.
+            let collected = collect_groups(&shard.read(), q)?;
+            for (group, coll) in collected {
+                merged.entry(group).or_default().merge(coll);
+            }
+        }
+        Ok(finalize_groups(merged, q))
+    }
+
+    /// Raw points of one exactly-identified series in `[start, end)`, with
+    /// the quarantine report. `None` when the series is unknown. Routes
+    /// directly to the owning shard — a point lookup touches one lock.
+    pub fn read_series(
+        &self,
+        metric: &str,
+        tags: &TagSet,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Option<(Vec<(Timestamp, f64)>, QuarantineReport)> {
+        let shard = self.shard_of_key(&series_key(metric, tags));
+        let guard = self.shards.get(shard)?.read();
+        let id = guard.series_id(metric, tags)?;
+        guard.read_with_quarantine(id, start, end).ok()
+    }
+
+    /// Storage statistics summed across shards.
+    pub fn stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for s in &self.shards {
+            let st = s.read().stats();
+            total.series += st.series;
+            total.points += st.points;
+            total.chunks += st.chunks;
+            total.bytes += st.bytes;
+        }
+        total
+    }
+
+    /// Per-shard statistics, in shard order (balance inspection).
+    pub fn per_shard_stats(&self) -> Vec<StoreStats> {
+        self.shards.iter().map(|s| s.read().stats()).collect()
+    }
+
+    /// All distinct metric names across shards (sorted, deduplicated).
+    pub fn metrics(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in &self.shards {
+            let guard = s.read();
+            out.extend(guard.metrics().into_iter().map(str::to_string));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Force-seal all open buffers in every shard.
+    pub fn seal_all(&self) {
+        for s in &self.shards {
+            s.write().seal_all();
+        }
+    }
+
+    /// Retention across all shards: drop data strictly before `cutoff`.
+    /// Returns total points dropped; if any shard hits a corrupt straddling
+    /// chunk the first error is reported after every shard has been swept
+    /// (no shard is skipped because an earlier one was corrupt).
+    pub fn evict_before(&self, cutoff: Timestamp) -> Result<u64, TsdbError> {
+        let mut dropped = 0u64;
+        let mut first_err = None;
+        for s in &self.shards {
+            match s.write().evict_before(cutoff) {
+                Ok(n) => dropped += n,
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(dropped),
+        }
+    }
+
+    /// Trial-decode every sealed chunk in every shard. The conservation
+    /// invariant `readable_points + quarantined_points == stats().points`
+    /// holds across the whole sharded store, so the chaos loss ledger
+    /// balances exactly as it did against the flat store.
+    pub fn integrity_scan(&self) -> IntegrityReport {
+        let mut total = IntegrityReport::default();
+        for s in &self.shards {
+            let r = s.read().integrity_scan();
+            total.readable_points += r.readable_points;
+            total.quarantined_chunks += r.quarantined_chunks;
+            total.quarantined_points += r.quarantined_points;
+        }
+        total
+    }
+
+    /// Fault injection: flip one bit in the `nth` sealed chunk, counting
+    /// chunks across shards in shard order (modulo the global total), and
+    /// report the outcome. Deterministic for a fixed ingest history.
+    pub fn flip_chunk_bit(&self, nth_chunk: u64, bit: u64) -> BitFlipOutcome {
+        let counts: Vec<usize> = self
+            .shards
+            .iter()
+            .map(|s| s.read().stats().chunks)
+            .collect();
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            return BitFlipOutcome::NoChunks;
+        }
+        let mut target = (nth_chunk % total as u64) as usize;
+        for (shard, &count) in self.shards.iter().zip(&counts) {
+            if target >= count {
+                target -= count;
+                continue;
+            }
+            return shard.write().flip_chunk_bit(target as u64, bit);
+        }
+        BitFlipOutcome::NoChunks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Aggregator;
+    use ctt_core::time::Span;
+
+    fn dp(metric: &str, device: &str, t: i64, v: f64) -> DataPoint {
+        DataPoint::new(
+            metric,
+            vec![("device".to_string(), device.to_string())],
+            Timestamp(t),
+            v,
+        )
+        .unwrap()
+    }
+
+    fn fill(db: &ShardedTsdb, devices: u32, points: i64) {
+        let batch: Vec<DataPoint> = (0..devices)
+            .flat_map(|d| {
+                (0..points)
+                    .map(move |i| dp("m", &format!("n{d}"), i * 300, f64::from(d) + i as f64))
+            })
+            .collect();
+        assert_eq!(db.put_batch(&batch), u64::from(devices) * points as u64);
+    }
+
+    #[test]
+    fn shards_partition_series_not_points() {
+        let db = ShardedTsdb::new(4);
+        fill(&db, 16, 40);
+        let st = db.stats();
+        assert_eq!(st.series, 16);
+        assert_eq!(st.points, 16 * 40);
+        // Every series lives in exactly one shard.
+        let per_shard = db.per_shard_stats();
+        assert_eq!(per_shard.iter().map(|s| s.series).sum::<usize>(), 16);
+        // 16 hashed series across 4 shards: expect more than one shard used.
+        assert!(
+            per_shard.iter().filter(|s| s.series > 0).count() > 1,
+            "hash failed to spread series: {per_shard:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_query_matches_flat_store() {
+        let sharded = ShardedTsdb::with_chunk_size(4, 16);
+        let mut flat = Tsdb::with_chunk_size(16);
+        for d in 0..6u32 {
+            for i in 0..100i64 {
+                let p = dp(
+                    "m",
+                    &format!("n{d}"),
+                    i * 300,
+                    f64::from(d) * 10.0 + i as f64,
+                );
+                sharded.put(&p);
+                flat.put(&p);
+            }
+        }
+        for q in [
+            Query::range("m", Timestamp(0), Timestamp(100 * 300)),
+            Query::range("m", Timestamp(0), Timestamp(100 * 300)).group_by("device"),
+            Query::range("m", Timestamp(5_000), Timestamp(20_000)).aggregate(Aggregator::P95),
+            Query::range("m", Timestamp(0), Timestamp(100 * 300))
+                .aggregate(Aggregator::Sum)
+                .downsample(crate::query::Downsample {
+                    interval: Span::minutes(30),
+                    aggregator: Aggregator::Avg,
+                    fill: crate::query::FillPolicy::None,
+                }),
+        ] {
+            let a = sharded.execute(&q).unwrap();
+            let b = crate::query::execute(&flat, &q).unwrap();
+            assert_eq!(a, b, "sharded vs flat diverged on {q:?}");
+        }
+    }
+
+    #[test]
+    fn read_series_routes_to_owning_shard() {
+        let db = ShardedTsdb::new(8);
+        fill(&db, 8, 10);
+        let tags: TagSet = [("device".to_string(), "n3".to_string())].into();
+        let (pts, q) = db
+            .read_series("m", &tags, Timestamp(0), Timestamp(10_000))
+            .expect("series exists");
+        assert_eq!(pts.len(), 10);
+        assert_eq!(q, QuarantineReport::default());
+        assert!(db
+            .read_series("m", &TagSet::new(), Timestamp(0), Timestamp(1))
+            .is_none());
+    }
+
+    #[test]
+    fn evict_before_sums_across_shards() {
+        let db = ShardedTsdb::with_chunk_size(4, 8);
+        fill(&db, 8, 50);
+        let dropped = db.evict_before(Timestamp(25 * 300)).unwrap();
+        assert_eq!(dropped, 8 * 25);
+        assert_eq!(db.stats().points, 8 * 25);
+    }
+
+    #[test]
+    fn flip_chunk_bit_walks_global_chunk_index() {
+        let db = ShardedTsdb::with_chunk_size(4, 8);
+        assert_eq!(db.flip_chunk_bit(0, 0), BitFlipOutcome::NoChunks);
+        fill(&db, 8, 24);
+        db.seal_all();
+        let chunks = db.stats().chunks as u64;
+        assert!(chunks >= 8);
+        for nth in 0..chunks {
+            assert_ne!(db.flip_chunk_bit(nth, 1), BitFlipOutcome::NoChunks);
+        }
+        // Conservation: the scan accounts for every point ever written.
+        let scan = db.integrity_scan();
+        assert_eq!(
+            scan.readable_points + scan.quarantined_points,
+            db.stats().points
+        );
+    }
+
+    #[test]
+    fn metrics_merged_and_deduped() {
+        let db = ShardedTsdb::new(4);
+        for d in 0..8u32 {
+            db.put(&dp("b.metric", &format!("n{d}"), 0, 1.0));
+            db.put(&dp("a.metric", &format!("n{d}"), 0, 1.0));
+        }
+        assert_eq!(db.metrics(), vec!["a.metric", "b.metric"]);
+    }
+
+    #[test]
+    fn one_shard_degenerates_to_flat_store() {
+        let db = ShardedTsdb::new(1);
+        assert_eq!(db.shard_count(), 1);
+        fill(&db, 3, 10);
+        assert_eq!(db.stats().series, 3);
+        let db = ShardedTsdb::new(0); // clamped
+        assert_eq!(db.shard_count(), 1);
+    }
+}

@@ -18,6 +18,22 @@ pub struct SeriesId(pub u32);
 /// Default points per sealed chunk (one day of 5-minute data is 288).
 pub const DEFAULT_CHUNK_SIZE: usize = 512;
 
+/// Collapse duplicate timestamps in a time-sorted point list, keeping the
+/// last occurrence of each run (last write wins). Returns how many points
+/// were removed.
+fn dedup_last_write_wins(points: &mut Vec<(Timestamp, f64)>) -> usize {
+    let before = points.len();
+    let mut kept: Vec<(Timestamp, f64)> = Vec::with_capacity(before);
+    for &(t, v) in points.iter() {
+        match kept.last_mut() {
+            Some(last) if last.0 == t => last.1 = v,
+            _ => kept.push((t, v)),
+        }
+    }
+    *points = kept;
+    before - points.len()
+}
+
 #[derive(Debug, Clone)]
 struct SealedChunk {
     chunk: CompressedChunk,
@@ -47,7 +63,13 @@ impl Series {
     }
 
     fn seal_open(&mut self) {
+        // Stable sort + last-write-wins dedup: a QoS1 redelivery that slips
+        // past the pipeline's exactly-once guard must not double-count in
+        // Avg/Sum/Count. Within equal timestamps the stable sort preserves
+        // arrival order, so keeping the final value is last-write-wins.
         self.open.sort_by_key(|&(t, _)| t);
+        let removed = dedup_last_write_wins(&mut self.open);
+        self.points = self.points.saturating_sub(removed as u64);
         let (Some(&(start, _)), Some(&(end, _))) = (self.open.first(), self.open.last()) else {
             return; // nothing buffered
         };
@@ -91,7 +113,11 @@ impl Series {
                 .copied()
                 .filter(|&(t, _)| t >= start && t < end),
         );
+        // Stable sort keeps seal order (oldest chunk first, open buffer
+        // last) for equal timestamps, so last-write-wins dedup prefers the
+        // most recently written copy of a duplicated timestamp.
         out.sort_by_key(|&(t, _)| t);
+        dedup_last_write_wins(&mut out);
         (out, quarantine)
     }
 
@@ -126,6 +152,9 @@ impl QuarantineReport {
 pub enum BitFlipOutcome {
     /// No sealed chunk exists to corrupt.
     NoChunks,
+    /// A sealed chunk was selected but the bit could not be flipped (the
+    /// chunk has no data bytes) — distinct from an empty store.
+    BitOutOfRange,
     /// The flipped chunk still decodes (the corruption changed values,
     /// not structure) — no points are lost.
     StillReadable,
@@ -216,6 +245,17 @@ impl Tsdb {
         id
     }
 
+    /// Batched ingest: insert every point, interning series on first sight.
+    /// Returns the number of points written. The single-shard building
+    /// block of [`crate::shard::ShardedTsdb::put_batch`] — batching lets a
+    /// shard be locked once per batch instead of once per point.
+    pub fn put_batch(&mut self, points: &[DataPoint]) -> u64 {
+        for p in points {
+            self.put(p);
+        }
+        points.len() as u64
+    }
+
     /// All series ids for a metric.
     pub fn series_for_metric(&self, metric: &str) -> &[SeriesId] {
         self.by_metric.get(metric).map(Vec::as_slice).unwrap_or(&[])
@@ -290,7 +330,7 @@ impl Tsdb {
                 break;
             };
             if !sc.chunk.flip_bit(bit) {
-                return BitFlipOutcome::NoChunks;
+                return BitFlipOutcome::BitOutOfRange;
             }
             return match sc.chunk.decode() {
                 Ok(_) => BitFlipOutcome::StillReadable,
@@ -628,5 +668,89 @@ mod tests {
     #[should_panic(expected = "chunk size too small")]
     fn tiny_chunk_size_rejected() {
         Tsdb::with_chunk_size(1);
+    }
+
+    #[test]
+    fn duplicate_timestamp_dedups_last_write_wins_in_open_buffer() {
+        let mut db = Tsdb::with_chunk_size(100);
+        db.put(&dp("m", "n1", 300, 1.0));
+        db.put(&dp("m", "n1", 300, 2.0)); // QoS1 redelivery with a new value
+        db.put(&dp("m", "n1", 600, 3.0));
+        let pts = db
+            .read(SeriesId(0), Timestamp(0), Timestamp(10_000))
+            .unwrap();
+        assert_eq!(pts, vec![(Timestamp(300), 2.0), (Timestamp(600), 3.0)]);
+    }
+
+    #[test]
+    fn duplicate_timestamp_dedups_on_seal() {
+        let mut db = Tsdb::with_chunk_size(4);
+        db.put(&dp("m", "n1", 0, 1.0));
+        db.put(&dp("m", "n1", 300, 5.0));
+        db.put(&dp("m", "n1", 300, 6.0)); // duplicate inside the chunk
+        db.put(&dp("m", "n1", 600, 7.0)); // triggers the seal
+        let st = db.stats();
+        assert_eq!(st.chunks, 1);
+        assert_eq!(st.points, 3, "duplicate must not be stored twice");
+        assert_eq!(db.point_count(SeriesId(0)), 3);
+        let pts = db
+            .read(SeriesId(0), Timestamp(0), Timestamp(10_000))
+            .unwrap();
+        assert_eq!(
+            pts,
+            vec![
+                (Timestamp(0), 1.0),
+                (Timestamp(300), 6.0),
+                (Timestamp(600), 7.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_across_sealed_and_open_prefers_latest_write() {
+        let mut db = Tsdb::with_chunk_size(3);
+        for i in 0..3 {
+            db.put(&dp("m", "n1", i * 300, i as f64)); // seals at 3
+        }
+        // A late redelivery of t=300 lands in the open buffer.
+        db.put(&dp("m", "n1", 300, 99.0));
+        let pts = db
+            .read(SeriesId(0), Timestamp(0), Timestamp(10_000))
+            .unwrap();
+        assert_eq!(pts.len(), 3, "no double-count across sealed + open");
+        assert_eq!(pts[1], (Timestamp(300), 99.0), "open buffer wins");
+    }
+
+    #[test]
+    fn put_batch_matches_pointwise_puts() {
+        let points: Vec<DataPoint> = (0..50).map(|i| dp("m", "n1", i * 60, i as f64)).collect();
+        let mut a = Tsdb::with_chunk_size(16);
+        let stored = a.put_batch(&points);
+        assert_eq!(stored, 50);
+        let mut b = Tsdb::with_chunk_size(16);
+        for p in &points {
+            b.put(p);
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(
+            a.read(SeriesId(0), Timestamp(0), Timestamp(i64::MAX / 2))
+                .unwrap(),
+            b.read(SeriesId(0), Timestamp(0), Timestamp(i64::MAX / 2))
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn unflippable_chunk_is_not_reported_as_empty_store() {
+        // A constant series can compress to a chunk whose payload is all
+        // header (data may still be non-empty); instead force the edge by
+        // checking both outcomes are distinguishable on an empty store vs
+        // a store with sealed chunks.
+        let mut db = Tsdb::with_chunk_size(10);
+        assert_eq!(db.flip_chunk_bit(0, 0), BitFlipOutcome::NoChunks);
+        for i in 0..10 {
+            db.put(&dp("m", "n1", i * 100, i as f64));
+        }
+        assert_ne!(db.flip_chunk_bit(0, 0), BitFlipOutcome::NoChunks);
     }
 }

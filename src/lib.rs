@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
+pub mod parallel;
 pub mod pipeline;
 
 pub use ctt_analytics as analytics;
@@ -46,6 +47,7 @@ pub use ctt_lorawan as lorawan;
 pub use ctt_tsdb as tsdb;
 pub use ctt_viz as viz;
 
+pub use parallel::{run_cities_parallel, OrderedPool};
 pub use pipeline::{Pipeline, PipelineStats};
 
 /// Commonly used items for examples and applications.

@@ -7,6 +7,7 @@
 //! the time-series database; and the dataport's digital twins monitor the
 //! whole flow. One `Pipeline` is one city pilot.
 
+use crate::parallel::OrderedPool;
 use ctt_broker::{Broker, QoS, RetryPolicy, Subscriber, UplinkEvent};
 use ctt_chaos::{CauseCode, ChaosEngine, FaultPlan, FrameFault, InjectionStats, LossLedger};
 use ctt_core::deployment::Deployment;
@@ -24,9 +25,10 @@ use ctt_lorawan::{
     DataRate, GatewayConfig, LinkBackoff, NetworkServer, RadioSimulator, SimConfig, TxRequest,
     UplinkFrame, UplinkRecord,
 };
-use ctt_tsdb::{execute, Aggregator, BitFlipOutcome, DataPoint, Query, Tsdb};
+use ctt_tsdb::{Aggregator, BitFlipOutcome, DataPoint, Query, ShardedTsdb, DEFAULT_SHARDS};
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Pipeline counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -66,6 +68,47 @@ impl Default for RadioState {
     }
 }
 
+/// What the parallel decode stage produced for one delivery, in delivery
+/// order. Decoding is pure, so fanning it out to workers cannot perturb
+/// replay; everything stateful stays in the serial apply stage.
+#[derive(Debug)]
+enum DecodeOutcome {
+    /// Event + payload decoded; ready to store.
+    Decoded(Box<(UplinkEvent, SensorReading)>),
+    /// The event envelope decoded but the sensor payload did not.
+    BadPayload {
+        /// Device the event named (for loss attribution).
+        device: DevEui,
+        /// Transport time of the event.
+        time: Timestamp,
+    },
+    /// The event envelope itself failed to decode.
+    BadEvent,
+}
+
+/// Decode one delivery payload (the pure function run on the worker pool).
+fn decode_delivery(bytes: Arc<Vec<u8>>) -> DecodeOutcome {
+    let Ok(event) = UplinkEvent::decode(&bytes) else {
+        return DecodeOutcome::BadEvent;
+    };
+    match payload::decode(&event.payload, event.device, event.time) {
+        Ok(reading) => DecodeOutcome::Decoded(Box::new((event, reading))),
+        Err(_) => DecodeOutcome::BadPayload {
+            device: event.device,
+            time: event.time,
+        },
+    }
+}
+
+/// Worker width for the decode stage: the machine's parallelism, bounded so
+/// a fleet of test pipelines doesn't oversubscribe the host.
+fn decode_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(2)
+        .clamp(2, 8)
+}
+
 /// The assembled city pipeline.
 #[derive(Debug)]
 pub struct Pipeline {
@@ -78,7 +121,11 @@ pub struct Pipeline {
     broker: Broker,
     storage_sub: Subscriber,
     /// The time-series store (public: queried by analyses and dashboards).
-    pub tsdb: Tsdb,
+    /// Sharded by series-key hash; safe to query while other threads write.
+    pub tsdb: ShardedTsdb,
+    /// Worker pool for the storage consumer's decode stage. Results are
+    /// merged in delivery order, so replay stays byte-identical.
+    decode_pool: OrderedPool<Arc<Vec<u8>>, DecodeOutcome>,
     /// The monitoring dataport.
     pub dataport: Dataport,
     radio_state: HashMap<DevEui, RadioState>,
@@ -135,7 +182,8 @@ impl Pipeline {
             server: NetworkServer::new(),
             broker,
             storage_sub,
-            tsdb: Tsdb::new(),
+            tsdb: ShardedTsdb::new(DEFAULT_SHARDS),
+            decode_pool: OrderedPool::new(decode_workers(), decode_delivery),
             dataport,
             radio_state: HashMap::new(),
             scenario: ScenarioSet::new(),
@@ -347,10 +395,17 @@ impl Pipeline {
             .map(|c| c.due_bitflips(now))
             .unwrap_or_default();
         for (nth_chunk, bit) in flips {
-            if let BitFlipOutcome::Quarantined { points } = self.tsdb.flip_chunk_bit(nth_chunk, bit)
-            {
-                // The integrity scan must later account for exactly these.
-                self.ledger.storage_quarantined(u64::from(points));
+            match self.tsdb.flip_chunk_bit(nth_chunk, bit) {
+                BitFlipOutcome::Quarantined { points } => {
+                    // The integrity scan must later account for exactly these.
+                    self.ledger.storage_quarantined(u64::from(points));
+                }
+                // Distinct non-destructive outcomes: an empty store, a chunk
+                // whose bitstream had no bytes to flip, or a flip the codec
+                // survived. None destroys data, so none enters the ledger.
+                BitFlipOutcome::NoChunks
+                | BitFlipOutcome::BitOutOfRange
+                | BitFlipOutcome::StillReadable => {}
             }
         }
         let deaths: Vec<(DevEui, bool)> = self
@@ -483,6 +538,9 @@ impl Pipeline {
             return;
         }
         loop {
+            // Stage 1 (serial): drain the queue through the exactly-once
+            // ack gate, in delivery order.
+            let mut batch: Vec<Arc<Vec<u8>>> = Vec::new();
             while let Some(delivery) = self.storage_sub.try_recv() {
                 if let Some(pid) = delivery.packet_id {
                     if !self.broker.ack(self.storage_sub.id, pid) {
@@ -491,31 +549,43 @@ impl Pipeline {
                         continue;
                     }
                 }
-                let Ok(event) = UplinkEvent::decode(&delivery.message.payload) else {
-                    self.stats.decode_errors += 1;
-                    continue;
-                };
-                let Ok(reading) = payload::decode(&event.payload, event.device, event.time) else {
-                    self.stats.decode_errors += 1;
-                    self.ledger
-                        .attribute(event.device, event.time, CauseCode::DecodeError);
-                    continue;
-                };
-                let skew = self
-                    .chaos
-                    .as_ref()
-                    .and_then(|c| c.clock_skew(event.device, event.time))
-                    .unwrap_or(Span::seconds(0));
-                self.store_reading(&event, &reading, skew);
-                self.ledger.stored(event.device, event.time);
-                self.dataport.on_uplink(
-                    event.device,
-                    event.time,
-                    reading.battery_pct,
-                    event.gateway,
-                    Dbm(event.rssi_dbm),
-                );
+                batch.push(Arc::clone(&delivery.message.payload));
             }
+            // Stage 2 (parallel): decode on the worker pool. The pool's
+            // id-ordered merge returns outcomes in delivery order, so the
+            // serial apply below is byte-identical to the old inline loop.
+            let decoded = self.decode_pool.map(batch);
+            // Stage 3 (serial): ledger, twins, and one batched TSDB write.
+            let mut points: Vec<DataPoint> = Vec::with_capacity(decoded.len() * 9);
+            for outcome in decoded {
+                match outcome {
+                    DecodeOutcome::BadEvent => {
+                        self.stats.decode_errors += 1;
+                    }
+                    DecodeOutcome::BadPayload { device, time } => {
+                        self.stats.decode_errors += 1;
+                        self.ledger.attribute(device, time, CauseCode::DecodeError);
+                    }
+                    DecodeOutcome::Decoded(pair) => {
+                        let (event, reading) = *pair;
+                        let skew = self
+                            .chaos
+                            .as_ref()
+                            .and_then(|c| c.clock_skew(event.device, event.time))
+                            .unwrap_or(Span::seconds(0));
+                        self.collect_points(&event, &reading, skew, &mut points);
+                        self.ledger.stored(event.device, event.time);
+                        self.dataport.on_uplink(
+                            event.device,
+                            event.time,
+                            reading.battery_pct,
+                            event.gateway,
+                            Dbm(event.rssi_dbm),
+                        );
+                    }
+                }
+            }
+            self.stats.points_stored += self.tsdb.put_batch(&points);
             // Queue drained: pull back any QoS1 deliveries that were
             // deferred while it was full, until none remain.
             if self.broker.redeliver_deferred() == 0 {
@@ -524,7 +594,15 @@ impl Pipeline {
         }
     }
 
-    fn store_reading(&mut self, event: &UplinkEvent, reading: &SensorReading, skew: Span) {
+    /// Turn one decoded uplink into its TSDB points, appended to the batch
+    /// the storage stage writes with one `put_batch` call.
+    fn collect_points(
+        &self,
+        event: &UplinkEvent,
+        reading: &SensorReading,
+        skew: Span,
+        out: &mut Vec<DataPoint>,
+    ) {
         // Clock skew perturbs only the stored timestamps — the twins (and
         // the ledger key) still see the uplink's transport time.
         let at = event.time + skew;
@@ -540,8 +618,7 @@ impl Pipeline {
                 reading.value(q),
             );
             if let Ok(p) = point {
-                self.tsdb.put(&p);
-                self.stats.points_stored += 1;
+                out.push(p);
             }
         }
         // Link-quality metrics for the network dashboards.
@@ -555,8 +632,7 @@ impl Pipeline {
             event.rssi_dbm,
         );
         if let Ok(p) = rssi {
-            self.tsdb.put(&p);
-            self.stats.points_stored += 1;
+            out.push(p);
         }
     }
 
@@ -575,7 +651,8 @@ impl Pipeline {
         // Storage corruption degrades to an empty series here: dashboard
         // reads prefer availability, and the error is already typed at the
         // tsdb layer for callers that need it.
-        execute(&self.tsdb, &q)
+        self.tsdb
+            .execute(&q)
             .unwrap_or_default()
             .into_iter()
             .next()
@@ -591,7 +668,8 @@ impl Pipeline {
         // Storage corruption degrades to an empty series here: dashboard
         // reads prefer availability, and the error is already typed at the
         // tsdb layer for callers that need it.
-        execute(&self.tsdb, &q)
+        self.tsdb
+            .execute(&q)
             .unwrap_or_default()
             .into_iter()
             .next()

@@ -162,7 +162,7 @@ fn tsdb_compression_pays_off_on_pipeline_data() {
     let mut p = Pipeline::new(Deployment::vejle(), 13);
     let start = p.deployment.started;
     p.run_until(start + Span::days(2));
-    let mut db = std::mem::replace(&mut p.tsdb, ctt_tsdb::Tsdb::new());
+    let db = std::mem::take(&mut p.tsdb);
     db.seal_all();
     let st = db.stats();
     let raw_bytes = st.points as usize * 16;

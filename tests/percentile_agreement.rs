@@ -1,0 +1,44 @@
+//! Cross-crate agreement: `ctt-tsdb`'s percentile aggregators and
+//! `ctt-analytics`' `quantile` must compute the *same* statistic (linear
+//! interpolation between closest ranks), so a P95 shown on a dashboard
+//! queried from the TSDB matches the P95 computed by the analytics layer
+//! over the same values — bit for bit, not merely approximately.
+
+use ctt_analytics::stats::{median, quantile};
+use ctt_tsdb::Aggregator;
+use proptest::prelude::*;
+
+proptest! {
+    /// P95/Median agree exactly with quantile(0.95/0.5) on arbitrary
+    /// finite inputs.
+    #[test]
+    fn tsdb_percentiles_match_analytics_quantile(
+        values in proptest::collection::vec(-1e9f64..1e9, 1..200),
+    ) {
+        let p95 = Aggregator::P95.apply(&values);
+        let med = Aggregator::Median.apply(&values);
+        prop_assert_eq!(Some(p95), quantile(&values, 0.95));
+        prop_assert_eq!(Some(med), quantile(&values, 0.5));
+        prop_assert_eq!(Some(med), median(&values));
+    }
+}
+
+#[test]
+fn known_values_interpolate_not_nearest_rank() {
+    // Four values: P95 sits between the 3rd and 4th order statistics.
+    // Nearest-rank would return 4.0; linear interpolation gives 3.85.
+    let xs = [1.0, 2.0, 3.0, 4.0];
+    assert!((Aggregator::P95.apply(&xs) - 3.85).abs() < 1e-12);
+    assert_eq!(Aggregator::P95.apply(&xs), quantile(&xs, 0.95).unwrap());
+    // Even-length median interpolates halfway.
+    assert_eq!(Aggregator::Median.apply(&xs), 2.5);
+    assert_eq!(median(&xs).unwrap(), 2.5);
+}
+
+#[test]
+fn empty_input_conventions_are_explicit() {
+    // The layers differ deliberately on empties: analytics returns None,
+    // the TSDB aggregator returns NaN (a query row must hold *some* f64).
+    assert_eq!(quantile(&[], 0.95), None);
+    assert!(Aggregator::P95.apply(&[]).is_nan());
+}

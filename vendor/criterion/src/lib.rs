@@ -8,12 +8,106 @@
 //! rejection or HTML reports. When invoked with `--test` (as `cargo test`
 //! does for `harness = false` bench targets), every benchmark body runs
 //! exactly once so the test suite stays fast.
+//!
+//! Two environment variables drive CI integration:
+//!
+//! * `CRITERION_SAMPLES=<n>` overrides every sample count — smoke runs
+//!   set it low so timed benches finish in seconds;
+//! * `CRITERION_JSON=<path>` makes [`criterion_main!`] write all recorded
+//!   results as a JSON report (`{"benchmarks": [...]}`) on exit.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Per-element throughput annotation for a benchmark group (subset of the
+/// real crate: elements only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration
+    /// (points, messages, ...); reports gain an elements/sec figure.
+    Elements(u64),
+}
+
+/// One recorded benchmark measurement.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    name: String,
+    mean_ns_per_iter: f64,
+    /// Fastest single iteration — robust against additive scheduler noise,
+    /// which only ever makes iterations slower, never faster.
+    min_ns_per_iter: f64,
+    samples: usize,
+    elements: Option<u64>,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+fn record(result: BenchResult) {
+    if let Ok(mut r) = RESULTS.lock() {
+        r.push(result);
+    }
+}
+
+fn sample_override() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .map(|n| n.max(1))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write every recorded result as JSON to `$CRITERION_JSON` (no-op when
+/// the variable is unset). Called by the [`criterion_main!`] expansion
+/// after all groups have run.
+pub fn finalize_json() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let results = match RESULTS.lock() {
+        Ok(r) => r.clone(),
+        Err(_) => return,
+    };
+    let mut body = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns_per_iter\": {:.1}, \"min_ns_per_iter\": {:.1}, \"samples\": {}",
+            json_escape(&r.name),
+            r.mean_ns_per_iter,
+            r.min_ns_per_iter,
+            r.samples
+        ));
+        if let Some(e) = r.elements {
+            let eps = e as f64 / (r.mean_ns_per_iter * 1e-9);
+            let peak = e as f64 / (r.min_ns_per_iter * 1e-9);
+            body.push_str(&format!(
+                ", \"elements\": {e}, \"elems_per_sec\": {eps:.1}, \"peak_elems_per_sec\": {peak:.1}"
+            ));
+        }
+        body.push_str(if i + 1 < results.len() { "},\n" } else { "}\n" });
+    }
+    body.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("criterion: failed to write {path}: {e}");
+    } else {
+        println!("criterion: wrote {} results to {path}", results.len());
+    }
+}
 
 /// Opaque a value to the optimizer so benchmarked work is not elided.
 pub fn black_box<T>(x: T) -> T {
@@ -58,7 +152,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(name, self.sample_size, self.test_mode, f);
+        run_one(name, self.sample_size, self.test_mode, None, f);
     }
 
     /// Start a named group of related benchmarks.
@@ -67,6 +161,7 @@ impl Criterion {
             criterion: self,
             name: name.to_string(),
             sample_size: None,
+            throughput: None,
         }
     }
 }
@@ -77,12 +172,20 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Override the timed batch count for this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Declare elements processed per iteration; subsequent benches in the
+    /// group report elements/sec.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -94,7 +197,8 @@ impl BenchmarkGroup<'_> {
     {
         let label = format!("{}/{}", self.name, id.into_label());
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
-        run_one(&label, samples, self.criterion.test_mode, f);
+        let elements = self.throughput.map(|Throughput::Elements(e)| e);
+        run_one(&label, samples, self.criterion.test_mode, elements, f);
     }
 
     /// Run one benchmark parameterized by `input`.
@@ -162,10 +266,18 @@ pub struct Bencher {
     samples: usize,
     test_mode: bool,
     elapsed: Option<Duration>,
+    fastest: Option<Duration>,
 }
 
 impl Bencher {
-    /// Time `f`, running it `samples` times (once in `--test` mode).
+    fn finish_timing(&mut self, total: Duration, fastest: Duration) {
+        self.elapsed = Some(total);
+        self.fastest = Some(fastest);
+    }
+
+    /// Time `f`, running it `samples` times (once in `--test` mode). Each
+    /// sample is timed individually so the report carries both the mean
+    /// and the noise-robust minimum.
     pub fn iter<O, F>(&mut self, mut f: F)
     where
         F: FnMut() -> O,
@@ -178,11 +290,16 @@ impl Bencher {
         for _ in 0..2 {
             black_box(f());
         }
-        let start = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut fastest = Duration::MAX;
         for _ in 0..self.samples {
+            let start = Instant::now();
             black_box(f());
+            let dt = start.elapsed();
+            total += dt;
+            fastest = fastest.min(dt);
         }
-        self.elapsed = Some(start.elapsed());
+        self.finish_timing(total, fastest);
     }
 
     /// Like [`Bencher::iter`], but rebuild the routine's input with `setup`
@@ -199,25 +316,30 @@ impl Bencher {
         for _ in 0..2 {
             black_box(routine(setup()));
         }
-        let mut timed = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        let mut fastest = Duration::MAX;
         for _ in 0..self.samples {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            timed += start.elapsed();
+            let dt = start.elapsed();
+            total += dt;
+            fastest = fastest.min(dt);
         }
-        self.elapsed = Some(timed);
+        self.finish_timing(total, fastest);
     }
 }
 
-fn run_one<F>(label: &str, samples: usize, test_mode: bool, mut f: F)
+fn run_one<F>(label: &str, samples: usize, test_mode: bool, elements: Option<u64>, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    let samples = sample_override().unwrap_or(samples);
     let mut b = Bencher {
         samples,
         test_mode,
         elapsed: None,
+        fastest: None,
     };
     f(&mut b);
     if test_mode {
@@ -227,7 +349,28 @@ where
     match b.elapsed {
         Some(total) => {
             let per_iter = total / samples as u32;
-            println!("bench {label}: {per_iter:?}/iter ({samples} samples)");
+            let mean_ns = total.as_nanos() as f64 / samples as f64;
+            let min_ns = b
+                .fastest
+                .map(|d| d.as_nanos() as f64)
+                .unwrap_or(mean_ns)
+                .max(1.0);
+            match elements {
+                Some(e) if mean_ns > 0.0 => {
+                    let eps = e as f64 / (mean_ns * 1e-9);
+                    println!(
+                        "bench {label}: {per_iter:?}/iter, {eps:.0} elems/s ({samples} samples)"
+                    );
+                }
+                _ => println!("bench {label}: {per_iter:?}/iter ({samples} samples)"),
+            }
+            record(BenchResult {
+                name: label.to_string(),
+                mean_ns_per_iter: mean_ns.max(1.0),
+                min_ns_per_iter: min_ns,
+                samples,
+                elements,
+            });
         }
         None => println!("bench {label}: no iter() call"),
     }
@@ -259,6 +402,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize_json();
         }
     };
 }

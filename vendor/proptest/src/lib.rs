@@ -86,6 +86,95 @@ pub trait Strategy {
     type Value;
     /// Draw one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f` (proptest's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adaptor produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Constant strategy: always yields a clone of the given value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice over boxed strategies — backs [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Union")
+            .field("arms", &self.arms.len())
+            .finish()
+    }
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms; weights need not be normalised.
+    pub fn new_weighted(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total.max(1));
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        // Unreachable for non-empty arms; satisfy the checker by drawing
+        // from the last arm.
+        self.arms[self.arms.len() - 1].1.generate(rng)
+    }
+}
+
+/// Weighted (`w => strategy`) or unweighted choice between strategies with
+/// a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![$(($weight, Box::new($strat) as Box<dyn $crate::Strategy<Value = _>>)),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![$((1u32, Box::new($strat) as Box<dyn $crate::Strategy<Value = _>>)),+])
+    };
 }
 
 /// Types with a canonical "anything goes" strategy.
@@ -441,8 +530,8 @@ macro_rules! prop_assert_eq {
 /// The glob-import surface, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::collection;
-    pub use crate::{any, Arbitrary, Strategy, TestCaseError, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{any, Arbitrary, Just, Map, Strategy, TestCaseError, TestRng, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
 }
 
 #[cfg(test)]
