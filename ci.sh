@@ -20,7 +20,7 @@ cargo test --offline -q -p ctt-chaos
 echo "==> cargo test"
 cargo test --offline -q --workspace
 
-echo "==> criterion smoke benches (BENCH_ingest.json / BENCH_query.json)"
+echo "==> criterion smoke benches (BENCH_ingest / BENCH_query / BENCH_scheduler)"
 # cargo bench runs the bench binary with CWD = the package dir, so the
 # report paths must be absolute to land in the repo root.
 REPO_ROOT="$PWD"
@@ -28,9 +28,11 @@ CRITERION_SAMPLES=10 CRITERION_JSON="$REPO_ROOT/BENCH_ingest.json" \
     cargo bench --offline -q -p ctt-bench --bench ingest_sharded
 CRITERION_SAMPLES=5 CRITERION_JSON="$REPO_ROOT/BENCH_query.json" \
     cargo bench --offline -q -p ctt-bench --bench query_sharded
+CRITERION_SAMPLES=10 CRITERION_JSON="$REPO_ROOT/BENCH_scheduler.json" \
+    cargo bench --offline -q -p ctt-bench --bench scheduler
 
-echo "==> bench_check (reports present, well-formed, 4-shard ingest beats 1-shard)"
+echo "==> bench_check (reports well-formed; ingest + scheduler scaling gates)"
 cargo run --offline -q --release -p ctt-bench --bin bench_check \
-    BENCH_ingest.json BENCH_query.json
+    BENCH_ingest.json BENCH_query.json BENCH_scheduler.json
 
 echo "CI: all green"

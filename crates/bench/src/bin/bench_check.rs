@@ -98,6 +98,30 @@ fn check_ingest_scaling(benches: &[Bench]) -> Result<(), String> {
     Ok(())
 }
 
+/// The scheduler criterion: at 2000 nodes the event-queue dispatch loop
+/// must beat the old min-scan shape on events/sec.
+fn check_scheduler_scaling(benches: &[Bench]) -> Result<(), String> {
+    let throughput = |shape: &str| {
+        benches
+            .iter()
+            .find(|b| b.name == format!("scheduler/{shape}/2000"))
+            .and_then(|b| b.peak_elems_per_sec.or(b.elems_per_sec))
+            .ok_or_else(|| format!("no scheduler/{shape}/2000 throughput in report"))
+    };
+    let min_scan = throughput("min_scan")?;
+    let event_queue = throughput("event_queue")?;
+    if event_queue <= min_scan {
+        return Err(format!(
+            "event queue at 2000 nodes ({event_queue:.0} events/s) does not beat min-scan ({min_scan:.0} events/s)"
+        ));
+    }
+    println!(
+        "bench_check: scheduler scaling ok — min-scan {min_scan:.0} events/s, event queue {event_queue:.0} events/s ({:.1}x) at 2000 nodes",
+        event_queue / min_scan
+    );
+    Ok(())
+}
+
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let benches = parse_report(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -114,6 +138,9 @@ fn check_file(path: &str) -> Result<(), String> {
     }
     if benches.iter().any(|b| b.name.starts_with("ingest/")) {
         check_ingest_scaling(&benches).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if benches.iter().any(|b| b.name.starts_with("scheduler/")) {
+        check_scheduler_scaling(&benches).map_err(|e| format!("{path}: {e}"))?;
     }
     Ok(())
 }

@@ -356,6 +356,31 @@ impl ChaosEngine {
         }
     }
 
+    /// Every instant at which the engine's windowed state changes and the
+    /// driving loop must re-evaluate it: node-death window edges (both
+    /// `from` and `until`) and TSDB bit-flip fire times. Sorted and
+    /// deduplicated — the event loop schedules one chaos-transition event
+    /// per instant instead of polling the engine at every node event.
+    /// (Per-frame faults, stuck batteries, clock skew, broker stalls, and
+    /// gateway outages are consulted inline where they apply and need no
+    /// transition events.)
+    pub fn transition_times(&self) -> Vec<Timestamp> {
+        let mut times: Vec<Timestamp> = Vec::new();
+        for f in &self.plan.faults {
+            match f.kind {
+                FaultKind::NodeDeath { .. } => {
+                    times.push(f.from);
+                    times.push(f.until);
+                }
+                FaultKind::TsdbBitFlip { .. } => times.push(f.from),
+                _ => {}
+            }
+        }
+        times.sort_unstable();
+        times.dedup();
+        times
+    }
+
     /// Instantaneous TSDB bit flips due at or before `now` that have not
     /// fired yet. Each fires exactly once.
     pub fn due_bitflips(&mut self, now: Timestamp) -> Vec<(u64, u64)> {
@@ -373,6 +398,13 @@ impl ChaosEngine {
         }
         self.injected.bitflips += due.len() as u64;
         due
+    }
+}
+
+impl ctt_sim::Schedulable for ChaosEngine {
+    /// The first windowed-state transition at or after `now`, if any.
+    fn next_event(&self, now: Timestamp) -> Option<Timestamp> {
+        self.transition_times().into_iter().find(|&t| t >= now)
     }
 }
 

@@ -269,6 +269,12 @@ impl SensorNode {
     }
 
     /// When the node next wants to transmit.
+    ///
+    /// This is the node's event-(re)scheduling hook: a driving event loop
+    /// schedules one transmission event per node at this instant, and after
+    /// each [`SensorNode::step`] re-reads it to schedule the next — `step`
+    /// is the only mutation, so exactly one event per node is outstanding
+    /// and it can never go stale.
     pub fn next_due(&self) -> Timestamp {
         self.next_uplink
     }

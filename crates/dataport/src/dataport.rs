@@ -313,6 +313,10 @@ pub struct DataportConfig {
     pub correlate: bool,
     /// TTN backend / MQTT silence tolerated before alarming.
     pub component_window: Span,
+    /// Cadence of the periodic [`Dataport::tick`] — the interval the
+    /// dataport registers with the driving event loop (it is scheduled,
+    /// not polled).
+    pub tick_cadence: Span,
 }
 
 impl Default for DataportConfig {
@@ -322,6 +326,7 @@ impl Default for DataportConfig {
             gateway_outage_window: Span::minutes(30),
             correlate: true,
             component_window: Span::minutes(10),
+            tick_cadence: Span::minutes(5),
         }
     }
 }
@@ -392,6 +397,8 @@ pub struct Dataport {
     mqtt: ComponentHealth,
     watchdog: Watchdog,
     uplinks_processed: u64,
+    /// When the last periodic tick ran (drives [`ctt_sim::Schedulable`]).
+    last_tick: Option<Timestamp>,
 }
 
 impl Dataport {
@@ -430,7 +437,14 @@ impl Dataport {
             mqtt: ComponentHealth { last_ok: None },
             watchdog: Watchdog::new(Span::minutes(5)),
             uplinks_processed: 0,
+            last_tick: None,
         }
+    }
+
+    /// The configured tick cadence (the interval this dataport asks the
+    /// event loop to schedule it at).
+    pub fn tick_cadence(&self) -> Span {
+        self.config.tick_cadence
     }
 
     /// Register a sensor twin (idempotent; also done lazily on first uplink).
@@ -552,6 +566,16 @@ impl Dataport {
         }
         self.system.run_until_idle();
         self.watchdog.heartbeat(now);
+        self.last_tick = Some(now);
+    }
+
+    /// The next instant the periodic tick is due: one cadence after the
+    /// last tick, or `now` if it has never run.
+    pub fn next_tick_due(&self, now: Timestamp) -> Timestamp {
+        match self.last_tick {
+            Some(last) => last + self.config.tick_cadence,
+            None => now,
+        }
     }
 
     /// The external watchdog's view of this dataport.
@@ -628,6 +652,14 @@ impl Dataport {
             suppressed_alarms: suppressed,
             time: now,
         }
+    }
+}
+
+impl ctt_sim::Schedulable for Dataport {
+    /// The dataport always wants its next periodic tick: one cadence after
+    /// the last, or immediately if it has never ticked.
+    fn next_event(&self, now: Timestamp) -> Option<Timestamp> {
+        Some(self.next_tick_due(now).max(now))
     }
 }
 

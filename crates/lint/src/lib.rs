@@ -110,6 +110,7 @@ impl Default for LintConfig {
                 "crates/tsdb/src/shard.rs".into(),
                 "crates/lorawan/src/server.rs".into(),
                 "crates/lorawan/src/sim.rs".into(),
+                "crates/sim/src/".into(),
                 "crates/dataport/src/".into(),
                 "src/pipeline.rs".into(),
                 "src/parallel.rs".into(),

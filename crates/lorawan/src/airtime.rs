@@ -6,7 +6,8 @@
 //! `8 + max(ceil((8PL - 4SF + 28 + 16CRC - 20H) / (4(SF - 2DE))) (CR + 4), 0)`
 //! symbols, each lasting `2^SF / BW` seconds.
 
-use crate::region::SpreadingFactor;
+use crate::region::{DataRate, SpreadingFactor};
+use ctt_core::time::Span;
 
 /// Parameters of one LoRa transmission.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,6 +41,33 @@ impl AirtimeParams {
             crc_on: true,
         }
     }
+}
+
+/// LoRaWAN framing overhead on top of the application payload: MHDR (1) +
+/// DevAddr (4) + FCtrl (1) + FCnt (2) + FPort (1) + MIC (4) bytes.
+pub const LORAWAN_OVERHEAD_BYTES: usize = 13;
+
+/// The longest possible EU868 uplink time-on-air, in seconds: an SF12 (DR0)
+/// frame carrying the data rate's maximum application payload plus LoRaWAN
+/// overhead. Every uplink this simulator can carry ends within this many
+/// seconds of its start.
+pub fn max_uplink_airtime_s() -> f64 {
+    let payload = DataRate(0).max_payload() + LORAWAN_OVERHEAD_BYTES;
+    time_on_air_s(&AirtimeParams::lorawan_uplink(
+        SpreadingFactor::Sf12,
+        payload,
+    ))
+}
+
+/// The collision horizon: the airtime-derived upper bound (whole seconds,
+/// rounded up) on how long any in-flight transmission can remain
+/// unresolved. A window that started at `t` is certainly over by
+/// `t + collision_horizon()`, so schedulers can use it as a hard deadline
+/// bound instead of a magic constant.
+pub fn collision_horizon() -> Span {
+    // Ceiling in integer space, panic-free: airtime is a small positive
+    // quantity (≈2.8 s), far inside i64 range.
+    Span::seconds(max_uplink_airtime_s().ceil() as i64)
 }
 
 /// Symbol duration in seconds.
@@ -125,6 +153,25 @@ mod tests {
         // At SF7 it is vastly below.
         let t7 = time_on_air_s(&AirtimeParams::lorawan_uplink(SpreadingFactor::Sf7, 31));
         assert!(t7 / 300.0 < 0.001);
+    }
+
+    #[test]
+    fn collision_horizon_bounds_every_airtime() {
+        let max = max_uplink_airtime_s();
+        // The worst case: SF12 (DR0) at its 51-byte max application
+        // payload, 64 bytes on the PHY — about 2.8 s with LDRO.
+        assert!((2.5..3.0).contains(&max), "max airtime {max}");
+        let horizon = collision_horizon();
+        assert_eq!(horizon, Span::seconds(3));
+        // Every SF at the CTT frame size (31 B PHY) and at the DR0 maximum
+        // ends within the horizon.
+        for sf in SpreadingFactor::ALL {
+            for len in [31usize, DataRate(0).max_payload() + LORAWAN_OVERHEAD_BYTES] {
+                let t = time_on_air_s(&AirtimeParams::lorawan_uplink(sf, len));
+                assert!(t <= max, "{sf} at {len} B: {t} > {max}");
+                assert!(t < horizon.as_seconds() as f64);
+            }
+        }
     }
 
     #[test]

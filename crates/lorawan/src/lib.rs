@@ -28,7 +28,9 @@ pub mod server;
 pub mod sim;
 
 pub use adr::{AdrCommand, AdrEngine, LinkBackoff};
-pub use airtime::{time_on_air_s, AirtimeParams};
+pub use airtime::{
+    collision_horizon, max_uplink_airtime_s, time_on_air_s, AirtimeParams, LORAWAN_OVERHEAD_BYTES,
+};
 pub use dutycycle::DutyCycleTracker;
 pub use frame::{FrameError, UplinkFrame};
 pub use propagation::{link_budget, LinkBudget, PathLossModel};

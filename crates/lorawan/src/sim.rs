@@ -478,18 +478,55 @@ impl RadioSimulator {
         })
     }
 
-    /// Finalize everything in flight and drain the delivered uplinks
-    /// (time-ordered) accumulated since the last drain.
-    pub fn drain(&mut self) -> Vec<DeliveredUplink> {
-        self.finalize_before(f64::INFINITY);
+    /// Resolve every in-flight transmission whose window ends at or before
+    /// `cutoff` (an event-queue deadline). Submissions are whole-second
+    /// timestamps, so once the clock reaches a window's deadline no future
+    /// submission can overlap it and its outcome is final — this is the
+    /// event-driven replacement for draining on a guessed horizon.
+    /// Resolved outcomes accumulate for [`Self::drain_resolved`] /
+    /// [`Self::drain_lost`].
+    pub fn resolve_until(&mut self, cutoff: Timestamp) {
+        self.finalize_before(cutoff.as_seconds() as f64);
+    }
+
+    /// Take the delivered uplinks resolved so far (time-ordered), without
+    /// forcing resolution of still-open windows.
+    pub fn drain_resolved(&mut self) -> Vec<DeliveredUplink> {
         let mut out = std::mem::take(&mut self.delivered);
         out.sort_by_key(|d| d.time);
         out
     }
 
+    /// The earliest whole-second deadline at which an unresolved in-flight
+    /// window can be finalized (its end rounded up to the next second), or
+    /// `None` when nothing is in flight.
+    pub fn next_deadline(&self) -> Option<Timestamp> {
+        self.in_flight
+            .iter()
+            .filter(|t| !t.resolved)
+            .map(|t| Timestamp(t.end_s.ceil() as i64))
+            .min()
+    }
+
+    /// Finalize everything in flight and drain the delivered uplinks
+    /// (time-ordered) accumulated since the last drain.
+    pub fn drain(&mut self) -> Vec<DeliveredUplink> {
+        self.finalize_before(f64::INFINITY);
+        self.drain_resolved()
+    }
+
     /// Drain the record of lost transmissions.
     pub fn drain_lost(&mut self) -> Vec<LostUplink> {
         std::mem::take(&mut self.lost)
+    }
+}
+
+impl ctt_sim::Schedulable for RadioSimulator {
+    /// The radio wants to run when its earliest open window's deadline
+    /// fires; the driving loop schedules a resolution event there instead
+    /// of polling "is anything else nearby?".
+    fn next_event(&self, now: Timestamp) -> Option<Timestamp> {
+        self.next_deadline().map(|t| t.max(now))
     }
 }
 

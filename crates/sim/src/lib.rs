@@ -1,0 +1,214 @@
+//! # ctt-sim — deterministic discrete-event core
+//!
+//! The CTT system is event-driven end to end (LoRaWAN uplinks → MQTT →
+//! TSDB → dataport twins), and the simulation must replay byte-identically:
+//! the determinism suite compares alarm traces, ledgers, and TSDB contents
+//! across runs. This crate is the one scheduling substrate every time-driven
+//! layer dispatches through:
+//!
+//! * an [`EventQueue`]: a binary-heap calendar queue keyed by
+//!   `(Timestamp, priority class, monotonic sequence number)`. Two events at
+//!   the same instant are ordered first by their priority class, then by
+//!   the order they were scheduled — so same-instant ordering is pinned and
+//!   replay-stable, never a heap-internals accident;
+//! * a [`SimClock`]: the single monotone notion of "now", advanced only by
+//!   event dispatch;
+//! * a [`Schedulable`] trait for components that know when they next need
+//!   to run (radio window deadlines, dataport tick cadences, chaos
+//!   transitions), so the driving loop registers them instead of polling.
+//!
+//! The queue is payload-generic and allocation-lean: `O(log n)` push/pop,
+//! nothing else. Policy — what the priority classes mean, what an event
+//! does — belongs to the caller.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+use ctt_core::time::Timestamp;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// The total-order key of one scheduled event.
+///
+/// Events dispatch in ascending `(time, priority, seq)` order. `seq` is
+/// assigned monotonically by [`EventQueue::schedule`], so events that share
+/// a timestamp and a priority class run in the order they were scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// When the event fires.
+    pub time: Timestamp,
+    /// Priority class: lower runs first among same-instant events.
+    pub priority: u8,
+    /// Monotonic schedule order, the final tie-break.
+    pub seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: EventKey,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A deterministic calendar queue: a min-heap of events keyed by
+/// [`EventKey`].
+///
+/// `BinaryHeap` alone is not replay-stable for equal keys; the monotonic
+/// `seq` component makes every key unique, so the dequeue order is a pure
+/// function of the schedule calls — independent of heap layout, platform,
+/// or allocator.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at `time` in the given priority class, returning
+    /// the key it was filed under. `O(log n)`.
+    pub fn schedule(&mut self, time: Timestamp, priority: u8, payload: E) -> EventKey {
+        let key = EventKey {
+            time,
+            priority,
+            seq: self.next_seq,
+        };
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.heap.push(Reverse(Entry { key, payload }));
+        key
+    }
+
+    /// The key of the next event to fire, without removing it.
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.heap.peek().map(|Reverse(e)| e.key)
+    }
+
+    /// Remove and return the next event. `O(log n)`.
+    pub fn pop(&mut self) -> Option<(EventKey, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.key, e.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The simulation's single monotone clock. Time only moves forward: an
+/// `advance` to the past is clamped to the current instant (panic-free —
+/// this sits on the dispatch hot path), so a well-ordered event stream is
+/// reflected exactly and a misordered one cannot rewind history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimClock {
+    now: Timestamp,
+}
+
+impl SimClock {
+    /// A clock starting at `start`.
+    pub fn new(start: Timestamp) -> Self {
+        SimClock { now: start }
+    }
+
+    /// The current instant.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Advance to `to` (monotone: earlier instants are clamped to now).
+    /// Returns the clock's time after the advance.
+    pub fn advance(&mut self, to: Timestamp) -> Timestamp {
+        if to > self.now {
+            self.now = to;
+        }
+        self.now
+    }
+}
+
+/// A component that knows when it next needs to run.
+///
+/// The driving loop asks after each dispatch and (re)schedules accordingly
+/// — components register their cadences and deadlines instead of being
+/// polled every iteration. `None` means "nothing pending".
+pub trait Schedulable {
+    /// The next instant (≥ `now`) at which this component wants an event,
+    /// or `None` if it has nothing scheduled.
+    fn next_event(&self, now: Timestamp) -> Option<Timestamp>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_order_is_time_then_priority_then_seq() {
+        let mut q = EventQueue::new();
+        q.schedule(Timestamp(20), 0, "late");
+        q.schedule(Timestamp(10), 2, "t10-p2");
+        q.schedule(Timestamp(10), 0, "t10-p0-first");
+        q.schedule(Timestamp(10), 0, "t10-p0-second");
+        q.schedule(Timestamp(10), 1, "t10-p1");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(
+            order,
+            ["t10-p0-first", "t10-p0-second", "t10-p1", "t10-p2", "late"]
+        );
+    }
+
+    #[test]
+    fn keys_are_unique_and_monotonic_in_seq() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Timestamp(5), 3, ());
+        let b = q.schedule(Timestamp(5), 3, ());
+        assert!(a < b, "{a:?} vs {b:?}");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_key(), Some(a));
+        assert_eq!(q.pop().map(|(k, _)| k), Some(a));
+        assert_eq!(q.pop().map(|(k, _)| k), Some(b));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut c = SimClock::new(Timestamp(100));
+        assert_eq!(c.now(), Timestamp(100));
+        assert_eq!(c.advance(Timestamp(150)), Timestamp(150));
+        // A stale instant cannot rewind the clock.
+        assert_eq!(c.advance(Timestamp(120)), Timestamp(150));
+        assert_eq!(c.now(), Timestamp(150));
+    }
+}

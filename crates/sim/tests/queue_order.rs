@@ -1,0 +1,84 @@
+//! Property tests for [`EventQueue`] ordering.
+//!
+//! The queue's contract is what makes the whole simulation replay-stable:
+//! same-timestamp events dequeue in `(priority, seq)` order regardless of
+//! how insertions were interleaved, and any interleaved insert/pop sequence
+//! replays identically when repeated — the dequeue order is a pure function
+//! of the schedule calls, never of heap internals.
+
+use ctt_core::time::Timestamp;
+use ctt_sim::{EventKey, EventQueue};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    /// Same-instant events come out ordered by (priority, seq) no matter
+    /// the insertion order of priorities.
+    #[test]
+    fn same_timestamp_dequeues_in_priority_then_seq(prios in vec(0u8..4, 1..64)) {
+        let mut q = EventQueue::new();
+        for (i, &p) in prios.iter().enumerate() {
+            q.schedule(Timestamp(1000), p, i);
+        }
+        let mut out: Vec<(EventKey, usize)> = Vec::new();
+        while let Some(ev) = q.pop() {
+            out.push(ev);
+        }
+        prop_assert_eq!(out.len(), prios.len());
+        // Expected order: stable sort of the insertion indices by priority
+        // (stability is exactly the seq tie-break).
+        let mut expect: Vec<usize> = (0..prios.len()).collect();
+        expect.sort_by_key(|&i| prios[i]);
+        let got: Vec<usize> = out.iter().map(|&(_, idx)| idx).collect();
+        prop_assert_eq!(got, expect);
+        // And the keys themselves are strictly ascending (all unique).
+        for w in out.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "{:?} !< {:?}", w[0].0, w[1].0);
+        }
+    }
+
+    /// An arbitrary interleaving of schedules and pops replays identically:
+    /// running the same op sequence twice yields the same event stream.
+    #[test]
+    fn interleaved_insert_pop_replays_identically(
+        ops in vec((0i64..50, 0u8..4, any::<bool>()), 1..200),
+    ) {
+        let run = |ops: &[(i64, u8, bool)]| {
+            let mut q = EventQueue::new();
+            let mut popped: Vec<(EventKey, usize)> = Vec::new();
+            for (i, &(t, p, pop_after)) in ops.iter().enumerate() {
+                q.schedule(Timestamp(t), p, i);
+                if pop_after {
+                    if let Some(ev) = q.pop() {
+                        popped.push(ev);
+                    }
+                }
+            }
+            while let Some(ev) = q.pop() {
+                popped.push(ev);
+            }
+            popped
+        };
+        let a = run(&ops);
+        let b = run(&ops);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), ops.len(), "every scheduled event dequeues once");
+        // Each pop yields the minimum key among events scheduled and not
+        // yet popped at that point — verify against a naive model.
+        let mut model: Vec<(EventKey, usize)> = Vec::new();
+        let mut replayed: Vec<(EventKey, usize)> = Vec::new();
+        for (i, &(t, p, pop_after)) in ops.iter().enumerate() {
+            model.push((
+                EventKey { time: Timestamp(t), priority: p, seq: i as u64 },
+                i,
+            ));
+            if pop_after && !model.is_empty() {
+                model.sort();
+                replayed.push(model.remove(0));
+            }
+        }
+        model.sort();
+        replayed.extend(model);
+        prop_assert_eq!(a, replayed);
+    }
+}

@@ -44,10 +44,11 @@ pub use ctt_core as core;
 pub use ctt_dataport as dataport;
 pub use ctt_integration as integration;
 pub use ctt_lorawan as lorawan;
+pub use ctt_sim as sim;
 pub use ctt_tsdb as tsdb;
 pub use ctt_viz as viz;
 
-pub use parallel::{run_cities_parallel, OrderedPool};
+pub use parallel::{run_cities_parallel, worker_width, OrderedPool};
 pub use pipeline::{Pipeline, PipelineStats};
 
 /// Commonly used items for examples and applications.

@@ -14,6 +14,18 @@ use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// The machine's available parallelism clamped to `[lo, hi]` — the single
+/// worker-width policy for every fixed-size pool in the workspace (the
+/// pipeline's decode stage, bench fan-outs), so a fleet of test pipelines
+/// cannot oversubscribe the host. Falls back to `lo` when the parallelism
+/// cannot be determined.
+pub fn worker_width(lo: usize, hi: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(lo)
+        .clamp(lo, hi)
+}
+
 /// A fixed pool of worker threads applying one pure function to batches of
 /// jobs, returning results in submission order (deterministic merge).
 ///
@@ -166,6 +178,15 @@ pub fn run_cities_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn worker_width_respects_bounds() {
+        let w = worker_width(2, 8);
+        assert!((2..=8).contains(&w), "width {w}");
+        assert_eq!(worker_width(1, 1), 1);
+        // Degenerate range still yields a usable width.
+        assert!(worker_width(4, 4) == 4);
+    }
 
     #[test]
     fn map_preserves_submission_order() {

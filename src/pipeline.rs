@@ -6,8 +6,17 @@
 //! MQTT broker in TTN shape; the storage consumer decodes payloads into
 //! the time-series database; and the dataport's digital twins monitor the
 //! whole flow. One `Pipeline` is one city pilot.
+//!
+//! Time is driven by the [`ctt_sim`] discrete-event core: node
+//! transmissions, radio window deadlines, dataport ticks, and chaos
+//! transitions (including due TSDB bit flips) are all events in one
+//! [`EventQueue`], dispatched in `(time, priority, seq)` order. Same-instant
+//! events run ticks first, then radio resolutions, then chaos transitions,
+//! then transmissions — the order the old lockstep loop implied — and the
+//! pinned key is what makes `run_until(a); run_until(b)` replay exactly
+//! like `run_until(b)`.
 
-use crate::parallel::OrderedPool;
+use crate::parallel::{worker_width, OrderedPool};
 use ctt_broker::{Broker, QoS, RetryPolicy, Subscriber, UplinkEvent};
 use ctt_chaos::{CauseCode, ChaosEngine, FaultPlan, FrameFault, InjectionStats, LossLedger};
 use ctt_core::deployment::Deployment;
@@ -22,9 +31,10 @@ use ctt_core::time::{Span, Timestamp};
 use ctt_core::units::Dbm;
 use ctt_dataport::{Dataport, DataportConfig};
 use ctt_lorawan::{
-    DataRate, GatewayConfig, LinkBackoff, NetworkServer, RadioSimulator, SimConfig, TxRequest,
-    UplinkFrame, UplinkRecord,
+    collision_horizon, DataRate, GatewayConfig, LinkBackoff, NetworkServer, RadioSimulator,
+    SimConfig, TxRequest, UplinkFrame, UplinkRecord,
 };
+use ctt_sim::{EventQueue, Schedulable, SimClock};
 use ctt_tsdb::{Aggregator, BitFlipOutcome, DataPoint, Query, ShardedTsdb, DEFAULT_SHARDS};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -103,10 +113,37 @@ fn decode_delivery(bytes: Arc<Vec<u8>>) -> DecodeOutcome {
 /// Worker width for the decode stage: the machine's parallelism, bounded so
 /// a fleet of test pipelines doesn't oversubscribe the host.
 fn decode_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(2)
-        .clamp(2, 8)
+    worker_width(2, 8)
+}
+
+// Priority classes for same-instant events, in dispatch order. Ticks run
+// before anything else at the same instant (the lockstep loop drained ticks
+// `<= due` first); radio deadlines resolve before chaos and transmissions
+// (a window ending at `t` cannot overlap a transmission starting at `t`,
+// so resolving first is outcome-neutral — and it is what makes the
+// `run_until` boundary split-invariant); chaos transitions apply before
+// the node steps that observe them.
+const PRIO_TICK: u8 = 0;
+const PRIO_RADIO: u8 = 1;
+const PRIO_CHAOS: u8 = 2;
+const PRIO_NODE: u8 = 3;
+
+/// One scheduled pipeline event. All five time-driven sources (node tx,
+/// radio window resolution, dataport tick, chaos window transition, due
+/// TSDB bit flip) dispatch through the [`EventQueue`]; bit flips ride the
+/// chaos-transition events their fire times are scheduled under.
+#[derive(Debug, Clone, Copy)]
+enum SimEvent {
+    /// Periodic dataport twin/component tick; reschedules itself at the
+    /// dataport's registered cadence.
+    DataportTick,
+    /// An in-flight radio window's airtime-derived deadline: resolve every
+    /// window ending by now and push the outcomes downstream.
+    RadioResolve,
+    /// Windowed chaos state changes: node-death edges and due bit flips.
+    ChaosTransition,
+    /// The node at this deployment index is due to transmit.
+    NodeTx(usize),
 }
 
 /// The assembled city pipeline.
@@ -131,8 +168,10 @@ pub struct Pipeline {
     radio_state: HashMap<DevEui, RadioState>,
     scenario: ScenarioSet,
     city_slug: String,
-    now: Timestamp,
-    next_tick: Timestamp,
+    /// The single monotone simulation clock, advanced only by dispatch.
+    clock: SimClock,
+    /// The discrete-event calendar every time-driven layer schedules into.
+    events: EventQueue<SimEvent>,
     stats: PipelineStats,
     seed: u64,
     /// Fault-injection interpreter, when chaos is attached.
@@ -174,6 +213,14 @@ impl Pipeline {
             .enumerate()
             .map(|(i, n)| (n.eui, i))
             .collect();
+        // Seed the calendar: the first dataport tick at the deployment
+        // start, and one transmission event per node at its phase-jittered
+        // first due time (deployment order pins same-instant ties).
+        let mut events = EventQueue::new();
+        events.schedule(start, PRIO_TICK, SimEvent::DataportTick);
+        for (i, n) in nodes.iter().enumerate() {
+            events.schedule(n.next_due(), PRIO_NODE, SimEvent::NodeTx(i));
+        }
         Pipeline {
             deployment,
             emission,
@@ -188,8 +235,8 @@ impl Pipeline {
             radio_state: HashMap::new(),
             scenario: ScenarioSet::new(),
             city_slug,
-            now: start,
-            next_tick: start,
+            clock: SimClock::new(start),
+            events,
             stats: PipelineStats::default(),
             seed,
             chaos: None,
@@ -219,12 +266,20 @@ impl Pipeline {
         }
         let engine = ChaosEngine::new(self.seed, plan);
         self.radio.set_outages(engine.outage_windows());
+        // Register the engine's windowed-state transitions (death edges,
+        // bit-flip fire times) as events; past instants clamp to now so a
+        // late attach still applies them on the next dispatch.
+        let now = self.clock.now();
+        for t in engine.transition_times() {
+            self.events
+                .schedule(t.max(now), PRIO_CHAOS, SimEvent::ChaosTransition);
+        }
         self.chaos = Some(engine);
     }
 
     /// Current simulation time.
     pub fn now(&self) -> Timestamp {
-        self.now
+        self.clock.now()
     }
 
     /// The emission ground truth (for experiment comparisons).
@@ -290,96 +345,136 @@ impl Pipeline {
         out
     }
 
-    /// Advance the simulation until `end`, processing every uplink.
+    /// Advance the simulation until `end` by dispatching scheduled events
+    /// in `(time, priority, seq)` order — no per-event scan over nodes, no
+    /// polling. Exactly one transmission event per node is outstanding at
+    /// any time; every accepted transmission schedules its own
+    /// airtime-derived resolution deadline.
     pub fn run_until(&mut self, end: Timestamp) {
-        // Each iteration handles the next node due to transmit.
-        while let Some((idx, due)) = self
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (i, n.next_due()))
-            .min_by_key(|&(_, t)| t)
-        {
-            if due >= end {
+        while let Some(key) = self.events.peek_key() {
+            // Boundary rule: ticks and radio deadlines landing exactly on
+            // `end` belong to this run (the lockstep loop drained both);
+            // chaos transitions and transmissions at `end` belong to the
+            // next. The same rule on both sides of a split point is what
+            // makes `run_until(a); run_until(b)` ≡ `run_until(b)`.
+            let within = key.time < end || (key.time == end && key.priority <= PRIO_RADIO);
+            if !within {
                 break;
             }
-            // Dataport tick cadence: every 5 minutes of sim time.
-            while self.next_tick <= due {
-                let t = self.next_tick;
-                self.dataport.tick(t);
-                self.next_tick = t + Span::minutes(5);
-            }
-            self.now = due;
-            self.apply_chaos(due);
-            // Produce the reading and transmit it. `idx` comes from the
-            // enumerate above, but index panic-free anyway.
-            let Some(node) = self.nodes.get_mut(idx) else {
+            let Some((key, event)) = self.events.pop() else {
                 break;
             };
-            let node_pos = node.site().position;
-            if let Some(mut reading) = node.step(&self.emission, due) {
-                reading = self.scenario.apply_reading(&reading, node_pos);
-                self.stats.readings += 1;
-                let device = reading.device;
-                self.ledger.produced(device, due);
-                if let Some(level) = self
-                    .chaos
-                    .as_ref()
-                    .and_then(|c| c.battery_override(device, due))
-                {
-                    // Stuck telemetry only: the node's real battery (and
-                    // hence its transmit cadence) is untouched.
-                    reading.battery_pct = level;
-                }
-                let state = self.radio_state.entry(device).or_default();
-                let mut frame =
-                    UplinkFrame::new(device, state.fcnt, 2, payload::encode(&reading).to_vec());
-                let channel = usize::from(state.fcnt) % 3;
-                state.fcnt = state.fcnt.wrapping_add(1);
-                let sf = state.data_rate.spreading_factor();
-                let tx_power_dbm = state.tx_power_dbm;
-                let mut submit = true;
-                if let Some(fault) = self.chaos.as_mut().and_then(|c| c.frame_fault(device, due)) {
-                    match Self::mutate_frame(&frame, fault) {
-                        // The mangled frame still decodes (flip landed in
-                        // padding, truncation kept a valid prefix): it
-                        // travels on as-is.
-                        Ok(mangled) => frame = mangled,
-                        Err(cause) => {
-                            // Gateway CRC check drops it; own the loss.
-                            self.ledger.attribute(device, due, cause);
-                            submit = false;
-                        }
+            let now = self.clock.advance(key.time);
+            match event {
+                SimEvent::DataportTick => {
+                    self.dataport.tick(now);
+                    if let Some(next) = self.dataport.next_event(now) {
+                        self.events
+                            .schedule(next, PRIO_TICK, SimEvent::DataportTick);
                     }
                 }
-                if submit {
-                    let req = TxRequest {
-                        device,
-                        position: node_pos,
-                        frame,
-                        sf,
-                        tx_power_dbm,
-                        channel,
-                    };
-                    self.radio.submit(due, req);
+                SimEvent::RadioResolve => {
+                    self.radio.resolve_until(now);
+                    self.process_radio_outcomes();
+                }
+                SimEvent::ChaosTransition => self.apply_chaos(now),
+                SimEvent::NodeTx(idx) => self.node_transmit(idx, now),
+            }
+        }
+        // Windows still open whose deadlines lie beyond `end` can be
+        // resolved early iff no future submission can overlap them: the
+        // fleet's next transmission is that bound, so resolving up to it is
+        // exact (the full interferer set of everything resolved is already
+        // in flight). One O(N) pass per `run_until` call, not per event;
+        // the leftover deadline events become no-ops when they fire.
+        if let Some(next_tx) = self.nodes.iter().map(SensorNode::next_due).min() {
+            self.radio.resolve_until(next_tx);
+        }
+        self.process_radio_outcomes();
+        self.clock.advance(end);
+    }
+
+    /// Handle one node's transmission event at `now`: step the node,
+    /// apply scenario overlays and inline chaos, submit to the radio, and
+    /// reschedule the node at its new due time.
+    fn node_transmit(&mut self, idx: usize, now: Timestamp) {
+        let Some(node) = self.nodes.get_mut(idx) else {
+            return;
+        };
+        let node_pos = node.site().position;
+        if let Some(mut reading) = node.step(&self.emission, now) {
+            reading = self.scenario.apply_reading(&reading, node_pos);
+            self.stats.readings += 1;
+            let device = reading.device;
+            self.ledger.produced(device, now);
+            if let Some(level) = self
+                .chaos
+                .as_ref()
+                .and_then(|c| c.battery_override(device, now))
+            {
+                // Stuck telemetry only: the node's real battery (and
+                // hence its transmit cadence) is untouched.
+                reading.battery_pct = level;
+            }
+            let state = self.radio_state.entry(device).or_default();
+            let mut frame =
+                UplinkFrame::new(device, state.fcnt, 2, payload::encode(&reading).to_vec());
+            let channel = usize::from(state.fcnt) % 3;
+            state.fcnt = state.fcnt.wrapping_add(1);
+            let sf = state.data_rate.spreading_factor();
+            let tx_power_dbm = state.tx_power_dbm;
+            let mut submit = true;
+            if let Some(fault) = self.chaos.as_mut().and_then(|c| c.frame_fault(device, now)) {
+                match Self::mutate_frame(&frame, fault) {
+                    // The mangled frame still decodes (flip landed in
+                    // padding, truncation kept a valid prefix): it
+                    // travels on as-is.
+                    Ok(mangled) => frame = mangled,
+                    Err(cause) => {
+                        // Gateway CRC check drops it; own the loss.
+                        self.ledger.attribute(device, now, cause);
+                        submit = false;
+                    }
                 }
             }
-            // If nothing else transmits within the collision horizon, the
-            // in-flight window can be safely resolved and consumed.
-            let next_due = self.nodes.iter().map(SensorNode::next_due).min();
-            let horizon = due + Span::seconds(3); // > max SF12 airtime
-            if next_due.map(|t| t > horizon).unwrap_or(true) {
-                self.process_radio();
+            if submit {
+                let req = TxRequest {
+                    device,
+                    position: node_pos,
+                    frame,
+                    sf,
+                    tx_power_dbm,
+                    channel,
+                };
+                match self.radio.submit(now, req) {
+                    Some(airtime) => {
+                        // Schedule this window's resolution at its deadline:
+                        // submissions land on whole seconds, so the window
+                        // is certainly closed at ceil(now + airtime) — and
+                        // always within the airtime-derived horizon.
+                        let bound = collision_horizon().as_seconds();
+                        let delay = (airtime.ceil() as i64).clamp(1, bound);
+                        self.events.schedule(
+                            now + Span::seconds(delay),
+                            PRIO_RADIO,
+                            SimEvent::RadioResolve,
+                        );
+                    }
+                    None => {
+                        // Duty-cycle refusal: the loss is known immediately
+                        // (no window opens), so account for it now.
+                        self.absorb_radio_losses();
+                    }
+                }
             }
         }
-        // Final drain + remaining ticks.
-        self.process_radio();
-        while self.next_tick <= end {
-            let t = self.next_tick;
-            self.dataport.tick(t);
-            self.next_tick = t + Span::minutes(5);
+        // Reschedule the node at its post-step due time. `step` is the only
+        // mutation of `next_due`, so exactly one event per node stays
+        // outstanding.
+        if let Some(node) = self.nodes.get(idx) {
+            self.events
+                .schedule(node.next_due(), PRIO_NODE, SimEvent::NodeTx(idx));
         }
-        self.now = end;
     }
 
     /// Apply time-windowed chaos state at `now`: node death transitions
@@ -463,12 +558,10 @@ impl Pipeline {
         }
     }
 
-    /// Drain the radio network and push deliveries through server → broker
-    /// → storage → dataport.
-    fn process_radio(&mut self) {
-        let deliveries = self.radio.drain();
-        // Device-side link backoff: a real node that gets no downlink/ack
-        // for several uplinks falls back one data rate to regain range.
+    /// Account for radio losses resolved so far: ledger attribution plus
+    /// device-side link backoff (a real node that gets no downlink/ack for
+    /// several uplinks falls back one data rate to regain range).
+    fn absorb_radio_losses(&mut self) {
         let lost = self.radio.drain_lost();
         self.stats.radio_lost += lost.len() as u64;
         for l in &lost {
@@ -479,6 +572,14 @@ impl Pipeline {
             let new_sf = st.backoff.on_uplink(false, sf);
             st.data_rate = DataRate::from_sf(new_sf);
         }
+    }
+
+    /// Push every already-resolved radio outcome downstream: losses first
+    /// (as the lockstep loop did), then deliveries through server → broker
+    /// → storage → dataport.
+    fn process_radio_outcomes(&mut self) {
+        self.absorb_radio_losses();
+        let deliveries = self.radio.drain_resolved();
         for d in deliveries {
             self.stats.delivered += 1;
             {
@@ -530,7 +631,7 @@ impl Pipeline {
         if self
             .chaos
             .as_ref()
-            .map(|c| c.broker_stalled(self.now))
+            .map(|c| c.broker_stalled(self.clock.now()))
             .unwrap_or(false)
         {
             // Injected consumer stall: deliveries wait in the broker queue
