@@ -20,7 +20,10 @@ cargo test --offline -q -p ctt-chaos
 echo "==> cargo test"
 cargo test --offline -q --workspace
 
-echo "==> criterion smoke benches (BENCH_ingest / BENCH_query / BENCH_scheduler)"
+echo "==> obs smoke (two-city metrics snapshot + scheduling profile replay-identical)"
+cargo test --offline -q -p ctt --test obs_profile
+
+echo "==> criterion smoke benches (BENCH_ingest / BENCH_query / BENCH_scheduler / BENCH_obs)"
 # cargo bench runs the bench binary with CWD = the package dir, so the
 # report paths must be absolute to land in the repo root.
 REPO_ROOT="$PWD"
@@ -30,9 +33,11 @@ CRITERION_SAMPLES=5 CRITERION_JSON="$REPO_ROOT/BENCH_query.json" \
     cargo bench --offline -q -p ctt-bench --bench query_sharded
 CRITERION_SAMPLES=10 CRITERION_JSON="$REPO_ROOT/BENCH_scheduler.json" \
     cargo bench --offline -q -p ctt-bench --bench scheduler
+CRITERION_SAMPLES=10 CRITERION_JSON="$REPO_ROOT/BENCH_obs.json" \
+    cargo bench --offline -q -p ctt-bench --bench obs_overhead
 
-echo "==> bench_check (reports well-formed; ingest + scheduler scaling gates)"
+echo "==> bench_check (reports well-formed; ingest + scheduler + obs-overhead gates)"
 cargo run --offline -q --release -p ctt-bench --bin bench_check \
-    BENCH_ingest.json BENCH_query.json BENCH_scheduler.json
+    BENCH_ingest.json BENCH_query.json BENCH_scheduler.json BENCH_obs.json
 
 echo "CI: all green"

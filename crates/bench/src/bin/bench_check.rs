@@ -122,6 +122,30 @@ fn check_scheduler_scaling(benches: &[Bench]) -> Result<(), String> {
     Ok(())
 }
 
+/// The observability criterion: at 2000 nodes the instrumented dispatch
+/// loop must keep at least 90% of the bare loop's events/sec.
+fn check_obs_overhead(benches: &[Bench]) -> Result<(), String> {
+    let throughput = |variant: &str| {
+        benches
+            .iter()
+            .find(|b| b.name == format!("obs/{variant}/2000"))
+            .and_then(|b| b.peak_elems_per_sec.or(b.elems_per_sec))
+            .ok_or_else(|| format!("no obs/{variant}/2000 throughput in report"))
+    };
+    let off = throughput("off")?;
+    let on = throughput("on")?;
+    if on < 0.9 * off {
+        return Err(format!(
+            "instrumented dispatch at 2000 nodes ({on:.0} events/s) is below 90% of bare ({off:.0} events/s)"
+        ));
+    }
+    println!(
+        "bench_check: obs overhead ok — bare {off:.0} events/s, instrumented {on:.0} events/s ({:.1}% overhead) at 2000 nodes",
+        (1.0 - on / off) * 100.0
+    );
+    Ok(())
+}
+
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let benches = parse_report(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -141,6 +165,9 @@ fn check_file(path: &str) -> Result<(), String> {
     }
     if benches.iter().any(|b| b.name.starts_with("scheduler/")) {
         check_scheduler_scaling(&benches).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if benches.iter().any(|b| b.name.starts_with("obs/")) {
+        check_obs_overhead(&benches).map_err(|e| format!("{path}: {e}"))?;
     }
     Ok(())
 }

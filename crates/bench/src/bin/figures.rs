@@ -993,6 +993,35 @@ fn surface() {
     out("ext_plume.csv", &csv);
 }
 
+/// `--profile`: the observability capture. One instrumented 24 h run per
+/// pilot, exporting the metrics snapshot as `profile_<city>.csv` + `.json`
+/// and the scheduler's dispatch profile as `profile_<city>_sched.txt`.
+/// Replay-deterministic: regenerating with the same seed must be a no-op
+/// diff (this is the property `tests/obs_profile.rs` pins).
+fn profile() {
+    println!("PROFILE — observability capture (both pilots, 24 h)");
+    for d in Deployment::all_pilots() {
+        let mut p = ctt::Pipeline::new(d, SEED);
+        p.enable_dispatch_trace(128);
+        let start = p.deployment.started;
+        p.run_until(start + Span::days(1));
+        let slug = p.deployment.city.to_lowercase();
+        let snap = p.metrics_snapshot();
+        out(&format!("profile_{slug}.csv"), &snap.to_csv());
+        out(&format!("profile_{slug}.json"), &snap.to_json());
+        out(
+            &format!("profile_{slug}_sched.txt"),
+            &p.scheduling_profile(),
+        );
+        println!(
+            "  {}: {} metrics, {} dispatches",
+            p.deployment.city,
+            snap.len(),
+            snap.value("sim.dispatch.total").unwrap_or(0)
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty() || args.iter().any(|a| a == "--all");
@@ -1036,6 +1065,9 @@ fn main() {
     }
     if want("--surface") {
         surface();
+    }
+    if want("--profile") {
+        profile();
     }
     println!("\ndone.");
 }

@@ -9,6 +9,7 @@
 use crate::message::{Message, QoS};
 use crate::topic::{Topic, TopicFilter};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use ctt_obs::{Counter, Registry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -133,6 +134,28 @@ impl TrieNode {
     }
 }
 
+/// Per-subscriber counters, backed by registry cells so they show up in
+/// metric exports under `broker.sub<id>.*`. The legacy
+/// [`Broker::subscriber_stats`] getter reads these same cells.
+#[derive(Debug, Clone)]
+struct SessionCounters {
+    delivered: Counter,
+    dropped_qos0: Counter,
+    deferred_qos1: Counter,
+    redelivered: Counter,
+}
+
+impl SessionCounters {
+    fn register(registry: &Registry, id: SubscriptionId) -> Self {
+        SessionCounters {
+            delivered: registry.counter(&format!("broker.sub{}.delivered", id.0)),
+            dropped_qos0: registry.counter(&format!("broker.sub{}.dropped_qos0", id.0)),
+            deferred_qos1: registry.counter(&format!("broker.sub{}.deferred_qos1", id.0)),
+            redelivered: registry.counter(&format!("broker.sub{}.redelivered", id.0)),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Session {
     filter: TopicFilter,
@@ -143,7 +166,7 @@ struct Session {
     /// Packet ids whose initial delivery hit a full queue, in deferral
     /// order; retried by [`Broker::redeliver_deferred`].
     deferred: Vec<u16>,
-    stats: SubscriberStats,
+    counters: SessionCounters,
 }
 
 /// Result of one delivery attempt.
@@ -160,6 +183,10 @@ struct Inner {
     retained: HashMap<String, Message>,
     next_id: u64,
     stats: BrokerStats,
+    /// Where per-subscriber counters are registered. A private (default)
+    /// registry when the broker runs standalone; shared via
+    /// [`Broker::with_registry`] when embedded in an instrumented pipeline.
+    registry: Registry,
 }
 
 /// The broker. Cheaply clonable handle (`Arc` inside).
@@ -208,6 +235,15 @@ impl Broker {
         Broker::default()
     }
 
+    /// New empty broker whose per-subscriber counters register into
+    /// `registry` (as `broker.sub<id>.*`), so they appear alongside the
+    /// rest of a pipeline's metrics in snapshots.
+    pub fn with_registry(registry: Registry) -> Self {
+        let broker = Broker::default();
+        broker.inner.lock().registry = registry;
+        broker
+    }
+
     /// Subscribe to `filter` with the given QoS and queue capacity.
     /// Retained messages matching the filter are delivered immediately.
     pub fn subscribe(&self, filter: TopicFilter, qos: QoS, capacity: usize) -> Subscriber {
@@ -216,6 +252,7 @@ impl Broker {
         let id = SubscriptionId(inner.next_id);
         inner.next_id += 1;
         inner.trie.insert(filter.as_str().split('/'), id);
+        let counters = SessionCounters::register(&inner.registry, id);
         let mut session = Session {
             filter: filter.clone(),
             qos,
@@ -223,7 +260,7 @@ impl Broker {
             next_pid: 1,
             inflight: HashMap::new(),
             deferred: Vec::new(),
-            stats: SubscriberStats::default(),
+            counters,
         };
         // Replay retained messages.
         let retained: Vec<Message> = inner
@@ -268,19 +305,19 @@ impl Broker {
         match session.tx.try_send(Delivery { message, packet_id }) {
             Ok(()) => {
                 stats.delivered += 1;
-                session.stats.delivered += 1;
+                session.counters.delivered.inc();
                 DeliverOutcome::Enqueued
             }
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
                 if let Some(pid) = packet_id {
                     // Still in the in-flight store: will be redelivered.
                     stats.deferred_qos1 += 1;
-                    session.stats.deferred_qos1 += 1;
+                    session.counters.deferred_qos1.inc();
                     session.deferred.push(pid);
                     DeliverOutcome::Deferred
                 } else {
                     stats.dropped_qos0 += 1;
-                    session.stats.dropped_qos0 += 1;
+                    session.counters.dropped_qos0.inc();
                     DeliverOutcome::Dropped
                 }
             }
@@ -372,8 +409,8 @@ impl Broker {
                 session.deferred.retain(|&d| d != pid);
             }
         }
-        session.stats.redelivered += redelivered;
-        session.stats.delivered += redelivered;
+        session.counters.redelivered.add(redelivered);
+        session.counters.delivered.add(redelivered);
         inner.stats.redelivered += redelivered;
         inner.stats.delivered += redelivered;
         n
@@ -406,8 +443,8 @@ impl Broker {
                     Ok(()) => {
                         n += 1;
                         redelivered += 1;
-                        session.stats.redelivered += 1;
-                        session.stats.delivered += 1;
+                        session.counters.redelivered.inc();
+                        session.counters.delivered.inc();
                     }
                     Err(_) => session.deferred.push(pid),
                 }
@@ -429,9 +466,20 @@ impl Broker {
             .sum()
     }
 
-    /// Per-subscriber delivery counters, if the subscription exists.
+    /// Per-subscriber delivery counters, if the subscription exists. A
+    /// thin view over the registry-backed cells (the same values a metrics
+    /// snapshot exports as `broker.sub<id>.*`).
     pub fn subscriber_stats(&self, sub: SubscriptionId) -> Option<SubscriberStats> {
-        self.inner.lock().sessions.get(&sub).map(|s| s.stats)
+        self.inner
+            .lock()
+            .sessions
+            .get(&sub)
+            .map(|s| SubscriberStats {
+                delivered: s.counters.delivered.get(),
+                dropped_qos0: s.counters.dropped_qos0.get(),
+                deferred_qos1: s.counters.deferred_qos1.get(),
+                redelivered: s.counters.redelivered.get(),
+            })
     }
 
     /// Number of unacknowledged in-flight messages for a subscription.
@@ -659,6 +707,22 @@ mod tests {
         }
         assert_eq!(s.drain().len(), 4000);
         assert_eq!(b.stats().published, 4000);
+    }
+
+    #[test]
+    fn with_registry_exports_per_subscriber_counters() {
+        let registry = Registry::new();
+        let b = Broker::with_registry(registry.clone());
+        let s = b.subscribe(filter("t"), QoS::AtMostOnce, 1);
+        b.publish(msg("t", "a"));
+        b.publish(msg("t", "b")); // queue full → dropped
+        let snap = registry.snapshot(Timestamp(0));
+        assert_eq!(snap.value("broker.sub0.delivered"), Some(1));
+        assert_eq!(snap.value("broker.sub0.dropped_qos0"), Some(1));
+        // The legacy getter is a view over the same cells.
+        let st = b.subscriber_stats(s.id).unwrap();
+        assert_eq!(st.delivered, 1);
+        assert_eq!(st.dropped_qos0, 1);
     }
 
     #[test]

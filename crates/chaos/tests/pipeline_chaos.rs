@@ -82,14 +82,22 @@ fn soak_city(deployment: Deployment, seed: u64, days: i64) {
     let start = p.deployment.started;
     p.run_until(start + Span::days(days));
 
-    // Keystone: zero unattributed loss.
+    // Keystone: zero unattributed loss. On imbalance, dump the flight
+    // recorder — the recent stage spans show what the pipeline was
+    // dispatching leading up to the failure.
     let verdict = p.ledger().verify();
     assert!(
         verdict.is_balanced(),
-        "unattributed losses: {:?}",
-        verdict.unattributed
+        "unattributed losses: {:?}\n{}",
+        verdict.unattributed,
+        p.flight_recorder().dump()
     );
-    assert_eq!(p.ledger().conflicts(), 0, "attribution conflicts");
+    assert_eq!(
+        p.ledger().conflicts(),
+        0,
+        "attribution conflicts\n{}",
+        p.flight_recorder().dump()
+    );
     assert_eq!(verdict.produced, p.stats().readings);
     assert!(verdict.stored > 0);
 
@@ -263,4 +271,29 @@ fn same_seed_same_plan_byte_identical_ledger_and_alarms() {
     assert_eq!(alarms_a, alarms_b, "alarm sequence diverged");
     assert_eq!(stats_a, stats_b);
     assert!(!ledger_a.is_empty());
+}
+
+#[test]
+fn chaos_activations_show_up_in_metrics_snapshot() {
+    let d = Deployment::vejle();
+    let plan = dense_plan(&d);
+    let start = d.started;
+    let mut p = Pipeline::with_chaos(d, 42, plan);
+    p.run_until(start + Span::days(7));
+    let snap = p.metrics_snapshot();
+    let activation = |name: &str| snap.value(name).unwrap_or(0);
+    let injected = p.chaos_stats();
+    assert_eq!(
+        activation("chaos.activation.frame_fault"),
+        i128::from(injected.corrupted_frames + injected.truncated_frames)
+    );
+    assert!(activation("chaos.activation.bitflip") >= 2);
+    // Death window: one falling edge in, one rising edge out.
+    assert_eq!(activation("chaos.activation.death_edge"), 2);
+    assert!(activation("chaos.activation.broker_stall") > 0);
+    // The per-shard quarantine counters agree with the ledger.
+    let quarantined: i128 = (0..p.tsdb.shard_count())
+        .map(|i| activation(&format!("tsdb.shard{i}.quarantined_points")))
+        .sum();
+    assert_eq!(quarantined, i128::from(p.ledger().quarantined_points()));
 }

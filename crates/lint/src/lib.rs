@@ -111,6 +111,7 @@ impl Default for LintConfig {
                 "crates/lorawan/src/server.rs".into(),
                 "crates/lorawan/src/sim.rs".into(),
                 "crates/sim/src/".into(),
+                "crates/obs/src/".into(),
                 "crates/dataport/src/".into(),
                 "src/pipeline.rs".into(),
                 "src/parallel.rs".into(),

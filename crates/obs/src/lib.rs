@@ -1,0 +1,33 @@
+//! # ctt-obs — deterministic observability
+//!
+//! The paper's dataport exists to *monitor* the sensor network; this crate
+//! is the uniform substrate the rest of the workspace publishes its health
+//! into. Three pieces:
+//!
+//! * a [`Registry`] of interned-name [`Counter`]s and [`Gauge`]s whose
+//!   [`Snapshot`] has a stable (sorted) order and integer-only values, so a
+//!   snapshot of a deterministic run is byte-identical across replays;
+//! * dispatch-tracing building blocks — a fixed-bucket [`FixedHistogram`]
+//!   and a bounded [`TraceSink`] — used by `ctt-sim`'s event queue to emit
+//!   a scheduling profile without instrumenting each subsystem;
+//! * a [`FlightRecorder`]: a fixed-capacity ring of recent stage
+//!   enter/exit span events, dumped on post-mortems (ledger imbalance,
+//!   alarm mismatch) by the chaos soak.
+//!
+//! **Determinism rules.** Only logical [`Timestamp`]s (the `SimClock`) ever
+//! enter a metric, span, or trace record — never the wall clock. Every
+//! value is an integer (no float formatting ambiguity). Snapshot order is
+//! the sorted metric name, not insertion order, so refactorings that move
+//! registration sites cannot reorder exports.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+mod recorder;
+mod registry;
+mod trace;
+
+pub use recorder::{FlightRecorder, SpanEvent, SpanKind};
+pub use registry::{Counter, Gauge, Registry, Snapshot};
+pub use trace::{FixedHistogram, TraceEvent, TraceSink};

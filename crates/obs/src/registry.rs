@@ -1,0 +1,323 @@
+//! The metrics registry: interned-name counters and gauges with a
+//! deterministic snapshot.
+//!
+//! Handles are `Arc`-backed atomics, so incrementing on a hot path is one
+//! relaxed atomic op and never takes a lock; the registry's lock is touched
+//! only on (cold) registration and snapshot. All values are integers:
+//! float formatting is platform-honest but invites accidental
+//! nondeterminism the moment someone averages, so ratios are left to the
+//! consumers of the export.
+
+use ctt_core::time::Timestamp;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not registered anywhere (still usable, never exported).
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depths, high-water
+/// marks). Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge not registered anywhere (still usable, never exported).
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to `v` if `v` is larger (high-water semantics).
+    pub fn raise_to(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+}
+
+/// The registry: a clonable handle to a shared name → metric map.
+///
+/// Registering an already-known name returns a handle to the *existing*
+/// cell (this is what lets the broker keep its legacy getters as thin
+/// views). A name registered as one kind and requested as the other keeps
+/// its original kind and hands back a detached cell — panic-free by
+/// design, since registration sits close to hot paths.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock();
+        match inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            Metric::Gauge(_) => Counter::detached(),
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock();
+        match inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            Metric::Counter(_) => Gauge::detached(),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Capture every registered metric at logical time `at`. The snapshot
+    /// owns plain integers — reading it later cannot race with writers.
+    pub fn snapshot(&self, at: Timestamp) -> Snapshot {
+        let mut snap = Snapshot::new(at);
+        for (name, metric) in self.inner.lock().iter() {
+            match metric {
+                Metric::Counter(c) => snap.push_counter(name, c.get()),
+                Metric::Gauge(g) => snap.push_gauge(name, g.get()),
+            }
+        }
+        snap
+    }
+}
+
+/// One exported value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Counter(u64),
+    Gauge(i64),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Counter(_) => "counter",
+            Value::Gauge(_) => "gauge",
+        }
+    }
+}
+
+/// A point-in-time export of metrics, keyed and rendered in sorted name
+/// order. Byte-identical across replays of a deterministic run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    at: Timestamp,
+    entries: BTreeMap<String, Value>,
+}
+
+impl Snapshot {
+    /// An empty snapshot stamped with logical time `at`.
+    pub fn new(at: Timestamp) -> Self {
+        Snapshot {
+            at,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The logical capture time.
+    pub fn at(&self) -> Timestamp {
+        self.at
+    }
+
+    /// Add (or overwrite) a counter-valued entry.
+    pub fn push_counter(&mut self, name: &str, value: u64) {
+        self.entries.insert(name.to_string(), Value::Counter(value));
+    }
+
+    /// Add (or overwrite) a gauge-valued entry.
+    pub fn push_gauge(&mut self, name: &str, value: i64) {
+        self.entries.insert(name.to_string(), Value::Gauge(value));
+    }
+
+    /// Expand a fixed-bucket histogram into `name.le_<bound>` cumulative
+    /// bucket counters plus `name.count` and `name.sum`.
+    pub fn push_histogram(&mut self, name: &str, h: &crate::FixedHistogram) {
+        let mut cumulative = 0u64;
+        for (bound, count) in h.buckets() {
+            cumulative += count;
+            self.push_counter(&format!("{name}.le_{bound}"), cumulative);
+        }
+        cumulative += h.overflow();
+        self.push_counter(&format!("{name}.le_inf"), cumulative);
+        self.push_counter(&format!("{name}.count"), h.count());
+        self.push_gauge(&format!("{name}.sum"), h.sum());
+    }
+
+    /// The value of `name`, as a widened integer, if present.
+    pub fn value(&self, name: &str) -> Option<i128> {
+        self.entries.get(name).map(|v| match v {
+            Value::Counter(c) => i128::from(*c),
+            Value::Gauge(g) => i128::from(*g),
+        })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Canonical CSV rendering: header then one sorted row per metric.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,kind,value\n");
+        for (name, value) in &self.entries {
+            let _ = match value {
+                Value::Counter(c) => writeln!(out, "{name},counter,{c}"),
+                Value::Gauge(g) => writeln!(out, "{name},gauge,{g}"),
+            };
+        }
+        out
+    }
+
+    /// Canonical JSON rendering: one metric object per line, sorted.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{\"at_s\": {},", self.at.as_seconds());
+        let _ = writeln!(out, "\"metrics\": [");
+        let last = self.entries.len().saturating_sub(1);
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            let v = match value {
+                Value::Counter(c) => i128::from(*c),
+                Value::Gauge(g) => i128::from(*g),
+            };
+            let comma = if i == last { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "{{\"name\": \"{name}\", \"kind\": \"{}\", \"value\": {v}}}{comma}",
+                value.kind()
+            );
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("a.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registration returns the same cell.
+        assert_eq!(r.counter("a.count").get(), 5);
+        let g = r.gauge("a.depth");
+        g.set(7);
+        g.raise_to(3); // lower: no-op
+        assert_eq!(g.get(), 7);
+        g.raise_to(11);
+        assert_eq!(g.get(), 11);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn kind_mismatch_hands_back_detached_cell() {
+        let r = Registry::new();
+        let c = r.counter("x");
+        c.inc();
+        // Same name as a gauge: detached, does not clobber the counter.
+        let g = r.gauge("x");
+        g.set(99);
+        let snap = r.snapshot(Timestamp(0));
+        assert_eq!(snap.value("x"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stable() {
+        let r = Registry::new();
+        r.counter("z.last").add(1);
+        r.counter("a.first").add(2);
+        r.gauge("m.mid").set(-3);
+        let snap = r.snapshot(Timestamp(60));
+        assert_eq!(
+            snap.to_csv(),
+            "name,kind,value\na.first,counter,2\nm.mid,gauge,-3\nz.last,counter,1\n"
+        );
+        // Two captures of the same state are byte-identical.
+        assert_eq!(snap.to_csv(), r.snapshot(Timestamp(60)).to_csv());
+        assert_eq!(snap.to_json(), r.snapshot(Timestamp(60)).to_json());
+        assert!(snap.to_json().starts_with("{\"at_s\": 60,\n"));
+    }
+
+    #[test]
+    fn histogram_expands_cumulatively() {
+        let mut h = crate::FixedHistogram::new(&[1, 5]);
+        for v in [0, 1, 2, 7] {
+            h.observe(v);
+        }
+        let mut snap = Snapshot::new(Timestamp(0));
+        snap.push_histogram("lat", &h);
+        assert_eq!(snap.value("lat.le_1"), Some(2));
+        assert_eq!(snap.value("lat.le_5"), Some(3));
+        assert_eq!(snap.value("lat.le_inf"), Some(4));
+        assert_eq!(snap.value("lat.count"), Some(4));
+        assert_eq!(snap.value("lat.sum"), Some(10));
+    }
+}

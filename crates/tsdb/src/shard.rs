@@ -22,6 +22,7 @@ use crate::store::{
     BitFlipOutcome, IntegrityReport, QuarantineReport, StoreStats, Tsdb, DEFAULT_CHUNK_SIZE,
 };
 use ctt_core::time::Timestamp;
+use ctt_obs::{Counter, Registry};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 
@@ -39,10 +40,22 @@ fn fnv1a(key: &str) -> u64 {
     h
 }
 
+/// Per-shard observability counters, registered as `tsdb.shard<i>.*`.
+/// Detached (uncounted into any registry) until
+/// [`ShardedTsdb::attach_registry`] is called; counter handles are atomics,
+/// so shard instrumentation never takes the registry lock on the data path.
+#[derive(Debug, Clone, Default)]
+struct ShardObs {
+    puts: Counter,
+    queries: Counter,
+    quarantined_points: Counter,
+}
+
 /// A time-series database partitioned across N single-owner shards.
 #[derive(Debug)]
 pub struct ShardedTsdb {
     shards: Vec<RwLock<Tsdb>>,
+    obs: Vec<ShardObs>,
 }
 
 impl Default for ShardedTsdb {
@@ -65,7 +78,25 @@ impl ShardedTsdb {
             shards: (0..n)
                 .map(|_| RwLock::new(Tsdb::with_chunk_size(chunk_size)))
                 .collect(),
+            obs: vec![ShardObs::default(); n],
         }
+    }
+
+    /// Register per-shard put/query/quarantine counters into `registry`
+    /// (as `tsdb.shard<i>.*`). Counts accumulated before attachment are
+    /// discarded — attach before ingest starts.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        self.obs = (0..self.shards.len())
+            .map(|i| ShardObs {
+                puts: registry.counter(&format!("tsdb.shard{i}.puts")),
+                queries: registry.counter(&format!("tsdb.shard{i}.queries")),
+                quarantined_points: registry.counter(&format!("tsdb.shard{i}.quarantined_points")),
+            })
+            .collect();
+    }
+
+    fn obs_of(&self, shard: usize) -> Option<&ShardObs> {
+        self.obs.get(shard)
     }
 
     /// Number of shards.
@@ -84,6 +115,9 @@ impl ShardedTsdb {
         let shard = self.shard_of_key(&point.series_key());
         if let Some(s) = self.shards.get(shard) {
             s.write().put(point);
+            if let Some(o) = self.obs_of(shard) {
+                o.puts.inc();
+            }
         }
     }
 
@@ -99,7 +133,7 @@ impl ShardedTsdb {
             }
         }
         let mut written = 0u64;
-        for (shard, bucket) in self.shards.iter().zip(&buckets) {
+        for (i, (shard, bucket)) in self.shards.iter().zip(&buckets).enumerate() {
             if bucket.is_empty() {
                 continue;
             }
@@ -107,6 +141,9 @@ impl ShardedTsdb {
             for p in bucket {
                 guard.put(p);
                 written += 1;
+            }
+            if let Some(o) = self.obs_of(i) {
+                o.puts.add(bucket.len() as u64);
             }
         }
         written
@@ -117,7 +154,10 @@ impl ShardedTsdb {
     /// the same query against a single [`Tsdb`] holding all the data.
     pub fn execute(&self, q: &Query) -> Result<Vec<QueryResult>, TsdbError> {
         let mut merged: BTreeMap<TagSet, GroupCollection> = BTreeMap::new();
-        for shard in &self.shards {
+        for (i, shard) in self.shards.iter().enumerate() {
+            if let Some(o) = self.obs_of(i) {
+                o.queries.inc();
+            }
             // Collect fully under the read lock, merge after releasing it.
             let collected = collect_groups(&shard.read(), q)?;
             for (group, coll) in collected {
@@ -140,6 +180,9 @@ impl ShardedTsdb {
         let shard = self.shard_of_key(&series_key(metric, tags));
         let guard = self.shards.get(shard)?.read();
         let id = guard.series_id(metric, tags)?;
+        if let Some(o) = self.obs_of(shard) {
+            o.queries.inc();
+        }
         guard.read_with_quarantine(id, start, end).ok()
     }
 
@@ -230,12 +273,18 @@ impl ShardedTsdb {
             return BitFlipOutcome::NoChunks;
         }
         let mut target = (nth_chunk % total as u64) as usize;
-        for (shard, &count) in self.shards.iter().zip(&counts) {
+        for (i, (shard, &count)) in self.shards.iter().zip(&counts).enumerate() {
             if target >= count {
                 target -= count;
                 continue;
             }
-            return shard.write().flip_chunk_bit(target as u64, bit);
+            let outcome = shard.write().flip_chunk_bit(target as u64, bit);
+            if let BitFlipOutcome::Quarantined { points } = outcome {
+                if let Some(o) = self.obs_of(i) {
+                    o.quarantined_points.add(u64::from(points));
+                }
+            }
+            return outcome;
         }
         BitFlipOutcome::NoChunks
     }
@@ -369,6 +418,36 @@ mod tests {
             db.put(&dp("a.metric", &format!("n{d}"), 0, 1.0));
         }
         assert_eq!(db.metrics(), vec!["a.metric", "b.metric"]);
+    }
+
+    #[test]
+    fn attached_registry_counts_per_shard_activity() {
+        let registry = Registry::new();
+        let mut db = ShardedTsdb::with_chunk_size(2, 8);
+        db.attach_registry(&registry);
+        fill(&db, 4, 10);
+        db.execute(&Query::range("m", Timestamp(0), Timestamp(10_000)))
+            .unwrap();
+        let snap = registry.snapshot(Timestamp(0));
+        // Every put lands in exactly one shard's counter.
+        let puts = snap.value("tsdb.shard0.puts").unwrap_or(0)
+            + snap.value("tsdb.shard1.puts").unwrap_or(0);
+        assert_eq!(puts, 40);
+        // A fan-out query touches every shard once.
+        assert_eq!(snap.value("tsdb.shard0.queries"), Some(1));
+        assert_eq!(snap.value("tsdb.shard1.queries"), Some(1));
+        // Quarantine counters track points made unreadable by bit flips.
+        db.seal_all();
+        let mut flipped = 0i128;
+        for nth in 0..db.stats().chunks as u64 {
+            if let BitFlipOutcome::Quarantined { points } = db.flip_chunk_bit(nth, 1) {
+                flipped += i128::from(points);
+            }
+        }
+        let snap = registry.snapshot(Timestamp(0));
+        let quarantined = snap.value("tsdb.shard0.quarantined_points").unwrap_or(0)
+            + snap.value("tsdb.shard1.quarantined_points").unwrap_or(0);
+        assert_eq!(quarantined, flipped);
     }
 
     #[test]

@@ -7,7 +7,12 @@
 //!
 //! ```sh
 //! cargo run --release --example city_pilot
+//! cargo run --release --example city_pilot -- --profile   # + metrics export
 //! ```
+//!
+//! With `--profile`, each pilot's metrics snapshot and scheduling profile
+//! are written to `results/profile_<city>.csv` / `.json` / `_sched.txt` —
+//! the same replay-deterministic exports the figures binary produces.
 
 use ctt::analytics::{calibrate_and_evaluate, completeness};
 use ctt::dataport::{ProtocolTrace, Stage};
@@ -16,13 +21,20 @@ use ctt::prelude::*;
 use ctt_core::emission::Site;
 
 fn main() {
+    let profile = std::env::args().any(|a| a == "--profile");
     for deployment in Deployment::all_pilots() {
         let city = deployment.city.clone();
         println!("════════ {city} pilot ════════");
         let mut pipeline = Pipeline::new(deployment, 42);
+        if profile {
+            pipeline.enable_dispatch_trace(128);
+        }
         let start = pipeline.deployment.started;
         let end = start + Span::days(1);
         pipeline.run_until(end);
+        if profile {
+            export_profile(&pipeline);
+        }
 
         let st = pipeline.stats();
         let radio = pipeline.radio_stats();
@@ -141,4 +153,23 @@ fn main() {
 fn indent(s: &str, n: usize) -> String {
     let pad = " ".repeat(n);
     s.lines().map(|l| format!("{pad}{l}\n")).collect()
+}
+
+/// Write the pilot's observability exports under `results/`.
+fn export_profile(pipeline: &Pipeline) {
+    let slug = pipeline.deployment.city.to_lowercase();
+    std::fs::create_dir_all("results").expect("create results/");
+    let snap = pipeline.metrics_snapshot();
+    let artifacts = [
+        (format!("results/profile_{slug}.csv"), snap.to_csv()),
+        (format!("results/profile_{slug}.json"), snap.to_json()),
+        (
+            format!("results/profile_{slug}_sched.txt"),
+            pipeline.scheduling_profile(),
+        ),
+    ];
+    for (path, content) in artifacts {
+        std::fs::write(&path, content).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("  wrote {path}");
+    }
 }

@@ -44,6 +44,7 @@ pub use ctt_core as core;
 pub use ctt_dataport as dataport;
 pub use ctt_integration as integration;
 pub use ctt_lorawan as lorawan;
+pub use ctt_obs as obs;
 pub use ctt_sim as sim;
 pub use ctt_tsdb as tsdb;
 pub use ctt_viz as viz;

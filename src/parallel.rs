@@ -20,10 +20,20 @@ use std::thread::JoinHandle;
 /// cannot oversubscribe the host. Falls back to `lo` when the parallelism
 /// cannot be determined.
 pub fn worker_width(lo: usize, hi: usize) -> usize {
-    std::thread::available_parallelism()
+    let par = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
-        .unwrap_or(lo)
-        .clamp(lo, hi)
+        .unwrap_or(lo);
+    clamp_width(par, lo, hi)
+}
+
+/// The clamp behind [`worker_width`], split out so the boundary behavior
+/// is testable independent of the host's core count. An inverted range
+/// (`lo > hi`) is normalized by swapping rather than panicking — `clamp`
+/// itself panics on `lo > hi`, and a misconfigured width bound must not
+/// take down a pipeline.
+fn clamp_width(par: usize, lo: usize, hi: usize) -> usize {
+    let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+    par.clamp(lo, hi)
 }
 
 /// A fixed pool of worker threads applying one pure function to batches of
@@ -217,6 +227,32 @@ mod tests {
             pool.map((0..2000).collect())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clamp_width_boundaries() {
+        // Degenerate range lo == hi pins the width regardless of cores.
+        assert_eq!(clamp_width(64, 4, 4), 4);
+        assert_eq!(clamp_width(1, 4, 4), 4);
+        // Inverted range is normalized, not a panic.
+        assert_eq!(clamp_width(64, 8, 2), 8);
+        assert_eq!(clamp_width(1, 8, 2), 2);
+        assert_eq!(clamp_width(5, 8, 2), 5);
+        // Single-core container: parallelism of 1 clamps up to lo.
+        assert_eq!(clamp_width(1, 2, 8), 2);
+        // Big host clamps down to hi.
+        assert_eq!(clamp_width(128, 2, 8), 8);
+        // In-range parallelism passes through.
+        assert_eq!(clamp_width(4, 2, 8), 4);
+    }
+
+    #[test]
+    fn worker_width_within_requested_bounds() {
+        let w = worker_width(2, 8);
+        assert!((2..=8).contains(&w), "width {w}");
+        // Inverted bounds must not panic at the public entry point either.
+        let w = worker_width(8, 2);
+        assert!((2..=8).contains(&w), "width {w}");
     }
 
     #[test]

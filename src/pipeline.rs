@@ -34,7 +34,8 @@ use ctt_lorawan::{
     collision_horizon, DataRate, GatewayConfig, LinkBackoff, NetworkServer, RadioSimulator,
     SimConfig, TxRequest, UplinkFrame, UplinkRecord,
 };
-use ctt_sim::{EventQueue, Schedulable, SimClock};
+use ctt_obs::{Counter, FlightRecorder, Registry, Snapshot};
+use ctt_sim::{EventQueue, QueueObs, Schedulable, SimClock};
 use ctt_tsdb::{Aggregator, BitFlipOutcome, DataPoint, Query, ShardedTsdb, DEFAULT_SHARDS};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -128,6 +129,33 @@ const PRIO_RADIO: u8 = 1;
 const PRIO_CHAOS: u8 = 2;
 const PRIO_NODE: u8 = 3;
 
+/// How many span events the pipeline's flight recorder retains. Sized for
+/// post-mortems: enough dispatch context around a failure, bounded so a
+/// week-long soak costs the same memory as a minute-long one.
+const FLIGHT_RECORDER_CAPACITY: usize = 256;
+
+/// Chaos fault-activation counters, registered as `chaos.activation.*`.
+/// Incremented pipeline-side at the points where the engine is consulted,
+/// so the engine itself stays a pure fault-plan interpreter.
+#[derive(Debug, Clone)]
+struct ChaosObs {
+    frame_fault: Counter,
+    bitflip: Counter,
+    death_edge: Counter,
+    broker_stall: Counter,
+}
+
+impl ChaosObs {
+    fn register(registry: &Registry) -> Self {
+        ChaosObs {
+            frame_fault: registry.counter("chaos.activation.frame_fault"),
+            bitflip: registry.counter("chaos.activation.bitflip"),
+            death_edge: registry.counter("chaos.activation.death_edge"),
+            broker_stall: registry.counter("chaos.activation.broker_stall"),
+        }
+    }
+}
+
 /// One scheduled pipeline event. All five time-driven sources (node tx,
 /// radio window resolution, dataport tick, chaos window transition, due
 /// TSDB bit flip) dispatch through the [`EventQueue`]; bit flips ride the
@@ -144,6 +172,19 @@ enum SimEvent {
     ChaosTransition,
     /// The node at this deployment index is due to transmit.
     NodeTx(usize),
+}
+
+impl SimEvent {
+    /// Stable payload discriminant, used as the dispatch-trace label and as
+    /// the flight-recorder stage name for this event's dispatch span.
+    fn label(&self) -> &'static str {
+        match self {
+            SimEvent::DataportTick => "tick",
+            SimEvent::RadioResolve => "radio",
+            SimEvent::ChaosTransition => "chaos",
+            SimEvent::NodeTx(_) => "node-tx",
+        }
+    }
 }
 
 /// The assembled city pipeline.
@@ -183,6 +224,14 @@ pub struct Pipeline {
     chaos_dead: HashMap<DevEui, bool>,
     /// Deployment order of each device, for health toggling by EUI.
     node_index: HashMap<DevEui, usize>,
+    /// The metrics registry every layer publishes into (broker subscriber
+    /// counters, TSDB shard counters, chaos activations).
+    registry: Registry,
+    /// Chaos fault-activation counters (registered even when no plan is
+    /// attached, so snapshots have a stable shape).
+    chaos_obs: ChaosObs,
+    /// Ring of recent stage enter/exit spans, dumped on soak failures.
+    recorder: FlightRecorder,
 }
 
 impl Pipeline {
@@ -196,8 +245,12 @@ impl Pipeline {
             .map(|g| GatewayConfig::standard(g.id, g.position, g.antenna_m))
             .collect();
         let radio = RadioSimulator::new(SimConfig::urban(seed), gateways);
-        let broker = Broker::new();
+        let registry = Registry::new();
+        let chaos_obs = ChaosObs::register(&registry);
+        let broker = Broker::with_registry(registry.clone());
         let storage_sub = broker.subscribe(UplinkEvent::all_filter(), QoS::AtLeastOnce, 65_536);
+        let mut tsdb = ShardedTsdb::new(DEFAULT_SHARDS);
+        tsdb.attach_registry(&registry);
         let mut dataport = Dataport::new(DataportConfig::default());
         for n in &deployment.nodes {
             dataport.register_sensor(n.eui);
@@ -217,6 +270,10 @@ impl Pipeline {
         // start, and one transmission event per node at its phase-jittered
         // first due time (deployment order pins same-instant ties).
         let mut events = EventQueue::new();
+        // Dispatch instrumentation is always attached: the record step is a
+        // handful of plain-integer adds (bench-gated), and an always-on
+        // profile means replay comparisons need no special build.
+        events.attach_obs(QueueObs::new(SimEvent::label));
         events.schedule(start, PRIO_TICK, SimEvent::DataportTick);
         for (i, n) in nodes.iter().enumerate() {
             events.schedule(n.next_due(), PRIO_NODE, SimEvent::NodeTx(i));
@@ -229,7 +286,7 @@ impl Pipeline {
             server: NetworkServer::new(),
             broker,
             storage_sub,
-            tsdb: ShardedTsdb::new(DEFAULT_SHARDS),
+            tsdb,
             decode_pool: OrderedPool::new(decode_workers(), decode_delivery),
             dataport,
             radio_state: HashMap::new(),
@@ -243,6 +300,9 @@ impl Pipeline {
             ledger: LossLedger::new(),
             chaos_dead: HashMap::new(),
             node_index,
+            registry,
+            chaos_obs,
+            recorder: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
         }
     }
 
@@ -345,6 +405,98 @@ impl Pipeline {
         out
     }
 
+    /// The metrics registry every layer of this pipeline publishes into
+    /// (broker subscriber counters, TSDB shard counters, chaos activations).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The flight recorder: the ring of recent stage enter/exit spans.
+    /// Soak harnesses dump this on ledger-imbalance or alarm-mismatch.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Keep a bounded trace of the next `capacity` event dispatches — the
+    /// `(time, priority, seq)` key plus the payload discriminant of each.
+    /// Dispatch counters are unaffected; the trace shows up in
+    /// [`Pipeline::scheduling_profile`].
+    pub fn enable_dispatch_trace(&mut self, capacity: usize) {
+        if let Some(obs) = self.events.obs_mut() {
+            obs.enable_trace(capacity);
+        }
+    }
+
+    /// Capture every metric — registered cells plus stage-boundary,
+    /// ledger-cause, and scheduler values — at the current simulation time.
+    /// Byte-identical (CSV and JSON) across replays of the same seed+plan.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut snap = self.registry.snapshot(self.clock.now());
+        snap.push_counter("stage.node.readings", self.stats.readings);
+        snap.push_counter("stage.radio.delivered", self.stats.delivered);
+        snap.push_counter("stage.radio.lost", self.stats.radio_lost);
+        let bs = self.broker.stats();
+        snap.push_counter("stage.broker.published", bs.published);
+        snap.push_counter("stage.broker.delivered", bs.delivered);
+        snap.push_counter("stage.broker.dropped_qos0", bs.dropped_qos0);
+        snap.push_counter("stage.broker.deferred_qos1", bs.deferred_qos1);
+        snap.push_counter("stage.broker.redelivered", bs.redelivered);
+        snap.push_gauge("stage.broker.retained", bs.retained as i64);
+        snap.push_gauge("stage.broker.subscriptions", bs.subscriptions as i64);
+        snap.push_counter("stage.server.adr_commands", self.stats.adr_commands);
+        snap.push_counter("stage.tsdb.points_stored", self.stats.points_stored);
+        snap.push_counter("stage.tsdb.decode_errors", self.stats.decode_errors);
+        snap.push_counter(
+            "stage.dataport.alarms",
+            self.dataport.alarm_log().len() as u64,
+        );
+        for (cause, n) in self.ledger.cause_counts() {
+            snap.push_counter(&format!("ledger.cause.{cause:?}"), n);
+        }
+        snap.push_gauge("sim.queue.len", self.events.len() as i64);
+        snap.push_gauge("sim.queue.high_water", self.events.high_water() as i64);
+        if let Some(obs) = self.events.obs() {
+            obs.publish(&mut snap);
+        }
+        snap
+    }
+
+    /// Canonical rendering of the scheduler's dispatch profile: queue
+    /// depths, per-priority dispatch counts, the inter-event time
+    /// histogram, and the dispatch trace when enabled. Byte-identical
+    /// across replays of the same seed+plan.
+    pub fn scheduling_profile(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "queue len={} high_water={}",
+            self.events.len(),
+            self.events.high_water()
+        );
+        if let Some(obs) = self.events.obs() {
+            let _ = write!(out, "dispatch total={}", obs.dispatched());
+            for (prio, n) in obs.dispatch_counts().iter().enumerate() {
+                let _ = write!(out, " p{prio}={n}");
+            }
+            out.push('\n');
+            let h = obs.inter_event();
+            for (bound, n) in h.buckets() {
+                let _ = writeln!(out, "inter_event le_{bound}={n}");
+            }
+            let _ = writeln!(
+                out,
+                "inter_event overflow={} count={} sum={}",
+                h.overflow(),
+                h.count(),
+                h.sum()
+            );
+            if let Some(trace) = obs.trace() {
+                out.push_str(&trace.render());
+            }
+        }
+        out
+    }
+
     /// Advance the simulation until `end` by dispatching scheduled events
     /// in `(time, priority, seq)` order — no per-event scan over nodes, no
     /// polling. Exactly one transmission event per node is outstanding at
@@ -365,6 +517,7 @@ impl Pipeline {
                 break;
             };
             let now = self.clock.advance(key.time);
+            self.recorder.enter(now, event.label());
             match event {
                 SimEvent::DataportTick => {
                     self.dataport.tick(now);
@@ -380,6 +533,7 @@ impl Pipeline {
                 SimEvent::ChaosTransition => self.apply_chaos(now),
                 SimEvent::NodeTx(idx) => self.node_transmit(idx, now),
             }
+            self.recorder.exit(now, event.label());
         }
         // Windows still open whose deadlines lie beyond `end` can be
         // resolved early iff no future submission can overlap them: the
@@ -425,6 +579,7 @@ impl Pipeline {
             let tx_power_dbm = state.tx_power_dbm;
             let mut submit = true;
             if let Some(fault) = self.chaos.as_mut().and_then(|c| c.frame_fault(device, now)) {
+                self.chaos_obs.frame_fault.inc();
                 match Self::mutate_frame(&frame, fault) {
                     // The mangled frame still decodes (flip landed in
                     // padding, truncation kept a valid prefix): it
@@ -490,6 +645,7 @@ impl Pipeline {
             .map(|c| c.due_bitflips(now))
             .unwrap_or_default();
         for (nth_chunk, bit) in flips {
+            self.chaos_obs.bitflip.inc();
             match self.tsdb.flip_chunk_bit(nth_chunk, bit) {
                 BitFlipOutcome::Quarantined { points } => {
                     // The integrity scan must later account for exactly these.
@@ -526,6 +682,7 @@ impl Pipeline {
                         NodeHealth::Healthy
                     });
                     self.chaos_dead.insert(device, want_dead);
+                    self.chaos_obs.death_edge.inc();
                 }
             }
         }
@@ -635,9 +792,12 @@ impl Pipeline {
             .unwrap_or(false)
         {
             // Injected consumer stall: deliveries wait in the broker queue
-            // (QoS1 keeps them in flight) until the window passes.
+            // (QoS1 keeps them in flight) until the window passes. The
+            // counter tallies skipped consumer runs, not stall windows.
+            self.chaos_obs.broker_stall.inc();
             return;
         }
+        self.recorder.enter(self.clock.now(), "storage");
         loop {
             // Stage 1 (serial): drain the queue through the exactly-once
             // ack gate, in delivery order.
@@ -693,6 +853,7 @@ impl Pipeline {
                 break;
             }
         }
+        self.recorder.exit(self.clock.now(), "storage");
     }
 
     /// Turn one decoded uplink into its TSDB points, appended to the batch
