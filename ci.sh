@@ -11,8 +11,13 @@ cargo fmt --all --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> ctt-lint"
-cargo run --offline -q -p ctt-lint
+echo "==> ctt-lint (R1-R7, baseline diff, 5s budget)"
+# Build first so --budget-ms measures the lint run, not compilation.
+cargo build --offline -q -p ctt-lint
+./target/debug/ctt-lint . \
+    --json-out target/lint-report.json \
+    --baseline lint-baseline.txt \
+    --budget-ms 5000
 
 echo "==> chaos soak (fault injection + loss-ledger conservation)"
 cargo test --offline -q -p ctt-chaos

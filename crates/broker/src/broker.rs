@@ -11,7 +11,7 @@ use crate::topic::{Topic, TopicFilter};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use ctt_obs::{Counter, Registry};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Identifies one subscription inside the broker.
@@ -162,7 +162,7 @@ struct Session {
     qos: QoS,
     tx: Sender<Delivery>,
     next_pid: u16,
-    inflight: HashMap<u16, Message>,
+    inflight: BTreeMap<u16, Message>,
     /// Packet ids whose initial delivery hit a full queue, in deferral
     /// order; retried by [`Broker::redeliver_deferred`].
     deferred: Vec<u16>,
@@ -179,8 +179,8 @@ enum DeliverOutcome {
 #[derive(Debug, Default)]
 struct Inner {
     trie: TrieNode,
-    sessions: HashMap<SubscriptionId, Session>,
-    retained: HashMap<String, Message>,
+    sessions: BTreeMap<SubscriptionId, Session>,
+    retained: BTreeMap<String, Message>,
     next_id: u64,
     stats: BrokerStats,
     /// Where per-subscriber counters are registered. A private (default)
@@ -258,11 +258,12 @@ impl Broker {
             qos,
             tx,
             next_pid: 1,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             deferred: Vec::new(),
             counters,
         };
-        // Replay retained messages.
+        // Replay retained messages, in topic order (BTreeMap — replay
+        // determinism).
         let retained: Vec<Message> = inner
             .retained
             .values()
@@ -387,12 +388,12 @@ impl Broker {
         let Some(session) = inner.sessions.get_mut(&sub) else {
             return 0;
         };
-        let mut entries: Vec<(u16, Message)> = session
+        // BTreeMap iteration is already packet-id order (replay determinism).
+        let entries: Vec<(u16, Message)> = session
             .inflight
             .iter()
             .map(|(&pid, msg)| (pid, msg.clone()))
             .collect();
-        entries.sort_unstable_by_key(|&(pid, _)| pid);
         let mut n = 0;
         let mut redelivered = 0u64;
         for (pid, msg) in entries {
@@ -422,8 +423,8 @@ impl Broker {
     /// across all subscriptions.
     pub fn redeliver_deferred(&self) -> usize {
         let mut inner = self.inner.lock();
-        let mut ids: Vec<SubscriptionId> = inner.sessions.keys().copied().collect();
-        ids.sort_unstable();
+        // BTreeMap keys are already subscription order (replay determinism).
+        let ids: Vec<SubscriptionId> = inner.sessions.keys().copied().collect();
         let mut n = 0;
         let mut redelivered = 0u64;
         for id in ids {

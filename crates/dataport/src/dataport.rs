@@ -20,7 +20,7 @@ use crate::watchdog::{Watchdog, WatchdogVerdict};
 use ctt_core::ids::{DevEui, GatewayId};
 use ctt_core::time::{Span, Timestamp};
 use ctt_core::units::Dbm;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 // ---------------------------------------------------------------- messages
 
@@ -166,7 +166,9 @@ struct AlarmActor {
     /// For each offline sensor source: the gateway it depends on, if any —
     /// used to re-attribute its alarm when the gateway outage is confirmed
     /// later (gateway detection windows are longer than sensor windows).
-    offline_dependents: HashMap<String, GatewayId>,
+    // BTreeMap: victim suppression iterates this map, and suppression
+    // order must be stable for byte-identical replay.
+    offline_dependents: BTreeMap<String, GatewayId>,
     correlate: bool,
 }
 
@@ -410,7 +412,7 @@ impl Dataport {
             Box::new(AlarmActor {
                 bus: AlarmBus::new(),
                 gateway_down: HashMap::new(),
-                offline_dependents: HashMap::new(),
+                offline_dependents: BTreeMap::new(),
                 correlate: config.correlate,
             }),
             SupervisorStrategy::Restart,

@@ -18,7 +18,7 @@ use ctt_core::battery::AdaptivePolicy;
 use ctt_core::ids::{DevEui, GatewayId};
 use ctt_core::time::{Span, Timestamp};
 use ctt_core::units::Dbm;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Connectivity state of a sensor twin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,7 +84,7 @@ pub struct SensorTwin {
     last_battery: Option<f64>,
     low_battery_active: bool,
     /// Frames seen per gateway (for single-homing detection).
-    gateway_counts: HashMap<GatewayId, u64>,
+    gateway_counts: BTreeMap<GatewayId, u64>,
     last_gateway: Option<GatewayId>,
     last_rssi_dbm: Option<f64>,
     uplinks: u64,
@@ -101,7 +101,7 @@ impl SensorTwin {
             expected_interval: config.policy.normal,
             last_battery: None,
             low_battery_active: false,
-            gateway_counts: HashMap::new(),
+            gateway_counts: BTreeMap::new(),
             last_gateway: None,
             last_rssi_dbm: None,
             uplinks: 0,

@@ -1,0 +1,468 @@
+//! Workspace call graph and the two semantic graphs derived from it: panic
+//! reachability (R7) and the lock-order graph (R6).
+//!
+//! Call resolution is name-based and deliberately conservative:
+//!
+//! * `Type::name(..)` resolves to functions named `name` inside
+//!   `impl Type` blocks; failing that, `module::name(..)` resolves to free
+//!   functions in the file `module.rs`.
+//! * `recv.name(..)` and `name(..)` resolve by bare name — but only when the
+//!   name is not on the common-`std`-method deny list, and only when the
+//!   candidate set is small (same-crate candidates first, then workspace-wide
+//!   if few). Ambiguous names stay unlinked rather than fabricating paths.
+//!
+//! This trades soundness for signal: the rules over these graphs never have
+//! to wade through `Vec::push` lookalike edges, and the documented escape
+//! hatches cover what slips through.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::facts::{Callee, FileFacts};
+
+/// Method names too generic to link by name: shadowing a `std` container or
+/// iterator method of the same name would fabricate call-graph edges.
+const COMMON_METHODS: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_deref",
+    "as_mut",
+    "as_ref",
+    "as_str",
+    "bytes",
+    "chain",
+    "chars",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "default",
+    "drain",
+    "entry",
+    "enumerate",
+    "eq",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "fold",
+    "fmt",
+    "from",
+    "get",
+    "get_mut",
+    "get_or_insert",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lock",
+    "map",
+    "max",
+    "min",
+    "new",
+    "next",
+    "ok_or",
+    "ok_or_else",
+    "parse",
+    "peek",
+    "pop",
+    "position",
+    "push",
+    "read",
+    "recv",
+    "remove",
+    "replace",
+    "retain",
+    "rev",
+    "send",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "split",
+    "starts_with",
+    "sum",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "try_send",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "write",
+    "zip",
+];
+
+/// Index of one function in the workspace (file index, function index).
+pub(crate) type FnId = (usize, usize);
+
+/// The cross-crate call graph over extracted facts.
+#[derive(Debug)]
+pub(crate) struct CallGraph<'a> {
+    pub(crate) files: &'a [FileFacts],
+    /// Resolved call edges: caller → (callee, call-site line).
+    pub(crate) edges: BTreeMap<FnId, Vec<(FnId, usize)>>,
+}
+
+impl<'a> CallGraph<'a> {
+    /// Build the graph: index every function, then resolve every call site.
+    pub(crate) fn build(files: &'a [FileFacts]) -> Self {
+        // Name indexes. impl-qualified: (type, name) → ids. Free-by-file:
+        // (file stem, name) → ids. Bare: name → ids (split by method/free).
+        let mut by_impl: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
+        let mut by_file_free: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut frees: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.functions.iter().enumerate() {
+                let id = (fi, gi);
+                if let Some(ty) = &f.impl_type {
+                    by_impl.entry((ty, &f.name)).or_default().push(id);
+                } else {
+                    by_file_free
+                        .entry((&file.file_stem, &f.name))
+                        .or_default()
+                        .push(id);
+                }
+                if f.has_self {
+                    methods.entry(&f.name).or_default().push(id);
+                } else {
+                    frees.entry(&f.name).or_default().push(id);
+                }
+            }
+        }
+
+        let crate_of_id = |id: FnId| files[id.0].crate_name.as_str();
+        // Bare-name resolution: same-crate candidates when few, else
+        // workspace-wide when nearly unique, else unlinked.
+        let resolve_bare = |cands: Option<&Vec<FnId>>, caller_crate: &str| -> Vec<FnId> {
+            let Some(cands) = cands else {
+                return Vec::new();
+            };
+            let same: Vec<FnId> = cands
+                .iter()
+                .copied()
+                .filter(|&id| crate_of_id(id) == caller_crate)
+                .collect();
+            if (1..=3).contains(&same.len()) {
+                return same;
+            }
+            if same.is_empty() && (1..=2).contains(&cands.len()) {
+                return cands.clone();
+            }
+            Vec::new()
+        };
+
+        let mut edges: BTreeMap<FnId, Vec<(FnId, usize)>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.functions.iter().enumerate() {
+                let caller = (fi, gi);
+                let caller_crate = file.crate_name.as_str();
+                for call in &f.calls {
+                    let targets: Vec<FnId> = match &call.callee {
+                        Callee::Qualified(q, n) => {
+                            if let Some(ids) = by_impl.get(&(q.as_str(), n.as_str())) {
+                                let same: Vec<FnId> = ids
+                                    .iter()
+                                    .copied()
+                                    .filter(|&id| crate_of_id(id) == caller_crate)
+                                    .collect();
+                                if same.is_empty() {
+                                    ids.clone()
+                                } else {
+                                    same
+                                }
+                            } else if let Some(ids) = by_file_free.get(&(q.as_str(), n.as_str())) {
+                                ids.clone()
+                            } else {
+                                Vec::new()
+                            }
+                        }
+                        Callee::Method(n) => {
+                            if COMMON_METHODS.contains(&n.as_str()) {
+                                Vec::new()
+                            } else {
+                                resolve_bare(methods.get(n.as_str()), caller_crate)
+                            }
+                        }
+                        Callee::Free(n) => {
+                            if COMMON_METHODS.contains(&n.as_str()) {
+                                Vec::new()
+                            } else {
+                                resolve_bare(frees.get(n.as_str()), caller_crate)
+                            }
+                        }
+                    };
+                    // Bare-name self-links are almost always a shared method
+                    // name on a different receiver (`s.write().put(p)` inside
+                    // `ShardedTsdb::put`), not recursion — and recursion adds
+                    // no reachability or lock edges anyway. Drop them. A call
+                    // chained on a lock guard runs on the *inner* guarded
+                    // type, so candidates on the caller's own type (the lock
+                    // wrapper) are type confusion — drop those too.
+                    let caller_ty = f.impl_type.as_deref();
+                    let via_guard = call.via_guard;
+                    let targets = targets.into_iter().filter(|&t| {
+                        t != caller
+                            && !(via_guard
+                                && caller_ty.is_some()
+                                && files[t.0].functions[t.1].impl_type.as_deref() == caller_ty)
+                    });
+                    for t in targets {
+                        edges.entry(caller).or_default().push((t, call.line));
+                    }
+                }
+            }
+        }
+        CallGraph { files, edges }
+    }
+
+    /// Human label for a function: `Type::name` or `stem::name`.
+    pub(crate) fn label(&self, id: FnId) -> String {
+        let file = &self.files[id.0];
+        let f = &file.functions[id.1];
+        match &f.impl_type {
+            Some(ty) => format!("{ty}::{}", f.name),
+            None => format!("{}::{}", file.file_stem, f.name),
+        }
+    }
+
+    /// `path:line` of a function's declaration.
+    pub(crate) fn site(&self, id: FnId) -> String {
+        let file = &self.files[id.0];
+        format!("{}:{}", file.relpath, file.functions[id.1].line)
+    }
+
+    /// Shortest call paths from `entry` to every reachable function
+    /// (including `entry` itself), as predecessor links.
+    pub(crate) fn reachable_from(&self, entry: FnId) -> BTreeMap<FnId, Option<FnId>> {
+        let mut pred: BTreeMap<FnId, Option<FnId>> = BTreeMap::new();
+        pred.insert(entry, None);
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(entry);
+        while let Some(cur) = queue.pop_front() {
+            if let Some(nexts) = self.edges.get(&cur) {
+                for &(next, _line) in nexts {
+                    if let std::collections::btree_map::Entry::Vacant(e) = pred.entry(next) {
+                        e.insert(Some(cur));
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        pred
+    }
+
+    /// Reconstruct the entry → … → `target` label path from predecessors.
+    pub(crate) fn path_to(&self, pred: &BTreeMap<FnId, Option<FnId>>, target: FnId) -> Vec<String> {
+        let mut chain = vec![target];
+        let mut cur = target;
+        while let Some(Some(p)) = pred.get(&cur) {
+            chain.push(*p);
+            cur = *p;
+        }
+        chain.reverse();
+        chain
+            .into_iter()
+            .map(|id| format!("{} ({})", self.label(id), self.site(id)))
+            .collect()
+    }
+}
+
+/// One edge of the lock-order graph, with provenance.
+#[derive(Debug, Clone)]
+pub(crate) struct LockEdge {
+    pub(crate) from: String,
+    pub(crate) to: String,
+    /// `path:line` of the acquisition (or call) that creates the edge.
+    pub(crate) site: String,
+    pub(crate) line: usize,
+    pub(crate) path: String,
+    /// Function in which the edge arises.
+    pub(crate) via: String,
+}
+
+/// The lock-order graph: nodes are qualified lock identities, edges mean
+/// "acquired while holding".
+#[derive(Debug, Default)]
+pub(crate) struct LockGraph {
+    pub(crate) edges: Vec<LockEdge>,
+}
+
+impl LockGraph {
+    /// Build from facts + call graph: local acquire-while-held edges, plus
+    /// edges into every lock a callee transitively acquires while a guard is
+    /// held at the call site.
+    pub(crate) fn build(graph: &CallGraph<'_>) -> Self {
+        // Transitive lock sets per function (qualified identities).
+        let mut memo: BTreeMap<FnId, BTreeSet<String>> = BTreeMap::new();
+        let ids: Vec<FnId> = graph
+            .files
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, f)| (0..f.functions.len()).map(move |gi| (fi, gi)))
+            .collect();
+        for &id in &ids {
+            let mut stack = Vec::new();
+            transitive_locks(graph, id, &mut memo, &mut stack);
+        }
+
+        let mut edges = Vec::new();
+        for &(fi, gi) in &ids {
+            let file = &graph.files[fi];
+            let f = &file.functions[gi];
+            let qualify = |raw: &str| qualify_lock(file, f.impl_type.as_deref(), raw);
+            for acq in &f.acquires {
+                for held in &acq.held_before {
+                    edges.push(LockEdge {
+                        from: qualify(held),
+                        to: qualify(&acq.lock),
+                        site: format!("{}:{}", file.relpath, acq.line),
+                        line: acq.line,
+                        path: file.relpath.clone(),
+                        via: graph.label((fi, gi)),
+                    });
+                }
+            }
+            for call in &f.calls {
+                if call.held_locks.is_empty() {
+                    continue;
+                }
+                let Some(targets) = graph.edges.get(&(fi, gi)) else {
+                    continue;
+                };
+                for &(target, line) in targets {
+                    if line != call.line {
+                        continue;
+                    }
+                    if let Some(locks) = memo.get(&target) {
+                        for held in &call.held_locks {
+                            for inner in locks {
+                                edges.push(LockEdge {
+                                    from: qualify(held),
+                                    to: inner.clone(),
+                                    site: format!("{}:{}", file.relpath, call.line),
+                                    line: call.line,
+                                    path: file.relpath.clone(),
+                                    via: format!(
+                                        "{} calling {}",
+                                        graph.label((fi, gi)),
+                                        graph.label(target)
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        LockGraph { edges }
+    }
+
+    /// Distinct cycles in the lock-order graph. Each cycle is reported once,
+    /// anchored at its lexicographically-smallest node, as the node sequence
+    /// `a → b → … → a` plus the edges that close it.
+    pub(crate) fn cycles(&self) -> Vec<Vec<&LockEdge>> {
+        let mut adj: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+        for e in &self.edges {
+            adj.entry(e.from.as_str()).or_default().push(e);
+        }
+        let mut out: Vec<Vec<&LockEdge>> = Vec::new();
+        let nodes: BTreeSet<&str> = self
+            .edges
+            .iter()
+            .flat_map(|e| [e.from.as_str(), e.to.as_str()])
+            .collect();
+        for &start in &nodes {
+            // DFS for a path start → … → start where start is the smallest
+            // node on the cycle (canonical representative).
+            let mut stack: Vec<(&str, Vec<&LockEdge>)> = vec![(start, Vec::new())];
+            let mut best: Option<Vec<&LockEdge>> = None;
+            let mut visited: BTreeSet<&str> = BTreeSet::new();
+            while let Some((node, path)) = stack.pop() {
+                if path.len() > 8 {
+                    continue; // bound the search; real cycles are short
+                }
+                for e in adj.get(node).into_iter().flatten() {
+                    if e.to == start {
+                        let mut cycle = path.clone();
+                        cycle.push(e);
+                        if best.as_ref().is_none_or(|b| cycle.len() < b.len()) {
+                            best = Some(cycle);
+                        }
+                    } else if e.to.as_str() > start && visited.insert(e.to.as_str()) {
+                        let mut next = path.clone();
+                        next.push(e);
+                        stack.push((e.to.as_str(), next));
+                    }
+                }
+            }
+            if let Some(cycle) = best {
+                out.push(cycle);
+            }
+        }
+        out
+    }
+}
+
+/// Qualified lock identity: `crate::Scope.name` where `Scope` is the impl
+/// type (or file stem for free functions).
+pub(crate) fn qualify_lock(file: &FileFacts, impl_type: Option<&str>, raw: &str) -> String {
+    format!(
+        "{}::{}.{raw}",
+        file.crate_name,
+        impl_type.unwrap_or(&file.file_stem)
+    )
+}
+
+fn transitive_locks(
+    graph: &CallGraph<'_>,
+    id: FnId,
+    memo: &mut BTreeMap<FnId, BTreeSet<String>>,
+    stack: &mut Vec<FnId>,
+) -> BTreeSet<String> {
+    if let Some(done) = memo.get(&id) {
+        return done.clone();
+    }
+    if stack.contains(&id) {
+        return BTreeSet::new(); // recursion cycle: already accounted upstream
+    }
+    stack.push(id);
+    let file = &graph.files[id.0];
+    let f = &file.functions[id.1];
+    let mut locks: BTreeSet<String> = f
+        .acquires
+        .iter()
+        .map(|a| qualify_lock(file, f.impl_type.as_deref(), &a.lock))
+        .collect();
+    if let Some(targets) = graph.edges.get(&id) {
+        let targets: Vec<FnId> = targets.iter().map(|&(t, _)| t).collect();
+        for t in targets {
+            locks.extend(transitive_locks(graph, t, memo, stack));
+        }
+    }
+    stack.pop();
+    memo.insert(id, locks.clone());
+    locks
+}

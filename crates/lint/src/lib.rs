@@ -1,7 +1,10 @@
 //! `ctt-lint`: workspace-local static analysis for the CTT pipeline.
 //!
-//! Four rules, tuned to this codebase's invariants rather than general Rust
-//! style (that is clippy's job):
+//! Seven rules, tuned to this codebase's invariants rather than general Rust
+//! style (that is clippy's job). R1–R4 are line-level pattern rules; R5–R7
+//! are semantic rules over a workspace cross-crate call graph built by a
+//! lightweight item/function parser (see [`facts`] and [`graph`]) on top of
+//! the same handwritten lexer — still no `syn`, still std-only.
 //!
 //! * **R1 panic-freedom** — on hot-path modules (broker, tsdb storage/query,
 //!   LoRaWAN server, dataport, pipeline) no `.unwrap()`, `.expect()`,
@@ -16,23 +19,45 @@
 //!   lock guard is held on hot-path modules.
 //! * **R4 crate hygiene** — every `src/lib.rs` carries
 //!   `#![forbid(unsafe_code)]` and `#![deny(missing_debug_implementations)]`.
-//!
-//! The scanner is a handwritten token lexer (no `syn`): comments, strings,
-//! char literals and lifetimes are stripped, then the rules pattern-match on
-//! the token stream with brace-depth tracking for scopes and `#[cfg(test)]`
-//! regions.
+//! * **R5 determinism** — in replay-affecting crates, no unordered
+//!   `HashMap`/`HashSet` iteration (unless the chain ends order-insensitive
+//!   or the collected result is sorted), no `SystemTime`/`Instant::now`, no
+//!   `thread::current()` identity, no explicit `RandomState`.
+//! * **R6 lock-order** — per-function lock-acquisition sequences are
+//!   propagated through the call graph into a lock-order graph; cycles are
+//!   potential deadlocks.
+//! * **R7 transitive panic reachability** — hot entry points
+//!   (`Broker::publish`, `ShardedTsdb::put_batch`/`execute`,
+//!   `EventQueue::pop`, `UplinkEvent::decode`) must not reach a panicking
+//!   construct through *any* callee chain; the offending call path is
+//!   reported.
 //!
 //! Escape hatch: a `lint:allow` line comment — key in parens, then a
-//! justification — on the
-//! same or the preceding line suppresses one rule (`panic`, `units`, `lock`,
-//! `mutex`, `hygiene`). The justification text is mandatory — an allow
-//! without one is itself a violation.
+//! justification — on the same or the preceding line suppresses one rule
+//! (`panic`, `units`, `lock`, `mutex`, `hygiene`, `det`, `lockorder`,
+//! `reach`). The justification text is mandatory — an allow without one is
+//! itself a violation. A `lint:allow(panic)` at a panic site also covers R7
+//! paths that end there (the rationale explains the panic, not the route).
+//!
+//! Machine-readable output and the baseline workflow live in [`report`]:
+//! `ctt-lint --json-out` writes a canonical JSON report, `--baseline` diffs
+//! findings against a committed baseline (fail on new, warn on stale).
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
 use std::collections::HashMap;
 use std::fmt;
+
+mod facts;
+mod graph;
+mod lexer;
+pub mod report;
+mod rules;
+
+pub use facts::SourceFile;
+
+use lexer::{in_regions, scan, skip_delimited, test_regions, Tok, TokKind};
 
 /// Which lint rule a [`Finding`] belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,6 +70,13 @@ pub enum Rule {
     ConcurrencyHygiene,
     /// R4: required crate-level attributes in every `lib.rs`.
     CrateHygiene,
+    /// R5: no unordered iteration / wall-clock / thread identity in
+    /// replay-affecting crates.
+    Determinism,
+    /// R6: no cycles in the workspace lock-order graph.
+    LockOrder,
+    /// R7: hot entry points must not transitively reach a panic.
+    PanicReachability,
 }
 
 impl Rule {
@@ -55,6 +87,9 @@ impl Rule {
             Rule::UnitSafety => "R2",
             Rule::ConcurrencyHygiene => "R3",
             Rule::CrateHygiene => "R4",
+            Rule::Determinism => "R5",
+            Rule::LockOrder => "R6",
+            Rule::PanicReachability => "R7",
         }
     }
 }
@@ -76,6 +111,9 @@ pub struct Finding {
     pub line: usize,
     /// Human-readable description of the violation.
     pub message: String,
+    /// For R6/R7: the call path (or lock cycle) that produces the finding,
+    /// rendered as `label (path:line)` steps. Empty for line-level rules.
+    pub call_path: Vec<String>,
 }
 
 impl fmt::Display for Finding {
@@ -91,11 +129,29 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Where the hot-path (R1 / R3 lock-discipline) rules apply.
+impl Finding {
+    /// Multi-line rendering: the finding plus its call path, if any.
+    pub fn render(&self) -> String {
+        let mut out = self.to_string();
+        if !self.call_path.is_empty() {
+            out.push_str("\n    via ");
+            out.push_str(&self.call_path.join("\n     -> "));
+        }
+        out
+    }
+}
+
+/// Where the path-scoped rules apply and which entry points R7 guards.
 #[derive(Debug, Clone)]
 pub struct LintConfig {
-    /// Workspace-relative path prefixes considered hot-path.
+    /// Workspace-relative path prefixes considered hot-path (R1 / R3 lock
+    /// discipline).
     pub hot_paths: Vec<String>,
+    /// Workspace-relative path prefixes whose behavior feeds replay goldens
+    /// (R5).
+    pub replay_paths: Vec<String>,
+    /// `(TypeOrModule, fn)` pairs R7 treats as hot entry points.
+    pub entry_points: Vec<(String, String)>,
 }
 
 impl Default for LintConfig {
@@ -108,6 +164,7 @@ impl Default for LintConfig {
                 "crates/tsdb/src/store.rs".into(),
                 "crates/tsdb/src/query.rs".into(),
                 "crates/tsdb/src/shard.rs".into(),
+                "crates/tsdb/src/bits.rs".into(),
                 "crates/lorawan/src/server.rs".into(),
                 "crates/lorawan/src/sim.rs".into(),
                 "crates/sim/src/".into(),
@@ -115,6 +172,26 @@ impl Default for LintConfig {
                 "crates/dataport/src/".into(),
                 "src/pipeline.rs".into(),
                 "src/parallel.rs".into(),
+            ],
+            replay_paths: vec![
+                "crates/broker/src/".into(),
+                "crates/chaos/src/".into(),
+                "crates/dataport/src/".into(),
+                "crates/lorawan/src/".into(),
+                "crates/obs/src/".into(),
+                "crates/sim/src/".into(),
+                "crates/tsdb/src/".into(),
+                "src/".into(),
+            ],
+            entry_points: vec![
+                ("Broker".into(), "publish".into()),
+                ("Broker".into(), "publish_with_outcome".into()),
+                ("ShardedTsdb".into(), "put".into()),
+                ("ShardedTsdb".into(), "put_batch".into()),
+                ("ShardedTsdb".into(), "execute".into()),
+                ("ShardedTsdb".into(), "read_series".into()),
+                ("EventQueue".into(), "pop".into()),
+                ("UplinkEvent".into(), "decode".into()),
             ],
         }
     }
@@ -124,6 +201,13 @@ impl LintConfig {
     /// Whether `relpath` falls under a hot-path prefix.
     pub fn is_hot(&self, relpath: &str) -> bool {
         self.hot_paths
+            .iter()
+            .any(|p| relpath.starts_with(p.as_str()))
+    }
+
+    /// Whether `relpath` falls under a replay-affecting prefix.
+    pub fn is_replay(&self, relpath: &str) -> bool {
+        self.replay_paths
             .iter()
             .any(|p| relpath.starts_with(p.as_str()))
     }
@@ -138,220 +222,6 @@ pub fn is_test_path(relpath: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------------
-// Lexer
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TokKind {
-    Ident,
-    Punct(char),
-    Literal,
-}
-
-#[derive(Debug, Clone)]
-struct Tok {
-    kind: TokKind,
-    text: String,
-    line: usize,
-}
-
-/// Lex `src` into identifier / punctuation / literal tokens, discarding
-/// whitespace, comments, and the contents of string-ish literals.
-fn scan(src: &str) -> Vec<Tok> {
-    let chars: Vec<char> = src.chars().collect();
-    let mut toks = Vec::new();
-    let mut line = 1usize;
-    let mut i = 0usize;
-    let n = chars.len();
-
-    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
-    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
-
-    while i < n {
-        let c = chars[i];
-        match c {
-            '\n' => {
-                line += 1;
-                i += 1;
-            }
-            c if c.is_whitespace() => i += 1,
-            '/' if chars.get(i + 1) == Some(&'/') => {
-                // Line comment (incl. doc comments) — skip to end of line.
-                while i < n && chars[i] != '\n' {
-                    i += 1;
-                }
-            }
-            '/' if chars.get(i + 1) == Some(&'*') => {
-                // Block comment, possibly nested.
-                let mut depth = 1usize;
-                i += 2;
-                while i < n && depth > 0 {
-                    if chars[i] == '\n' {
-                        line += 1;
-                        i += 1;
-                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                        depth += 1;
-                        i += 2;
-                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-            }
-            '"' => {
-                let start_line = line;
-                i += 1;
-                while i < n {
-                    match chars[i] {
-                        '\\' => i += 2,
-                        '"' => {
-                            i += 1;
-                            break;
-                        }
-                        '\n' => {
-                            line += 1;
-                            i += 1;
-                        }
-                        _ => i += 1,
-                    }
-                }
-                toks.push(Tok {
-                    kind: TokKind::Literal,
-                    text: String::new(),
-                    line: start_line,
-                });
-            }
-            'r' | 'b' if raw_string_hashes(&chars, i).is_some() => {
-                // Raw / byte / raw-byte string: r"..", br#".."#, etc.
-                let (prefix_len, hashes) = raw_string_hashes(&chars, i).unwrap_or((0, 0));
-                let start_line = line;
-                i += prefix_len + hashes + 1; // past prefix, hashes, opening quote
-                let closer: String = std::iter::once('"')
-                    .chain(std::iter::repeat_n('#', hashes))
-                    .collect();
-                let closer: Vec<char> = closer.chars().collect();
-                while i < n {
-                    if chars[i] == '\n' {
-                        line += 1;
-                        i += 1;
-                    } else if chars[i..].starts_with(&closer[..]) {
-                        i += closer.len();
-                        break;
-                    } else {
-                        i += 1;
-                    }
-                }
-                toks.push(Tok {
-                    kind: TokKind::Literal,
-                    text: String::new(),
-                    line: start_line,
-                });
-            }
-            '\'' => {
-                // Char literal or lifetime.
-                if chars.get(i + 1) == Some(&'\\') {
-                    // Escaped char literal: skip to the closing quote.
-                    i += 2;
-                    while i < n && chars[i] != '\'' {
-                        i += 1;
-                    }
-                    i += 1;
-                    toks.push(Tok {
-                        kind: TokKind::Literal,
-                        text: String::new(),
-                        line,
-                    });
-                } else if chars.get(i + 2) == Some(&'\'') {
-                    // Plain char literal 'x'.
-                    i += 3;
-                    toks.push(Tok {
-                        kind: TokKind::Literal,
-                        text: String::new(),
-                        line,
-                    });
-                } else {
-                    // Lifetime: consume the tick and its identifier.
-                    i += 1;
-                    while i < n && is_ident_cont(chars[i]) {
-                        i += 1;
-                    }
-                }
-            }
-            c if c.is_ascii_digit() => {
-                let start = i;
-                while i < n
-                    && (is_ident_cont(chars[i])
-                        || (chars[i] == '.'
-                            && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
-                            && chars.get(i.wrapping_sub(1)) != Some(&'.')))
-                {
-                    i += 1;
-                }
-                toks.push(Tok {
-                    kind: TokKind::Literal,
-                    text: chars[start..i].iter().collect(),
-                    line,
-                });
-            }
-            c if is_ident_start(c) => {
-                let start = i;
-                while i < n && is_ident_cont(chars[i]) {
-                    i += 1;
-                }
-                toks.push(Tok {
-                    kind: TokKind::Ident,
-                    text: chars[start..i].iter().collect(),
-                    line,
-                });
-            }
-            c => {
-                toks.push(Tok {
-                    kind: TokKind::Punct(c),
-                    text: String::new(),
-                    line,
-                });
-                i += 1;
-            }
-        }
-    }
-    toks
-}
-
-/// If position `i` starts a raw/byte string literal, return
-/// `(prefix_len, hash_count)`; `None` otherwise.
-fn raw_string_hashes(chars: &[char], i: usize) -> Option<(usize, usize)> {
-    let mut j = i;
-    // Optional b, then optional r (b"..", r"..", br"..").
-    let mut prefix = 0usize;
-    if chars.get(j) == Some(&'b') {
-        j += 1;
-        prefix += 1;
-    }
-    let raw = chars.get(j) == Some(&'r');
-    if raw {
-        j += 1;
-        prefix += 1;
-    }
-    if prefix == 0 {
-        return None;
-    }
-    let mut hashes = 0usize;
-    if raw {
-        while chars.get(j) == Some(&'#') {
-            hashes += 1;
-            j += 1;
-        }
-    }
-    if chars.get(j) == Some(&'"') {
-        Some((prefix, hashes))
-    } else {
-        None
-    }
-}
-
-// ---------------------------------------------------------------------------
 // lint:allow escape hatch
 // ---------------------------------------------------------------------------
 
@@ -361,6 +231,9 @@ fn allow_key_rule(key: &str) -> Option<Rule> {
         "units" => Some(Rule::UnitSafety),
         "lock" | "mutex" => Some(Rule::ConcurrencyHygiene),
         "hygiene" => Some(Rule::CrateHygiene),
+        "det" => Some(Rule::Determinism),
+        "lockorder" => Some(Rule::LockOrder),
+        "reach" => Some(Rule::PanicReachability),
         _ => None,
     }
 }
@@ -393,6 +266,7 @@ fn parse_allows(relpath: &str, src: &str) -> (HashMap<usize, Vec<Rule>>, Vec<Fin
                 path: relpath.to_string(),
                 line,
                 message: format!("unknown lint:allow key `{key}`"),
+                call_path: Vec::new(),
             });
             continue;
         };
@@ -407,94 +281,13 @@ fn parse_allows(relpath: &str, src: &str) -> (HashMap<usize, Vec<Rule>>, Vec<Fin
                 message: format!(
                     "lint:allow({key}) requires a written justification after the key"
                 ),
+                call_path: Vec::new(),
             });
             continue;
         }
         allows.entry(line).or_default().push(rule);
     }
     (allows, findings)
-}
-
-// ---------------------------------------------------------------------------
-// cfg(test) region detection
-// ---------------------------------------------------------------------------
-
-/// Token-index ranges belonging to `#[cfg(test)]` or `#[test]` items.
-fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
-    let mut regions = Vec::new();
-    let mut i = 0usize;
-    while i < toks.len() {
-        if is_test_attr(toks, i) {
-            // Find the body: the first `{` before any top-level `;`.
-            let mut j = i;
-            // Skip past the attribute's closing `]`.
-            while j < toks.len() && toks[j].kind != TokKind::Punct(']') {
-                j += 1;
-            }
-            j += 1;
-            let mut body = None;
-            while j < toks.len() {
-                match toks[j].kind {
-                    TokKind::Punct('{') => {
-                        body = Some(j);
-                        break;
-                    }
-                    TokKind::Punct(';') => break,
-                    _ => j += 1,
-                }
-            }
-            if let Some(open) = body {
-                let close = matching_brace(toks, open);
-                regions.push((i, close));
-                i = close + 1;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    regions
-}
-
-fn is_test_attr(toks: &[Tok], i: usize) -> bool {
-    let ident = |k: usize, s: &str| {
-        toks.get(k)
-            .is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
-    };
-    let punct = |k: usize, c: char| toks.get(k).is_some_and(|t| t.kind == TokKind::Punct(c));
-    // #[test]
-    if punct(i, '#') && punct(i + 1, '[') && ident(i + 2, "test") && punct(i + 3, ']') {
-        return true;
-    }
-    // #[cfg(test)]
-    punct(i, '#')
-        && punct(i + 1, '[')
-        && ident(i + 2, "cfg")
-        && punct(i + 3, '(')
-        && ident(i + 4, "test")
-        && punct(i + 5, ')')
-        && punct(i + 6, ']')
-}
-
-/// Index of the `}` matching the `{` at `open` (or the last token).
-fn matching_brace(toks: &[Tok], open: usize) -> usize {
-    let mut depth = 0usize;
-    for (k, t) in toks.iter().enumerate().skip(open) {
-        match t.kind {
-            TokKind::Punct('{') => depth += 1,
-            TokKind::Punct('}') => {
-                depth = depth.saturating_sub(1);
-                if depth == 0 {
-                    return k;
-                }
-            }
-            _ => {}
-        }
-    }
-    toks.len().saturating_sub(1)
-}
-
-fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
-    regions.iter().any(|&(s, e)| idx >= s && idx <= e)
 }
 
 // ---------------------------------------------------------------------------
@@ -532,6 +325,7 @@ fn check_panic_freedom(relpath: &str, toks: &[Tok], skip: &[(usize, usize)]) -> 
         path: relpath.to_string(),
         line,
         message,
+        call_path: Vec::new(),
     };
     for i in 0..toks.len() {
         if in_regions(skip, i) {
@@ -647,22 +441,6 @@ fn check_unit_safety(relpath: &str, toks: &[Tok], skip: &[(usize, usize)]) -> Ve
     out
 }
 
-/// Index of the closing delimiter matching the opener at `open`.
-fn skip_delimited(toks: &[Tok], open: usize, o: char, c: char) -> usize {
-    let mut depth = 0i32;
-    for (k, t) in toks.iter().enumerate().skip(open) {
-        if t.kind == TokKind::Punct(o) {
-            depth += 1;
-        } else if t.kind == TokKind::Punct(c) {
-            depth -= 1;
-            if depth == 0 {
-                return k;
-            }
-        }
-    }
-    toks.len().saturating_sub(1)
-}
-
 fn check_param_list(relpath: &str, params: &[Tok]) -> Vec<Finding> {
     let mut out = Vec::new();
     // Split on top-level commas (any bracket nests one level of depth).
@@ -725,6 +503,7 @@ fn check_param_list(relpath: &str, params: &[Tok]) -> Vec<Finding> {
                 message: format!(
                     "public param `{name}: f64` claims a unit — use a ctt-core::units newtype"
                 ),
+                call_path: Vec::new(),
             });
         }
     }
@@ -760,6 +539,7 @@ fn check_std_mutex(relpath: &str, toks: &[Tok]) -> Vec<Finding> {
                     line: toks[after].line,
                     message: "std::sync::Mutex — use parking_lot::Mutex (workspace standard)"
                         .to_string(),
+                    call_path: Vec::new(),
                 });
                 i = after + 1;
                 continue;
@@ -775,6 +555,7 @@ fn check_std_mutex(relpath: &str, toks: &[Tok]) -> Vec<Finding> {
                             message:
                                 "std::sync::Mutex — use parking_lot::Mutex (workspace standard)"
                                     .to_string(),
+                            call_path: Vec::new(),
                         });
                     }
                 }
@@ -886,6 +667,7 @@ fn check_lock_across_channel(relpath: &str, toks: &[Tok], skip: &[(usize, usize)
                                      release the lock or use try_* variants",
                                     t.text, g.line
                                 ),
+                                call_path: Vec::new(),
                             });
                         }
                     }
@@ -916,6 +698,7 @@ fn check_crate_hygiene(relpath: &str, src: &str) -> Vec<Finding> {
                 path: relpath.to_string(),
                 line: 1,
                 message: format!("lib.rs missing crate attribute {attr}"),
+                call_path: Vec::new(),
             });
         }
     }
@@ -923,13 +706,12 @@ fn check_crate_hygiene(relpath: &str, src: &str) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------------
-// Entry point
+// Entry points
 // ---------------------------------------------------------------------------
 
-/// Lint one file. `relpath` must be workspace-relative with `/` separators —
-/// it selects which rules apply (hot-path, lib.rs, test scaffolding).
-pub fn lint_file(relpath: &str, src: &str, config: &LintConfig) -> Vec<Finding> {
-    let (allows, mut findings) = parse_allows(relpath, src);
+/// Line-level findings for one file, before allow filtering.
+fn line_findings(relpath: &str, src: &str, config: &LintConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
     let is_test_file = is_test_path(relpath);
 
     if relpath.ends_with("src/lib.rs") && !is_test_file {
@@ -946,19 +728,73 @@ pub fn lint_file(relpath: &str, src: &str, config: &LintConfig) -> Vec<Finding> 
         findings.extend(check_unit_safety(relpath, &toks, &regions));
         findings.extend(check_std_mutex(relpath, &toks));
     }
+    findings
+}
 
-    // Apply the escape hatch: an allow on the finding's line or the line
-    // directly above suppresses it.
+/// Apply the `lint:allow` escape hatch: an allow on the finding's line or
+/// the line directly above suppresses it. A `lint:allow(panic)` also covers
+/// R7 findings anchored at the same site.
+fn apply_allows(findings: &mut Vec<Finding>, allows: &HashMap<String, HashMap<usize, Vec<Rule>>>) {
     findings.retain(|f| {
-        let allowed = |line: usize| {
-            allows
-                .get(&line)
-                .is_some_and(|rules| rules.contains(&f.rule))
+        let Some(file_allows) = allows.get(&f.path) else {
+            return true;
         };
-        let is_allow_misuse = f.message.contains("lint:allow");
+        let allowed = |line: usize| {
+            file_allows.get(&line).is_some_and(|rules| {
+                rules.contains(&f.rule)
+                    || (f.rule == Rule::PanicReachability && rules.contains(&Rule::PanicFreedom))
+            })
+        };
+        // Findings *about* a malformed allow are never themselves allowable.
+        let is_allow_misuse = f.message.starts_with("unknown lint:allow key")
+            || f.message.contains("requires a written justification");
         is_allow_misuse || !(allowed(f.line) || (f.line > 1 && allowed(f.line - 1)))
     });
+}
+
+/// Lint one file with the line-level rules (R1–R4). `relpath` must be
+/// workspace-relative with `/` separators — it selects which rules apply
+/// (hot-path, lib.rs, test scaffolding). The semantic rules (R5–R7) need the
+/// whole workspace: use [`lint_workspace`].
+pub fn lint_file(relpath: &str, src: &str, config: &LintConfig) -> Vec<Finding> {
+    let (file_allows, mut findings) = parse_allows(relpath, src);
+    findings.extend(line_findings(relpath, src, config));
+    let mut allows = HashMap::new();
+    allows.insert(relpath.to_string(), file_allows);
+    apply_allows(&mut findings, &allows);
     findings.sort_by(|a, b| (a.line, a.rule.id()).cmp(&(b.line, b.rule.id())));
+    findings
+}
+
+/// Lint a whole workspace: line rules per file plus the semantic rules
+/// (R5 determinism, R6 lock-order, R7 transitive panic reachability) over
+/// the cross-crate call graph. Findings are sorted `(path, line, rule)`.
+pub fn lint_workspace(files: &[SourceFile], config: &LintConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut allows: HashMap<String, HashMap<usize, Vec<Rule>>> = HashMap::new();
+    let mut all_facts = Vec::new();
+
+    for file in files {
+        let (file_allows, allow_findings) = parse_allows(&file.relpath, &file.src);
+        allows.insert(file.relpath.clone(), file_allows);
+        findings.extend(allow_findings);
+        findings.extend(line_findings(&file.relpath, &file.src, config));
+        if !is_test_path(&file.relpath) {
+            let toks = scan(&file.src);
+            all_facts.push(facts::extract(&file.relpath, &toks));
+        }
+    }
+
+    findings.extend(rules::check_determinism(&all_facts, config));
+    let call_graph = graph::CallGraph::build(&all_facts);
+    findings.extend(rules::check_lock_order(&call_graph));
+    findings.extend(rules::check_panic_reachability(&call_graph, config));
+
+    apply_allows(&mut findings, &allows);
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule.id(), &a.message).cmp(&(&b.path, b.line, b.rule.id(), &b.message))
+    });
+    findings.dedup();
     findings
 }
 
@@ -969,6 +805,7 @@ mod tests {
     fn hot_config() -> LintConfig {
         LintConfig {
             hot_paths: vec![String::new()], // everything is hot
+            ..LintConfig::default()
         }
     }
 

@@ -1,0 +1,46 @@
+//! R5 fixture: determinism hazards in a replay-affecting crate, plus the
+//! shapes the rule must NOT flag (order-insensitive terminals, collect-then-
+//! sort, justified allows).
+use std::collections::{HashMap, HashSet};
+
+struct State {
+    counts: HashMap<String, u64>,
+    seen: HashSet<u64>,
+}
+
+impl State {
+    fn bad_values(&self) -> Vec<u64> {
+        self.counts.values().cloned().collect()
+    }
+
+    fn bad_for(&self) -> u64 {
+        let mut out = 0;
+        for v in &self.seen {
+            out ^= v;
+        }
+        out
+    }
+
+    fn bad_clock(&self) -> std::time::SystemTime {
+        std::time::SystemTime::now()
+    }
+
+    fn bad_thread(&self) -> std::thread::ThreadId {
+        std::thread::current().id()
+    }
+
+    fn ok_sum(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    fn ok_sorted(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.counts.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    fn ok_allowed(&self) -> Vec<u64> {
+        // lint:allow(det): feeds an unordered membership probe, order unused
+        self.seen.iter().copied().collect()
+    }
+}

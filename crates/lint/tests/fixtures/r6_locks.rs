@@ -1,0 +1,51 @@
+//! R6 fixture: lock-order cycles — one direct, one through a callee, one
+//! re-entrant self-acquisition.
+use parking_lot::Mutex;
+
+struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    c: Mutex<u64>,
+    d: Mutex<u64>,
+}
+
+impl Pair {
+    fn ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+
+    fn ba(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        drop(ga);
+        drop(gb);
+    }
+
+    fn c_then_d_via_call(&self) {
+        let gc = self.c.lock();
+        self.take_d();
+        drop(gc);
+    }
+
+    fn take_d(&self) {
+        let gd = self.d.lock();
+        drop(gd);
+    }
+
+    fn dc(&self) {
+        let gd = self.d.lock();
+        let gc = self.c.lock();
+        drop(gc);
+        drop(gd);
+    }
+
+    fn reentrant(&self) {
+        let g1 = self.b.lock();
+        let g2 = self.b.lock();
+        drop(g2);
+        drop(g1);
+    }
+}

@@ -1,0 +1,30 @@
+//! R7 fixture: panicking constructs reachable from a hot entry point
+//! through a method → free-function call chain.
+struct Engine;
+
+impl Engine {
+    pub fn run(&self, v: &[u8]) -> u8 {
+        self.step_one(v)
+    }
+
+    fn step_one(&self, v: &[u8]) -> u8 {
+        step_two(v)
+    }
+}
+
+fn step_two(v: &[u8]) -> u8 {
+    let first = v.first().unwrap();
+    deeper(*first)
+}
+
+fn deeper(x: u8) -> u8 {
+    if x > 10 {
+        panic!("too big");
+    }
+    x.checked_add(1).expect("overflow")
+}
+
+fn unreached() -> u8 {
+    // Not reachable from the entry point: no R7 finding here.
+    Option::<u8>::None.unwrap()
+}

@@ -1,19 +1,28 @@
-//! Fixture-driven tests for the four ctt-lint rules: each violating fixture
-//! must produce exactly the expected rule IDs at the expected lines, and the
-//! clean fixture must produce nothing.
+//! Fixture-driven tests for the seven ctt-lint rules: each violating fixture
+//! must produce exactly the expected rule IDs at the expected lines (and for
+//! R6/R7 the expected call paths), the clean fixture must produce nothing,
+//! and `ctt-lint` itself must pass every rule it enforces.
 
-use ctt_lint::{lint_file, Finding, LintConfig};
+use ctt_lint::{lint_file, lint_workspace, Finding, LintConfig, SourceFile};
 
 /// Everything under `crates/fixture/src/` counts as hot-path.
 fn fixture_config() -> LintConfig {
     LintConfig {
         hot_paths: vec!["crates/fixture/src/".to_string()],
+        ..LintConfig::default()
     }
 }
 
 /// `(rule id, line)` pairs, in reporting order.
 fn ids_and_lines(findings: &[Finding]) -> Vec<(&str, usize)> {
     findings.iter().map(|f| (f.rule.id(), f.line)).collect()
+}
+
+fn one_file_workspace(relpath: &str, src: &str) -> Vec<SourceFile> {
+    vec![SourceFile {
+        relpath: relpath.to_string(),
+        src: src.to_string(),
+    }]
 }
 
 #[test]
@@ -92,5 +101,167 @@ fn findings_render_as_rule_path_line() {
     assert!(
         rendered.starts_with("R1 crates/fixture/src/hot.rs:5 "),
         "rendered: {rendered}"
+    );
+}
+
+#[test]
+fn r5_determinism_fixture_flags_hazards_and_spares_ordered_shapes() {
+    let src = include_str!("fixtures/r5_det.rs");
+    // Placed in a replay-affecting crate; no hot paths so R1 stays quiet.
+    let config = LintConfig {
+        hot_paths: vec![],
+        replay_paths: vec!["crates/sim/src/".to_string()],
+        entry_points: vec![],
+    };
+    let files = one_file_workspace("crates/sim/src/r5_det.rs", src);
+    let findings = lint_workspace(&files, &config);
+    assert_eq!(
+        ids_and_lines(&findings),
+        vec![("R5", 13), ("R5", 18), ("R5", 25), ("R5", 29)],
+        "findings: {findings:?}"
+    );
+    assert!(findings[0].message.contains(".values() on `counts`"));
+    assert!(findings[1].message.contains("for-loop on `seen`"));
+    assert!(findings[2].message.contains("SystemTime"));
+    assert!(findings[3].message.contains("thread::current()"));
+    // ok_sum / ok_sorted / ok_allowed produced nothing (all findings are
+    // in the `bad_*` functions, which end before line 31).
+    assert!(findings.iter().all(|f| f.line < 31));
+}
+
+#[test]
+fn r5_silent_outside_replay_paths() {
+    let src = include_str!("fixtures/r5_det.rs");
+    let config = LintConfig {
+        hot_paths: vec![],
+        replay_paths: vec!["crates/sim/src/".to_string()],
+        entry_points: vec![],
+    };
+    let files = one_file_workspace("crates/tools/src/r5_det.rs", src);
+    assert!(lint_workspace(&files, &config).is_empty());
+}
+
+#[test]
+fn r6_lock_order_fixture_reports_each_cycle_with_its_edges() {
+    let src = include_str!("fixtures/r6_locks.rs");
+    let config = LintConfig {
+        hot_paths: vec![],
+        replay_paths: vec![],
+        entry_points: vec![],
+    };
+    let files = one_file_workspace("crates/fixture/src/r6_locks.rs", src);
+    let mut findings = lint_workspace(&files, &config);
+    findings.retain(|f| f.rule.id() == "R6");
+    assert_eq!(findings.len(), 3, "findings: {findings:?}");
+
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    // Direct cycle a <-> b.
+    assert!(
+        messages.iter().any(|m| m.contains("Pair.a -> ")
+            && m.contains("Pair.b")
+            && m.contains("potential deadlock")),
+        "messages: {messages:?}"
+    );
+    // Cycle c <-> d where the c -> d edge goes through `take_d`.
+    let cd = findings
+        .iter()
+        .find(|f| f.message.contains("Pair.c"))
+        .expect("c/d cycle");
+    assert!(
+        cd.call_path.iter().any(|step| step.contains("take_d")),
+        "c->d edge should be attributed through the callee: {cd:?}"
+    );
+    // Re-entrant self-acquisition of a.
+    assert!(
+        findings.iter().any(|f| f.line == 47),
+        "reentrant a -> a cycle at line 47: {findings:?}"
+    );
+}
+
+#[test]
+fn r7_reachability_fixture_pins_paths_to_each_panic() {
+    let src = include_str!("fixtures/r7_reach.rs");
+    let config = LintConfig {
+        hot_paths: vec![],
+        replay_paths: vec![],
+        entry_points: vec![("Engine".to_string(), "run".to_string())],
+    };
+    let files = one_file_workspace("crates/fixture/src/r7_reach.rs", src);
+    let findings = lint_workspace(&files, &config);
+    assert_eq!(
+        ids_and_lines(&findings),
+        vec![("R7", 16), ("R7", 22), ("R7", 24)],
+        "findings: {findings:?}"
+    );
+    assert!(findings[0].message.contains(".unwrap()"));
+    assert!(findings[0].message.contains("`r7_reach::step_two`"));
+    assert!(findings[1].message.contains("panic!"));
+    assert!(findings[2].message.contains(".expect()"));
+    // Every finding names the entry point and carries the full chain.
+    for f in &findings {
+        assert!(f.message.contains("`Engine::run`"), "finding: {f:?}");
+        assert!(
+            f.call_path[0].starts_with("Engine::run ("),
+            "path: {:?}",
+            f.call_path
+        );
+    }
+    let deep = &findings[1].call_path;
+    assert_eq!(
+        deep.len(),
+        4,
+        "Engine::run -> step_one -> step_two -> deeper: {deep:?}"
+    );
+    assert!(deep[1].contains("Engine::step_one"));
+    assert!(deep[2].contains("r7_reach::step_two"));
+    assert!(deep[3].contains("r7_reach::deeper"));
+    // `unreached` is never linked from the entry: no finding at its unwrap.
+    assert!(findings.iter().all(|f| f.line < 28));
+}
+
+#[test]
+fn r7_allow_panic_or_reach_suppresses_the_path() {
+    let src = "struct E;\n\
+               impl E {\n\
+               \x20   pub fn go(&self) -> u8 {\n\
+               \x20       // lint:allow(reach): fixture demonstrates suppression\n\
+               \x20       helper()\n\
+               \x20   }\n\
+               }\n\
+               fn helper() -> u8 {\n\
+               \x20   // lint:allow(panic): constant is in range, proven by test\n\
+               \x20   u8::try_from(7u32).unwrap()\n\
+               }\n";
+    let config = LintConfig {
+        hot_paths: vec![],
+        replay_paths: vec![],
+        entry_points: vec![("E".to_string(), "go".to_string())],
+    };
+    let files = one_file_workspace("crates/fixture/src/allow.rs", src);
+    let findings = lint_workspace(&files, &config);
+    assert!(findings.is_empty(), "findings: {findings:?}");
+}
+
+/// The linter holds itself to its own standard: every rule, default config.
+#[test]
+fn lint_crate_passes_its_own_rules() {
+    let src_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/src");
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(src_dir).expect("read src dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            files.push(SourceFile {
+                relpath: format!("crates/lint/src/{name}"),
+                src: std::fs::read_to_string(&path).expect("read source"),
+            });
+        }
+    }
+    files.sort_by(|a, b| a.relpath.cmp(&b.relpath));
+    assert!(files.len() >= 6, "expected the full module set: {files:?}");
+    let findings = lint_workspace(&files, &LintConfig::default());
+    assert!(
+        findings.is_empty(),
+        "ctt-lint violates its own rules: {findings:?}"
     );
 }

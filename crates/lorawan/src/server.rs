@@ -10,7 +10,7 @@ use crate::sim::DeliveredUplink;
 use ctt_core::ids::{DevEui, GatewayId};
 use ctt_core::time::Timestamp;
 use ctt_core::units::Dbm;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-device state on the network server.
 #[derive(Debug, Clone)]
@@ -77,7 +77,7 @@ pub struct DeviceStats {
 /// The network server.
 #[derive(Debug, Default)]
 pub struct NetworkServer {
-    devices: HashMap<DevEui, DeviceState>,
+    devices: BTreeMap<DevEui, DeviceState>,
 }
 
 impl NetworkServer {
@@ -146,11 +146,9 @@ impl NetworkServer {
             .unwrap_or_default()
     }
 
-    /// All devices seen.
+    /// All devices seen, in EUI order (BTreeMap keys are already sorted).
     pub fn devices(&self) -> Vec<DevEui> {
-        let mut v: Vec<_> = self.devices.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.devices.keys().copied().collect()
     }
 
     /// The data rate currently assigned to a device.

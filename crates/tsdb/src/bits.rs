@@ -30,8 +30,9 @@ impl BitWriter {
             self.used = 0;
         }
         if bit {
-            let last = self.bytes.last_mut().expect("pushed above");
-            *last |= 1 << (7 - self.used);
+            if let Some(last) = self.bytes.last_mut() {
+                *last |= 1 << (7 - self.used);
+            }
         }
         self.used += 1;
     }
