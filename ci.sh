@@ -40,9 +40,11 @@ CRITERION_SAMPLES=10 CRITERION_JSON="$REPO_ROOT/BENCH_scheduler.json" \
     cargo bench --offline -q -p ctt-bench --bench scheduler
 CRITERION_SAMPLES=10 CRITERION_JSON="$REPO_ROOT/BENCH_obs.json" \
     cargo bench --offline -q -p ctt-bench --bench obs_overhead
+CRITERION_SAMPLES=10 CRITERION_JSON="$REPO_ROOT/BENCH_overload.json" \
+    cargo bench --offline -q -p ctt-bench --bench overload
 
-echo "==> bench_check (reports well-formed; ingest + scheduler + obs-overhead gates)"
+echo "==> bench_check (reports well-formed; ingest + scheduler + obs-overhead + overload gates)"
 cargo run --offline -q --release -p ctt-bench --bin bench_check \
-    BENCH_ingest.json BENCH_query.json BENCH_scheduler.json BENCH_obs.json
+    BENCH_ingest.json BENCH_query.json BENCH_scheduler.json BENCH_obs.json BENCH_overload.json
 
 echo "CI: all green"

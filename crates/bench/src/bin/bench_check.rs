@@ -146,6 +146,36 @@ fn check_obs_overhead(benches: &[Bench]) -> Result<(), String> {
     Ok(())
 }
 
+/// The overload criterion: surviving a ×100 traffic spike with the
+/// backpressure stack (admission shedding, in-flight caps, bounded drains)
+/// must cost a bounded multiple of the healthy run — 30× is the gate,
+/// against ~9× observed and the ~100× an unmitigated pipeline would pay.
+fn check_overload(benches: &[Bench]) -> Result<(), String> {
+    let mean = |variant: &str| {
+        benches
+            .iter()
+            .find(|b| b.name == format!("overload/{variant}"))
+            .map(|b| b.mean_ns_per_iter)
+            .ok_or_else(|| format!("no overload/{variant} in report"))
+    };
+    let healthy = mean("healthy")?;
+    let bounded = mean("spike_bounded")?;
+    let unbounded = mean("spike_unbounded")?;
+    if bounded > 30.0 * healthy {
+        return Err(format!(
+            "×100 spike with backpressure ({bounded:.0} ns/run) exceeds 30× the healthy run ({healthy:.0} ns/run)"
+        ));
+    }
+    println!(
+        "bench_check: overload ok — healthy {:.2} ms, spike bounded {:.2} ms ({:.1}x), unbounded drain {:.2} ms",
+        healthy / 1e6,
+        bounded / 1e6,
+        bounded / healthy,
+        unbounded / 1e6
+    );
+    Ok(())
+}
+
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let benches = parse_report(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -168,6 +198,9 @@ fn check_file(path: &str) -> Result<(), String> {
     }
     if benches.iter().any(|b| b.name.starts_with("obs/")) {
         check_obs_overhead(&benches).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if benches.iter().any(|b| b.name.starts_with("overload/")) {
+        check_overload(&benches).map_err(|e| format!("{path}: {e}"))?;
     }
     Ok(())
 }

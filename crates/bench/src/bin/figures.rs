@@ -1022,8 +1022,37 @@ fn profile() {
     }
 }
 
+/// `--profile-diff a.json b.json`: compare two exported metrics snapshots
+/// (e.g. `profile_vejle.json` from two builds) and print per-metric deltas
+/// plus percentile shifts for exported histograms. Exits non-zero on
+/// unreadable input; a clean diff ("changed=0") still exits zero.
+fn profile_diff(a_path: &str, b_path: &str) -> Result<(), String> {
+    let read = |path: &str| -> Result<ctt::obs::Snapshot, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        ctt::obs::Snapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = read(a_path)?;
+    let b = read(b_path)?;
+    println!("PROFILE DIFF — {a_path} vs {b_path}");
+    print!("{}", a.diff(&b).render());
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--profile-diff <a.json> <b.json>` is a standalone mode, never part
+    // of `--all`: it reads two existing exports and regenerates nothing.
+    if let Some(i) = args.iter().position(|a| a == "--profile-diff") {
+        let (Some(a), Some(b)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("usage: figures --profile-diff <a.json> <b.json>");
+            std::process::exit(2);
+        };
+        if let Err(e) = profile_diff(a, b) {
+            eprintln!("figures: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "--all");
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
     println!("CTT figure regeneration (seed {SEED})\n");

@@ -201,6 +201,7 @@ impl UplinkEvent {
             retries: 0,
             backoff: Span::seconds(0),
             still_deferred: outcome.deferred_qos1,
+            shed: outcome.shed,
         };
         while report.still_deferred > 0 && report.retries < policy.max_attempts {
             // Simulated-time backoff: 1×, 2×, 4×, … the base interval.
@@ -247,6 +248,159 @@ pub struct PublishReport {
     pub backoff: Span,
     /// Deliveries still deferred when the attempt budget ran out.
     pub still_deferred: usize,
+    /// Deliveries shed at a subscriber's in-flight cap: the broker gave
+    /// this copy up for good. The publisher owns the loss accounting.
+    pub shed: usize,
+}
+
+/// A deterministic token bucket refilled in *logical* time.
+///
+/// All arithmetic is integer (token levels are scaled by 3600 so an
+/// hourly refill rate divides exactly into per-second steps); replaying
+/// the same event sequence replays the same admission decisions.
+#[derive(Debug, Clone, Copy)]
+struct TokenBucket {
+    /// Current level, in tokens × 3600.
+    level: i64,
+    /// Burst capacity, in tokens × 3600.
+    capacity: i64,
+    /// Refill rate, tokens per hour (i.e. scaled units per second).
+    refill_per_hour: i64,
+    /// When the bucket was last refilled.
+    last: Timestamp,
+}
+
+impl TokenBucket {
+    const SCALE: i64 = 3600;
+
+    fn new(burst: u32, refill_per_hour: u32, now: Timestamp) -> Self {
+        let capacity = i64::from(burst) * Self::SCALE;
+        TokenBucket {
+            level: capacity,
+            capacity,
+            refill_per_hour: i64::from(refill_per_hour),
+            last: now,
+        }
+    }
+
+    /// Refill for elapsed logical time, then take one token if available.
+    fn try_take(&mut self, now: Timestamp) -> bool {
+        let dt = (now - self.last).as_seconds();
+        if dt > 0 {
+            self.level = self
+                .level
+                .saturating_add(dt.saturating_mul(self.refill_per_hour))
+                .min(self.capacity);
+            self.last = now;
+        }
+        if self.level >= Self::SCALE {
+            self.level -= Self::SCALE;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The admission decision for one uplink publish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// A token was available: publish now.
+    Granted,
+    /// No token, but deferral space remains: hold the uplink and retry
+    /// via [`AdmissionControl::retry`] as logical time advances.
+    Deferred,
+    /// No token and the deferral window is full: shed the uplink. The
+    /// caller must account it (`Lost(Backpressure)`).
+    Shed,
+}
+
+/// Per-gateway admission control for uplink publishes: a token bucket per
+/// gateway, refilled in logical time, with a bounded deferral window
+/// before shedding starts. Deterministic by construction — no wall clock,
+/// `BTreeMap` iteration, integer token math.
+#[derive(Debug, Clone)]
+pub struct AdmissionControl {
+    burst: u32,
+    refill_per_hour: u32,
+    defer_cap: usize,
+    buckets: std::collections::BTreeMap<GatewayId, TokenBucket>,
+    /// Publishes currently held back, per gateway.
+    deferred: std::collections::BTreeMap<GatewayId, usize>,
+    shed_total: u64,
+    deferred_total: u64,
+}
+
+impl AdmissionControl {
+    /// Build with a per-gateway `burst` capacity, sustained
+    /// `refill_per_hour` rate, and `defer_cap` publishes of deferral
+    /// window per gateway.
+    pub fn new(burst: u32, refill_per_hour: u32, defer_cap: usize) -> Self {
+        AdmissionControl {
+            burst,
+            refill_per_hour,
+            defer_cap,
+            buckets: std::collections::BTreeMap::new(),
+            deferred: std::collections::BTreeMap::new(),
+            shed_total: 0,
+            deferred_total: 0,
+        }
+    }
+
+    fn bucket(&mut self, gateway: GatewayId, now: Timestamp) -> &mut TokenBucket {
+        let (burst, refill) = (self.burst, self.refill_per_hour);
+        self.buckets
+            .entry(gateway)
+            .or_insert_with(|| TokenBucket::new(burst, refill, now))
+    }
+
+    /// Decide what to do with a new uplink publish via `gateway` at `now`.
+    pub fn admit(&mut self, gateway: GatewayId, now: Timestamp) -> Admission {
+        if self.bucket(gateway, now).try_take(now) {
+            return Admission::Granted;
+        }
+        let held = self.deferred.entry(gateway).or_insert(0);
+        if *held < self.defer_cap {
+            *held += 1;
+            self.deferred_total += 1;
+            Admission::Deferred
+        } else {
+            self.shed_total += 1;
+            Admission::Shed
+        }
+    }
+
+    /// Retry one previously deferred publish via `gateway`. Returns true
+    /// when a token was available — the caller releases the held uplink
+    /// and publishes it.
+    pub fn retry(&mut self, gateway: GatewayId, now: Timestamp) -> bool {
+        if self.deferred.get(&gateway).copied().unwrap_or(0) == 0 {
+            return false;
+        }
+        if self.bucket(gateway, now).try_take(now) {
+            if let Some(held) = self.deferred.get_mut(&gateway) {
+                *held = held.saturating_sub(1);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Publishes currently held back across all gateways.
+    pub fn deferred_now(&self) -> usize {
+        self.deferred.values().sum()
+    }
+
+    /// Uplinks shed at admission so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total
+    }
+
+    /// Uplinks that went through the deferral window so far.
+    pub fn deferred_total(&self) -> u64 {
+        self.deferred_total
+    }
 }
 
 #[cfg(test)]
@@ -363,6 +517,66 @@ mod tests {
         // Empty city still yields a valid, non-empty level.
         e.city = String::new();
         assert!(e.topic().as_str().starts_with("ctt/unknown/"));
+    }
+
+    #[test]
+    fn admission_grants_defers_then_sheds() {
+        let gw = GatewayId::ctt(1);
+        let t0 = Timestamp(1_000_000);
+        // Burst 2, refill 3600/h (one token per second), defer window 2.
+        let mut ac = AdmissionControl::new(2, 3600, 2);
+        assert_eq!(ac.admit(gw, t0), Admission::Granted);
+        assert_eq!(ac.admit(gw, t0), Admission::Granted);
+        // Burst exhausted, no time has passed: defer, then shed.
+        assert_eq!(ac.admit(gw, t0), Admission::Deferred);
+        assert_eq!(ac.admit(gw, t0), Admission::Deferred);
+        assert_eq!(ac.admit(gw, t0), Admission::Shed);
+        assert_eq!(ac.deferred_now(), 2);
+        assert_eq!(ac.shed_total(), 1);
+        // One logical second refills one token: a retry releases one held
+        // uplink, the other stays deferred.
+        let t1 = t0 + Span::seconds(1);
+        assert!(ac.retry(gw, t1));
+        assert!(!ac.retry(gw, t1));
+        assert_eq!(ac.deferred_now(), 1);
+        // Retrying with nothing held is a no-op even with tokens banked.
+        let t2 = t0 + Span::seconds(10);
+        assert!(ac.retry(gw, t2));
+        assert!(!ac.retry(gw, t2), "nothing left to release");
+        assert_eq!(ac.deferred_now(), 0);
+    }
+
+    #[test]
+    fn admission_is_per_gateway_and_deterministic() {
+        let t0 = Timestamp(500);
+        let mut a = AdmissionControl::new(1, 60, 1);
+        let mut b = AdmissionControl::new(1, 60, 1);
+        let decisions: Vec<Admission> = (0..20u32)
+            .map(|i| a.admit(GatewayId::ctt(i % 3), t0 + Span::seconds(i64::from(i) * 30)))
+            .collect();
+        let replay: Vec<Admission> = (0..20u32)
+            .map(|i| b.admit(GatewayId::ctt(i % 3), t0 + Span::seconds(i64::from(i) * 30)))
+            .collect();
+        assert_eq!(decisions, replay, "same inputs, same decisions");
+        // One gateway exhausting its bucket does not starve another.
+        let gw9 = GatewayId::ctt(9);
+        assert_eq!(a.admit(gw9, t0), Admission::Granted);
+    }
+
+    #[test]
+    fn token_bucket_refills_in_logical_time_only() {
+        let t0 = Timestamp(0);
+        // 60 tokens/hour = one per minute.
+        let mut bucket = TokenBucket::new(1, 60, t0);
+        assert!(bucket.try_take(t0));
+        assert!(!bucket.try_take(t0), "burst of one is spent");
+        assert!(!bucket.try_take(t0 + Span::seconds(59)), "not yet refilled");
+        assert!(bucket.try_take(t0 + Span::seconds(60)));
+        // Level is capped at the burst capacity: a long idle stretch banks
+        // at most `burst` tokens.
+        let late = t0 + Span::hours(10);
+        assert!(bucket.try_take(late));
+        assert!(!bucket.try_take(late), "capacity caps the bank at 1");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::message::{Message, QoS};
 use crate::topic::{Topic, TopicFilter};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use ctt_obs::{Counter, Registry};
+use ctt_obs::{Counter, Gauge, Registry};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -41,6 +41,9 @@ pub struct BrokerStats {
     pub deferred_qos1: u64,
     /// Redeliveries performed.
     pub redelivered: u64,
+    /// QoS1 deliveries shed because a subscriber's in-flight store was at
+    /// its cap (backpressure drop, after deferral was exhausted).
+    pub shed: u64,
     /// Messages currently retained.
     pub retained: usize,
     /// Active subscriptions.
@@ -58,6 +61,8 @@ pub struct SubscriberStats {
     pub deferred_qos1: u64,
     /// Redeliveries enqueued (both explicit and deferred-retry).
     pub redelivered: u64,
+    /// QoS1 deliveries shed at the in-flight cap.
+    pub shed: u64,
 }
 
 /// What happened to one publish, per delivery attempt.
@@ -71,6 +76,13 @@ pub struct PublishOutcome {
     pub deferred_qos1: usize,
     /// QoS0 deliveries dropped (queue full).
     pub dropped_qos0: usize,
+    /// QoS1 deliveries shed because the subscriber's in-flight store was
+    /// at its cap — the broker gave up on this copy; publishers must
+    /// account for the loss.
+    pub shed: usize,
+    /// Deliveries skipped because the subscription is misconfigured
+    /// (zero queue capacity).
+    pub misconfigured: usize,
 }
 
 #[derive(Debug, Default)]
@@ -143,6 +155,10 @@ struct SessionCounters {
     dropped_qos0: Counter,
     deferred_qos1: Counter,
     redelivered: Counter,
+    shed: Counter,
+    /// High-water of the in-flight store (queued + deferred, unacked);
+    /// bounded by the in-flight cap when one is configured.
+    inflight_hw: Gauge,
 }
 
 impl SessionCounters {
@@ -152,6 +168,8 @@ impl SessionCounters {
             dropped_qos0: registry.counter(&format!("broker.sub{}.dropped_qos0", id.0)),
             deferred_qos1: registry.counter(&format!("broker.sub{}.deferred_qos1", id.0)),
             redelivered: registry.counter(&format!("broker.sub{}.redelivered", id.0)),
+            shed: registry.counter(&format!("broker.sub{}.shed", id.0)),
+            inflight_hw: registry.gauge(&format!("broker.sub{}.inflight_hw", id.0)),
         }
     }
 }
@@ -166,6 +184,14 @@ struct Session {
     /// Packet ids whose initial delivery hit a full queue, in deferral
     /// order; retried by [`Broker::redeliver_deferred`].
     deferred: Vec<u16>,
+    /// Cap on the in-flight store (queued + deferred, unacked). `None`
+    /// means unbounded (the pre-backpressure behaviour); at the cap, QoS1
+    /// overflow is shed instead of deferred.
+    inflight_cap: Option<usize>,
+    /// The subscription was created with queue capacity 0 — a config
+    /// error; deliveries are skipped and surfaced via
+    /// [`PublishOutcome::misconfigured`].
+    zero_capacity: bool,
     counters: SessionCounters,
 }
 
@@ -174,6 +200,8 @@ enum DeliverOutcome {
     Enqueued,
     Deferred,
     Dropped,
+    Shed,
+    Misconfigured,
 }
 
 #[derive(Debug, Default)]
@@ -246,7 +274,42 @@ impl Broker {
 
     /// Subscribe to `filter` with the given QoS and queue capacity.
     /// Retained messages matching the filter are delivered immediately.
+    /// The in-flight store is unbounded; see [`Broker::subscribe_bounded`]
+    /// for backpressure caps.
     pub fn subscribe(&self, filter: TopicFilter, qos: QoS, capacity: usize) -> Subscriber {
+        self.subscribe_inner(filter, qos, capacity, None)
+    }
+
+    /// Subscribe with a cap on the in-flight/deferred QoS1 store. At the
+    /// cap the broker sheds overflow ([`PublishOutcome::shed`],
+    /// `broker.sub<id>.shed`) instead of deferring it, bounding memory
+    /// under overload.
+    pub fn subscribe_bounded(
+        &self,
+        filter: TopicFilter,
+        qos: QoS,
+        capacity: usize,
+        inflight_cap: usize,
+    ) -> Subscriber {
+        debug_assert!(inflight_cap > 0, "in-flight cap 0 would shed everything");
+        self.subscribe_inner(filter, qos, capacity, Some(inflight_cap))
+    }
+
+    fn subscribe_inner(
+        &self,
+        filter: TopicFilter,
+        qos: QoS,
+        capacity: usize,
+        inflight_cap: Option<usize>,
+    ) -> Subscriber {
+        // Queue capacity 0 is a config error: the subscription could never
+        // receive anything. Loud in debug builds; in release it is kept
+        // inert and surfaced through `PublishOutcome::misconfigured`.
+        debug_assert!(
+            capacity > 0,
+            "subscriber queue capacity 0 is a config error"
+        );
+        let zero_capacity = capacity == 0;
         let (tx, rx) = bounded(capacity.max(1));
         let mut inner = self.inner.lock();
         let id = SubscriptionId(inner.next_id);
@@ -260,6 +323,8 @@ impl Broker {
             next_pid: 1,
             inflight: BTreeMap::new(),
             deferred: Vec::new(),
+            inflight_cap,
+            zero_capacity,
             counters,
         };
         // Replay retained messages, in topic order (BTreeMap — replay
@@ -294,11 +359,28 @@ impl Broker {
         message: Message,
         stats: &mut BrokerStats,
     ) -> DeliverOutcome {
+        if session.zero_capacity {
+            return DeliverOutcome::Misconfigured;
+        }
         let effective = message.qos.min(session.qos);
+        if effective == QoS::AtLeastOnce {
+            if let Some(cap) = session.inflight_cap {
+                if session.inflight.len() >= cap {
+                    // Deferral space is exhausted: shed the copy. The
+                    // publisher sees it in the outcome and owns the loss
+                    // accounting.
+                    stats.shed += 1;
+                    session.counters.shed.inc();
+                    return DeliverOutcome::Shed;
+                }
+            }
+        }
         let packet_id = if effective == QoS::AtLeastOnce {
             let pid = session.next_pid;
             session.next_pid = session.next_pid.wrapping_add(1).max(1);
             session.inflight.insert(pid, message.clone());
+            let depth = i64::try_from(session.inflight.len()).unwrap_or(i64::MAX);
+            session.counters.inflight_hw.raise_to(depth);
             Some(pid)
         } else {
             None
@@ -364,6 +446,8 @@ impl Broker {
                     DeliverOutcome::Enqueued => outcome.enqueued += 1,
                     DeliverOutcome::Deferred => outcome.deferred_qos1 += 1,
                     DeliverOutcome::Dropped => outcome.dropped_qos0 += 1,
+                    DeliverOutcome::Shed => outcome.shed += 1,
+                    DeliverOutcome::Misconfigured => outcome.misconfigured += 1,
                 }
             }
         }
@@ -480,6 +564,7 @@ impl Broker {
                 dropped_qos0: s.counters.dropped_qos0.get(),
                 deferred_qos1: s.counters.deferred_qos1.get(),
                 redelivered: s.counters.redelivered.get(),
+                shed: s.counters.shed.get(),
             })
     }
 
@@ -724,6 +809,87 @@ mod tests {
         let st = b.subscriber_stats(s.id).unwrap();
         assert_eq!(st.delivered, 1);
         assert_eq!(st.dropped_qos0, 1);
+    }
+
+    #[test]
+    fn qos1_overflow_sheds_at_inflight_cap() {
+        let registry = Registry::new();
+        let b = Broker::with_registry(registry.clone());
+        // Queue 1, in-flight cap 3: one queued, two deferred, then shed.
+        let s = b.subscribe_bounded(filter("t"), QoS::AtLeastOnce, 1, 3);
+        let mut shed = 0;
+        for body in ["a", "b", "c", "d", "e"] {
+            shed += b
+                .publish_with_outcome(msg("t", body).with_qos(QoS::AtLeastOnce))
+                .shed;
+        }
+        assert_eq!(shed, 2);
+        assert_eq!(b.inflight_count(s.id), 3, "store bounded at the cap");
+        assert_eq!(b.deferred_count(), 2);
+        let st = b.subscriber_stats(s.id).unwrap();
+        assert_eq!(st.shed, 2);
+        assert_eq!(st.deferred_qos1, 2);
+        assert_eq!(b.stats().shed, 2);
+        // The registry sees the shed tally and the bounded high-water.
+        let snap = registry.snapshot(Timestamp(0));
+        assert_eq!(snap.value("broker.sub0.shed"), Some(2));
+        assert_eq!(snap.value("broker.sub0.inflight_hw"), Some(3));
+        // The consumer catches up: every admitted message still arrives
+        // exactly once.
+        let mut seen = Vec::new();
+        let mut guard = 0;
+        loop {
+            while let Some(d) = s.try_recv() {
+                if b.ack(s.id, d.packet_id.unwrap()) {
+                    seen.push(d.message.payload_str().unwrap().to_string());
+                }
+            }
+            if b.redeliver_deferred() == 0 {
+                break;
+            }
+            guard += 1;
+            assert!(guard < 100, "redelivery must converge");
+        }
+        assert_eq!(seen, vec!["a", "b", "c"]);
+        assert_eq!(b.inflight_count(s.id), 0);
+    }
+
+    #[test]
+    fn zero_capacity_subscription_is_a_config_error() {
+        // Debug builds assert loudly at subscribe time; release builds keep
+        // the subscription inert and surface skipped deliveries through
+        // `PublishOutcome::misconfigured`.
+        #[cfg(debug_assertions)]
+        {
+            let b = Broker::new();
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                b.subscribe(filter("t"), QoS::AtMostOnce, 0)
+            }));
+            assert!(r.is_err(), "capacity 0 must debug-assert");
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let b = Broker::new();
+            let s = b.subscribe(filter("t"), QoS::AtLeastOnce, 0);
+            let out = b.publish_with_outcome(msg("t", "x").with_qos(QoS::AtLeastOnce));
+            assert_eq!(out.routed, 1);
+            assert_eq!(out.misconfigured, 1);
+            assert_eq!(out.enqueued, 0);
+            assert_eq!(b.inflight_count(s.id), 0, "nothing enters the store");
+            assert!(s.try_recv().is_none());
+        }
+    }
+
+    #[test]
+    fn uncapped_subscription_never_sheds() {
+        let b = Broker::new();
+        let s = b.subscribe(filter("t"), QoS::AtLeastOnce, 1);
+        for i in 0..50 {
+            let out = b.publish_with_outcome(msg("t", &format!("{i}")).with_qos(QoS::AtLeastOnce));
+            assert_eq!(out.shed, 0);
+        }
+        assert_eq!(b.inflight_count(s.id), 50);
+        assert_eq!(b.stats().shed, 0);
     }
 
     #[test]

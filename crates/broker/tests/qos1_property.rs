@@ -105,4 +105,77 @@ proptest! {
         prop_assert_eq!(processed, expect);
         prop_assert_eq!(broker.deferred_count(), 0);
     }
+
+    /// Conservation under an in-flight cap: with backpressure shedding
+    /// enabled, every published message is either processed (exactly once)
+    /// or shed — never both, never neither, no matter the interleaving.
+    #[test]
+    fn qos1_capped_sheds_or_processes_every_publish(ops in vec(any::<u8>(), 1..120)) {
+        let broker = Broker::new();
+        // Tiny queue and a tight in-flight cap so both deferral and
+        // shedding are common in the interleavings.
+        let sub = broker.subscribe_bounded(
+            TopicFilter::new("q1/#").unwrap(),
+            QoS::AtLeastOnce,
+            2,
+            3,
+        );
+        let topic = Topic::new("q1/up").unwrap();
+        let mut published = 0u64;
+        let mut processed: Vec<u64> = Vec::new();
+        for (i, &b) in ops.iter().enumerate() {
+            match Op::from_byte(b) {
+                Op::Publish => {
+                    let body = published.to_string().into_bytes();
+                    broker.publish(
+                        Message::new(topic.clone(), body, Timestamp(i as i64))
+                            .with_qos(QoS::AtLeastOnce),
+                    );
+                    published += 1;
+                }
+                Op::Consume => processed.extend(consume_one(&broker, &sub)),
+                Op::Redeliver => {
+                    broker.redeliver(sub.id);
+                }
+                Op::RedeliverDeferred => {
+                    broker.redeliver_deferred();
+                }
+            }
+            // The advertised bound holds at every step, not just the end.
+            prop_assert!(broker.inflight_count(sub.id) <= 3);
+        }
+        // Final recovery: redeliver until every surviving in-flight
+        // message is acked. Shed messages are gone for good and must not
+        // reappear here.
+        let drain = |processed: &mut Vec<u64>| {
+            while let Some(d) = sub.try_recv() {
+                if let Some(pid) = d.packet_id {
+                    if broker.ack(sub.id, pid) {
+                        processed.extend(
+                            d.message.payload_str().and_then(|s| s.parse::<u64>().ok()),
+                        );
+                    }
+                }
+            }
+        };
+        let mut guard = 0;
+        drain(&mut processed);
+        while broker.inflight_count(sub.id) > 0 {
+            broker.redeliver(sub.id);
+            drain(&mut processed);
+            guard += 1;
+            prop_assert!(guard < 10_000, "recovery loop did not converge");
+        }
+        let shed = broker.stats().shed;
+        // Conservation: shed + processed == published, with no duplicate
+        // and no phantom processing.
+        prop_assert_eq!(processed.len() as u64 + shed, published,
+            "processed {} + shed {} != published {}", processed.len(), shed, published);
+        let mut unique = processed.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), processed.len(), "duplicate processing");
+        prop_assert!(processed.iter().all(|&v| v < published));
+        prop_assert_eq!(broker.deferred_count(), 0);
+    }
 }

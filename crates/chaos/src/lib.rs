@@ -28,4 +28,7 @@ pub mod ledger;
 pub mod plan;
 
 pub use ledger::{LedgerVerdict, LossLedger, UplinkOutcome};
-pub use plan::{CauseCode, ChaosEngine, Fault, FaultKind, FaultPlan, FrameFault, InjectionStats};
+pub use plan::{
+    AdmissionConfig, CauseCode, ChaosEngine, Fault, FaultKind, FaultPlan, FrameFault,
+    InjectionStats,
+};

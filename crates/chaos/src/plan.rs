@@ -59,6 +59,14 @@ pub enum FaultKind {
         /// The skew applied to stored timestamps.
         offset: Span,
     },
+    /// Application-layer traffic spike: every accepted uplink fans out into
+    /// `factor` publishes at the messaging backbone during the window
+    /// (replay storm / firmware burst), stressing broker and storage
+    /// without the radio's duty cycle masking the overload.
+    TrafficSpike {
+        /// Publish multiplier (×1 means no amplification).
+        factor: u32,
+    },
 }
 
 impl FaultKind {
@@ -73,6 +81,7 @@ impl FaultKind {
             FaultKind::BrokerStall => "broker-stall",
             FaultKind::TsdbBitFlip { .. } => "tsdb-bit-flip",
             FaultKind::ClockSkew { .. } => "clock-skew",
+            FaultKind::TrafficSpike { .. } => "traffic-spike",
         }
     }
 }
@@ -96,6 +105,19 @@ impl Fault {
     }
 }
 
+/// Bridge admission-control knobs: a deterministic per-gateway token
+/// bucket refilled in logical time. Plain numbers here — the broker crate
+/// owns the bucket implementation; chaos plans only carry configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Burst capacity: publishes admitted instantly from a full bucket.
+    pub burst: u32,
+    /// Sustained refill rate, tokens per hour of logical time.
+    pub refill_per_hour: u32,
+    /// Publishes held back (deferred) per gateway before shedding starts.
+    pub defer_cap: usize,
+}
+
 /// A deterministic, time-ordered schedule of faults.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
@@ -104,6 +126,15 @@ pub struct FaultPlan {
     /// Override for the storage subscriber's broker queue capacity; small
     /// values make broker stalls actually defer QoS1 traffic.
     pub storage_queue_capacity: Option<usize>,
+    /// Override for the storage consumer's per-dispatch drain batch; small
+    /// values stretch backlog across scheduled drain events instead of one
+    /// long tick.
+    pub drain_batch: Option<usize>,
+    /// Cap on the storage subscriber's in-flight/deferred QoS1 store; past
+    /// it, overflow is shed as `Lost(Backpressure)`.
+    pub storage_inflight_cap: Option<usize>,
+    /// Bridge admission control (per-gateway token bucket), if enabled.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl FaultPlan {
@@ -126,6 +157,26 @@ impl FaultPlan {
     /// Constrain the storage subscriber queue (builder style).
     pub fn with_storage_queue(mut self, capacity: usize) -> Self {
         self.storage_queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Bound the storage consumer's per-dispatch drain batch (builder
+    /// style).
+    pub fn with_drain_batch(mut self, batch: usize) -> Self {
+        self.drain_batch = Some(batch);
+        self
+    }
+
+    /// Cap the storage subscriber's in-flight/deferred store (builder
+    /// style).
+    pub fn with_storage_inflight_cap(mut self, cap: usize) -> Self {
+        self.storage_inflight_cap = Some(cap);
+        self
+    }
+
+    /// Enable bridge admission control (builder style).
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = Some(admission);
         self
     }
 
@@ -159,6 +210,10 @@ pub enum CauseCode {
     ServerDuplicate,
     /// Payload failed to decode at the storage consumer.
     DecodeError,
+    /// Shed by backpressure: broker subscriber cap or bridge admission
+    /// control dropped the publish under overload. (Appended last so
+    /// existing `Ord`-derived render orders are unchanged.)
+    Backpressure,
 }
 
 impl CauseCode {
@@ -185,6 +240,7 @@ impl CauseCode {
             CauseCode::FrameTruncated => "frame-truncated",
             CauseCode::ServerDuplicate => "server-duplicate",
             CauseCode::DecodeError => "decode-error",
+            CauseCode::Backpressure => "backpressure",
         }
     }
 }
@@ -316,6 +372,20 @@ impl ChaosEngine {
             }
             _ => None,
         })
+    }
+
+    /// The traffic-spike publish multiplier active at `t`, if any.
+    /// Overlapping windows take the largest factor; ×0 and ×1 windows mean
+    /// no amplification and report `None`.
+    pub fn traffic_spike_factor(&self, t: Timestamp) -> Option<u32> {
+        self.plan
+            .faults
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::TrafficSpike { factor } if f.active_at(t) && factor > 1 => Some(factor),
+                _ => None,
+            })
+            .max()
     }
 
     /// Whether the storage consumer is stalled at `t`.
@@ -487,6 +557,35 @@ mod tests {
         assert_ne!(
             a.frame_fault(DEV, Timestamp(50)),
             c.frame_fault(DEV, Timestamp(50))
+        );
+    }
+
+    #[test]
+    fn traffic_spike_window_takes_largest_factor() {
+        let p = FaultPlan::new()
+            .with(
+                FaultKind::TrafficSpike { factor: 100 },
+                Timestamp(100),
+                Timestamp(200),
+            )
+            .with(
+                FaultKind::TrafficSpike { factor: 10 },
+                Timestamp(150),
+                Timestamp(300),
+            )
+            .with(
+                FaultKind::TrafficSpike { factor: 1 },
+                Timestamp(400),
+                Timestamp(500),
+            );
+        let e = ChaosEngine::new(1, p);
+        assert_eq!(e.traffic_spike_factor(Timestamp(99)), None);
+        assert_eq!(e.traffic_spike_factor(Timestamp(150)), Some(100));
+        assert_eq!(e.traffic_spike_factor(Timestamp(250)), Some(10));
+        assert_eq!(
+            e.traffic_spike_factor(Timestamp(450)),
+            None,
+            "×1 is a no-op"
         );
     }
 

@@ -50,6 +50,9 @@ pub enum AlarmKind {
     MqttDown,
     /// The dataport itself missed its heartbeat (watchdog).
     DataportDown,
+    /// The pipeline is shedding load: broker caps or bridge admission
+    /// control started dropping uplinks under overload.
+    Backpressure,
     /// Condition cleared / device recovered.
     Recovered,
 }
@@ -63,9 +66,12 @@ impl AlarmKind {
             | AlarmKind::BackendDown
             | AlarmKind::MqttDown
             | AlarmKind::DataportDown => Severity::Critical,
-            AlarmKind::SensorLate | AlarmKind::LowBattery | AlarmKind::SensorSuspect => {
-                Severity::Warning
-            }
+            AlarmKind::SensorLate
+            | AlarmKind::LowBattery
+            | AlarmKind::SensorSuspect
+            // Shedding is degraded-but-operating by design: the system is
+            // doing what the overload policy asks, loudly.
+            | AlarmKind::Backpressure => Severity::Warning,
             AlarmKind::Recovered => Severity::Info,
         }
     }

@@ -595,6 +595,22 @@ impl Dataport {
         self.sensor_refs.get(&device).map(|&r| self.system.path(r))
     }
 
+    /// Raise an operational alarm from outside the twin monitors (e.g. the
+    /// pipeline reporting backpressure shedding). Deduplicated per
+    /// `(source, kind)` by the alarm bus; cleared conditions re-raise.
+    pub fn raise_alarm(&mut self, kind: AlarmKind, source: &str, now: Timestamp, message: String) {
+        self.system.send(
+            self.alarms,
+            Box::new(AlarmMsg::Raise {
+                kind,
+                source: source.to_string(),
+                time: now,
+                message,
+            }),
+        );
+        self.system.run_until_idle();
+    }
+
     /// Active alarms (sorted by severity).
     pub fn active_alarms(&self) -> Vec<Alarm> {
         self.system

@@ -192,6 +192,12 @@ impl Default for LintConfig {
                 ("ShardedTsdb".into(), "read_series".into()),
                 ("EventQueue".into(), "pop".into()),
                 ("UplinkEvent".into(), "decode".into()),
+                // Backpressure paths: drain dispatch and bridge admission
+                // run on every overloaded tick.
+                ("Broker".into(), "redeliver_deferred".into()),
+                ("AdmissionControl".into(), "admit".into()),
+                ("AdmissionControl".into(), "retry".into()),
+                ("Pipeline".into(), "consume_storage".into()),
             ],
         }
     }

@@ -29,5 +29,5 @@ mod registry;
 mod trace;
 
 pub use recorder::{FlightRecorder, SpanEvent, SpanKind};
-pub use registry::{Counter, Gauge, Registry, Snapshot};
-pub use trace::{FixedHistogram, TraceEvent, TraceSink};
+pub use registry::{Counter, Gauge, Registry, Snapshot, SnapshotDiff};
+pub use trace::{FixedHistogram, PercentileEstimate, TraceEvent, TraceSink};

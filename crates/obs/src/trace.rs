@@ -72,6 +72,48 @@ impl FixedHistogram {
     pub fn sum(&self) -> i64 {
         self.sum
     }
+
+    /// Percentile estimate from the bucket counts, as the inclusive upper
+    /// bound of the bucket where the requested rank lands. `permille` is
+    /// the percentile × 10 (p50 → 500, p99 → 990). Integer-only, so
+    /// renders stay byte-identical across replays.
+    ///
+    /// Returns [`PercentileEstimate::Overflow`] when the rank falls above
+    /// the last bound, and `None` when the histogram is empty or the
+    /// permille is out of range.
+    pub fn percentile(&self, permille: u32) -> Option<PercentileEstimate> {
+        if self.count == 0 || permille == 0 || permille > 1000 {
+            return None;
+        }
+        // Nearest-rank: the smallest rank r with r ≥ permille/1000 of count.
+        let rank = (self.count * u64::from(permille)).div_ceil(1000);
+        let mut cumulative = 0u64;
+        for (bound, n) in self.buckets() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Some(PercentileEstimate::Le(bound));
+            }
+        }
+        Some(PercentileEstimate::Overflow)
+    }
+}
+
+/// Where a percentile rank lands in a [`FixedHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PercentileEstimate {
+    /// At or below this bucket bound.
+    Le(i64),
+    /// Above the last bound (in the overflow region).
+    Overflow,
+}
+
+impl std::fmt::Display for PercentileEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PercentileEstimate::Le(bound) => write!(f, "{bound}"),
+            PercentileEstimate::Overflow => write!(f, "overflow"),
+        }
+    }
 }
 
 /// One traced dispatch: the event's total-order key plus the payload's
@@ -173,6 +215,45 @@ mod tests {
         assert_eq!(h.overflow(), 2);
         assert_eq!(h.count(), 8);
         assert_eq!(h.sum(), 135);
+    }
+
+    #[test]
+    fn percentiles_walk_cumulative_buckets() {
+        let mut h = FixedHistogram::new(&[1, 5, 10]);
+        // 90 in the ≤1 bucket, 5 in ≤5, 4 in ≤10, 1 overflow.
+        for _ in 0..90 {
+            h.observe(0);
+        }
+        for _ in 0..5 {
+            h.observe(3);
+        }
+        for _ in 0..4 {
+            h.observe(9);
+        }
+        h.observe(1000);
+        assert_eq!(h.percentile(500), Some(PercentileEstimate::Le(1)));
+        assert_eq!(h.percentile(900), Some(PercentileEstimate::Le(1)));
+        assert_eq!(h.percentile(950), Some(PercentileEstimate::Le(5)));
+        assert_eq!(h.percentile(990), Some(PercentileEstimate::Le(10)));
+        assert_eq!(h.percentile(1000), Some(PercentileEstimate::Overflow));
+        assert_eq!(format!("{}", h.percentile(990).unwrap()), "10");
+        assert_eq!(format!("{}", h.percentile(1000).unwrap()), "overflow");
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let empty = FixedHistogram::new(&[1]);
+        assert_eq!(empty.percentile(500), None, "empty histogram");
+        let mut h = FixedHistogram::new(&[1]);
+        h.observe(0);
+        assert_eq!(h.percentile(0), None, "p0 is out of range");
+        assert_eq!(h.percentile(1001), None, "beyond p100");
+        assert_eq!(h.percentile(1), Some(PercentileEstimate::Le(1)));
+        assert_eq!(h.percentile(1000), Some(PercentileEstimate::Le(1)));
+        // All observations above every bound.
+        let mut o = FixedHistogram::new(&[1]);
+        o.observe(99);
+        assert_eq!(o.percentile(500), Some(PercentileEstimate::Overflow));
     }
 
     #[test]

@@ -182,6 +182,18 @@ impl<E> QueueObs<E> {
             snap.push_counter(&format!("sim.dispatch.p{prio}"), *count);
         }
         snap.push_histogram("sim.inter_event_s", &self.inter_event);
+        // Percentile gauges make gap regressions readable without
+        // reconstructing them from the cumulative buckets; -1 encodes the
+        // overflow region (above the last bound).
+        for (permille, label) in [(500u32, "p50"), (950, "p95"), (990, "p99")] {
+            if let Some(estimate) = self.inter_event.percentile(permille) {
+                let v = match estimate {
+                    ctt_obs::PercentileEstimate::Le(bound) => bound,
+                    ctt_obs::PercentileEstimate::Overflow => -1,
+                };
+                snap.push_gauge(&format!("sim.inter_event_s.{label}"), v);
+            }
+        }
         if let Some(trace) = &self.trace {
             snap.push_counter("sim.trace.kept", trace.events().len() as u64);
             snap.push_counter("sim.trace.dropped", trace.dropped());

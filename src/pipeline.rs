@@ -17,7 +17,7 @@
 //! like `run_until(b)`.
 
 use crate::parallel::{worker_width, OrderedPool};
-use ctt_broker::{Broker, QoS, RetryPolicy, Subscriber, UplinkEvent};
+use ctt_broker::{Admission, AdmissionControl, Broker, QoS, RetryPolicy, Subscriber, UplinkEvent};
 use ctt_chaos::{CauseCode, ChaosEngine, FaultPlan, FrameFault, InjectionStats, LossLedger};
 use ctt_core::deployment::Deployment;
 use ctt_core::emission::EmissionModel;
@@ -29,7 +29,7 @@ use ctt_core::quantity::Quantity;
 use ctt_core::scenario::ScenarioSet;
 use ctt_core::time::{Span, Timestamp};
 use ctt_core::units::Dbm;
-use ctt_dataport::{Dataport, DataportConfig};
+use ctt_dataport::{AlarmKind, Dataport, DataportConfig};
 use ctt_lorawan::{
     collision_horizon, DataRate, GatewayConfig, LinkBackoff, NetworkServer, RadioSimulator,
     SimConfig, TxRequest, UplinkFrame, UplinkRecord,
@@ -37,7 +37,7 @@ use ctt_lorawan::{
 use ctt_obs::{Counter, FlightRecorder, Registry, Snapshot};
 use ctt_sim::{EventQueue, QueueObs, Schedulable, SimClock};
 use ctt_tsdb::{Aggregator, BitFlipOutcome, DataPoint, Query, ShardedTsdb, DEFAULT_SHARDS};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -128,6 +128,20 @@ const PRIO_TICK: u8 = 0;
 const PRIO_RADIO: u8 = 1;
 const PRIO_CHAOS: u8 = 2;
 const PRIO_NODE: u8 = 3;
+/// Scheduled storage drains run after everything else at an instant: the
+/// backlog they work off was produced by that instant's other events.
+const PRIO_DRAIN: u8 = 4;
+
+/// Default per-dispatch storage drain batch. Sized above any healthy-run
+/// burst (a resolve delivers at most the fleet's in-flight windows), so a
+/// healthy pipeline never schedules a drain event and replays of pre-drain
+/// seeds stay byte-identical; overload runs bound each dispatch to this.
+const DEFAULT_DRAIN_BATCH: usize = 64;
+
+/// EUI base for synthetic traffic-spike devices. Far above any deployment's
+/// sequential numbering, so spike traffic can never collide with a real
+/// device's ledger keys.
+const SPIKE_EUI_BASE: u32 = 0x00FA_0000;
 
 /// How many span events the pipeline's flight recorder retains. Sized for
 /// post-mortems: enough dispatch context around a failure, bounded so a
@@ -142,7 +156,10 @@ struct ChaosObs {
     frame_fault: Counter,
     bitflip: Counter,
     death_edge: Counter,
+    /// Distinct broker-stall windows the consumer observed (edge-counted).
     broker_stall: Counter,
+    /// Raw tally of consumer runs skipped while stalled (`broker.stall_ticks`).
+    stall_ticks: Counter,
 }
 
 impl ChaosObs {
@@ -152,6 +169,7 @@ impl ChaosObs {
             bitflip: registry.counter("chaos.activation.bitflip"),
             death_edge: registry.counter("chaos.activation.death_edge"),
             broker_stall: registry.counter("chaos.activation.broker_stall"),
+            stall_ticks: registry.counter("broker.stall_ticks"),
         }
     }
 }
@@ -172,6 +190,11 @@ enum SimEvent {
     ChaosTransition,
     /// The node at this deployment index is due to transmit.
     NodeTx(usize),
+    /// A scheduled bounded storage drain: work off at most `drain_batch`
+    /// backlogged deliveries, then reschedule while backlog remains. Only
+    /// ever scheduled when a drain pass leaves backlog behind, so healthy
+    /// runs never see one.
+    StorageDrain,
 }
 
 impl SimEvent {
@@ -183,6 +206,7 @@ impl SimEvent {
             SimEvent::RadioResolve => "radio",
             SimEvent::ChaosTransition => "chaos",
             SimEvent::NodeTx(_) => "node-tx",
+            SimEvent::StorageDrain => "drain",
         }
     }
 }
@@ -232,6 +256,26 @@ pub struct Pipeline {
     chaos_obs: ChaosObs,
     /// Ring of recent stage enter/exit spans, dumped on soak failures.
     recorder: FlightRecorder,
+    /// Max deliveries one storage drain dispatch processes.
+    drain_batch: usize,
+    /// Whether a [`SimEvent::StorageDrain`] is outstanding. While one is,
+    /// opportunistic consumer runs stand down: all backlog work happens
+    /// through scheduled drains, which keeps segmented runs split-invariant.
+    drain_scheduled: bool,
+    /// Whether the consumer is currently inside an injected stall window
+    /// (edge state for counting distinct windows, not skipped runs).
+    stall_active: bool,
+    /// Bridge admission control, when the chaos plan enables it.
+    admission: Option<AdmissionControl>,
+    /// Uplink records the admission controller deferred, awaiting tokens.
+    /// Bounded by the controller's per-gateway defer cap.
+    admission_pending: VecDeque<UplinkRecord>,
+    /// Synthetic-device allocation state for traffic-spike amplification:
+    /// the instant last amplified and the count handed out at it. Devices
+    /// are reused across instants (bounded twin population) but distinct
+    /// within one (distinct ledger keys).
+    spike_at: Option<Timestamp>,
+    spike_seq: u32,
 }
 
 impl Pipeline {
@@ -303,6 +347,13 @@ impl Pipeline {
             registry,
             chaos_obs,
             recorder: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
+            drain_batch: DEFAULT_DRAIN_BATCH,
+            drain_scheduled: false,
+            stall_active: false,
+            admission: None,
+            admission_pending: VecDeque::new(),
+            spike_at: None,
+            spike_seq: 0,
         }
     }
 
@@ -318,11 +369,34 @@ impl Pipeline {
     /// the simulation runs. The engine is seeded with the pipeline seed, so
     /// the same (seed, plan) pair replays byte-identically.
     pub fn attach_chaos(&mut self, plan: FaultPlan) {
-        if let Some(capacity) = plan.storage_queue_capacity {
+        if plan.storage_queue_capacity.is_some() || plan.storage_inflight_cap.is_some() {
+            let capacity = plan.storage_queue_capacity.unwrap_or(65_536);
             self.broker.unsubscribe(&self.storage_sub);
-            self.storage_sub =
-                self.broker
-                    .subscribe(UplinkEvent::all_filter(), QoS::AtLeastOnce, capacity);
+            self.storage_sub = match plan.storage_inflight_cap {
+                // Bounded in-flight store: past the cap the broker sheds
+                // QoS1 overflow, which this pipeline owns as
+                // `Lost(Backpressure)` at the publish site.
+                Some(cap) => self.broker.subscribe_bounded(
+                    UplinkEvent::all_filter(),
+                    QoS::AtLeastOnce,
+                    capacity,
+                    cap,
+                ),
+                None => {
+                    self.broker
+                        .subscribe(UplinkEvent::all_filter(), QoS::AtLeastOnce, capacity)
+                }
+            };
+        }
+        if let Some(batch) = plan.drain_batch {
+            self.drain_batch = batch.max(1);
+        }
+        if let Some(cfg) = plan.admission {
+            self.admission = Some(AdmissionControl::new(
+                cfg.burst,
+                cfg.refill_per_hour,
+                cfg.defer_cap,
+            ));
         }
         let engine = ChaosEngine::new(self.seed, plan);
         self.radio.set_outages(engine.outage_windows());
@@ -441,6 +515,7 @@ impl Pipeline {
         snap.push_counter("stage.broker.dropped_qos0", bs.dropped_qos0);
         snap.push_counter("stage.broker.deferred_qos1", bs.deferred_qos1);
         snap.push_counter("stage.broker.redelivered", bs.redelivered);
+        snap.push_counter("stage.broker.shed", bs.shed);
         snap.push_gauge("stage.broker.retained", bs.retained as i64);
         snap.push_gauge("stage.broker.subscriptions", bs.subscriptions as i64);
         snap.push_counter("stage.server.adr_commands", self.stats.adr_commands);
@@ -452,6 +527,14 @@ impl Pipeline {
         );
         for (cause, n) in self.ledger.cause_counts() {
             snap.push_counter(&format!("ledger.cause.{cause:?}"), n);
+        }
+        if let Some(a) = &self.admission {
+            snap.push_counter("stage.bridge.admission_shed", a.shed_total());
+            snap.push_counter("stage.bridge.admission_deferred", a.deferred_total());
+            snap.push_gauge(
+                "stage.bridge.admission_pending",
+                self.admission_pending.len() as i64,
+            );
         }
         snap.push_gauge("sim.queue.len", self.events.len() as i64);
         snap.push_gauge("sim.queue.high_water", self.events.high_water() as i64);
@@ -490,6 +573,13 @@ impl Pipeline {
                 h.count(),
                 h.sum()
             );
+            // Bucket-resolution latency summary (nearest-rank; present
+            // only once something was dispatched).
+            if let (Some(p50), Some(p95), Some(p99)) =
+                (h.percentile(500), h.percentile(950), h.percentile(990))
+            {
+                let _ = writeln!(out, "inter_event p50={p50} p95={p95} p99={p99}");
+            }
             if let Some(trace) = obs.trace() {
                 out.push_str(&trace.render());
             }
@@ -532,6 +622,11 @@ impl Pipeline {
                 }
                 SimEvent::ChaosTransition => self.apply_chaos(now),
                 SimEvent::NodeTx(idx) => self.node_transmit(idx, now),
+                SimEvent::StorageDrain => {
+                    self.drain_scheduled = false;
+                    self.pump_admission(now);
+                    self.consume_storage();
+                }
             }
             self.recorder.exit(now, event.label());
         }
@@ -736,6 +831,10 @@ impl Pipeline {
     /// → storage → dataport.
     fn process_radio_outcomes(&mut self) {
         self.absorb_radio_losses();
+        // Held-back uplinks go first when tokens allow: admission is FIFO
+        // per gateway, so a deferred record is never overtaken by a newer
+        // one from the same gateway.
+        self.pump_admission(self.clock.now());
         let deliveries = self.radio.drain_resolved();
         for d in deliveries {
             self.stats.delivered += 1;
@@ -758,12 +857,106 @@ impl Pipeline {
                 self.stats.adr_commands += 1;
             }
             self.publish_uplink(&record);
+            if let Some(factor) = self
+                .chaos
+                .as_ref()
+                .and_then(|c| c.traffic_spike_factor(record.time))
+            {
+                self.amplify_spike(&record, factor);
+            }
         }
         self.consume_storage();
     }
 
-    /// Publish one uplink record to the broker in TTN shape.
+    /// Traffic-spike amplification: for each real uplink delivered inside
+    /// an active spike window, inject `factor - 1` synthetic uplinks from
+    /// distinct synthetic devices through the normal publish path (the
+    /// paper's "what if the whole city transmits at once"). Each synthetic
+    /// uplink is a first-class ledger entry — produced, accepted, and then
+    /// either stored or shed with an attributed cause — so conservation
+    /// still balances under a ×100 burst.
+    fn amplify_spike(&mut self, r: &UplinkRecord, factor: u32) {
+        for _ in 1..factor {
+            let device = self.spike_device(r.time);
+            let mut synth = r.clone();
+            synth.device = device;
+            self.ledger.produced(device, synth.time);
+            self.ledger.accepted(device, synth.time);
+            self.publish_uplink(&synth);
+        }
+    }
+
+    /// Allocate a synthetic spike device for an uplink at `time`: distinct
+    /// within one instant (distinct `(device, time)` ledger keys), reused
+    /// across instants (bounded twin/alarm population).
+    fn spike_device(&mut self, time: Timestamp) -> DevEui {
+        if self.spike_at != Some(time) {
+            self.spike_at = Some(time);
+            self.spike_seq = 0;
+        }
+        let device = DevEui::ctt(SPIKE_EUI_BASE + self.spike_seq);
+        self.spike_seq = self.spike_seq.wrapping_add(1);
+        device
+    }
+
+    /// Publish one uplink record to the broker in TTN shape, through the
+    /// bridge admission controller when one is configured. Deferred records
+    /// wait in `admission_pending` for a token; shed records are owned as
+    /// `Lost(Backpressure)` and raise the dataport's backpressure alarm.
     fn publish_uplink(&mut self, r: &UplinkRecord) {
+        let now = self.clock.now();
+        if let Some(ctrl) = self.admission.as_mut() {
+            match ctrl.admit(r.via_gateway, now) {
+                Admission::Granted => {}
+                Admission::Deferred => {
+                    self.admission_pending.push_back(r.clone());
+                    // A drain event doubles as the retry tick, so held
+                    // records drain even if the radio goes quiet.
+                    self.ensure_drain_scheduled(now);
+                    return;
+                }
+                Admission::Shed => {
+                    self.ledger
+                        .attribute(r.device, r.time, CauseCode::Backpressure);
+                    self.dataport.raise_alarm(
+                        AlarmKind::Backpressure,
+                        "bridge.admission",
+                        now,
+                        "uplink shed at bridge admission (token bucket dry)".to_string(),
+                    );
+                    return;
+                }
+            }
+        }
+        self.publish_to_broker(r);
+    }
+
+    /// Release admission-deferred records whose gateway has tokens again,
+    /// in arrival order. No-op without an admission controller.
+    fn pump_admission(&mut self, now: Timestamp) {
+        if self.admission.is_none() || self.admission_pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.admission_pending);
+        for rec in pending {
+            let granted = self
+                .admission
+                .as_mut()
+                .map(|a| a.retry(rec.via_gateway, now))
+                .unwrap_or(false);
+            if granted {
+                self.publish_to_broker(&rec);
+            } else {
+                self.admission_pending.push_back(rec);
+            }
+        }
+    }
+
+    /// The admitted publish: broker delivery with bounded retry. A copy
+    /// shed at the storage subscriber's in-flight cap is gone for good —
+    /// only the storage subscription is ever capped, so `shed > 0` means
+    /// the uplink will never be stored and the publisher owns the loss.
+    fn publish_to_broker(&mut self, r: &UplinkRecord) {
         let event = UplinkEvent {
             city: self.city_slug.clone(),
             device: r.device,
@@ -779,81 +972,133 @@ impl Pipeline {
         // Bounded retry with exponential backoff: a full storage queue
         // defers QoS1 deliveries instead of losing them, and the bridge
         // gives up after the policy's attempts rather than spinning.
-        event.publish_with_retry(&self.broker, RetryPolicy::default());
+        let report = event.publish_with_retry(&self.broker, RetryPolicy::default());
+        if report.shed > 0 {
+            self.ledger
+                .attribute(r.device, r.time, CauseCode::Backpressure);
+            self.dataport.raise_alarm(
+                AlarmKind::Backpressure,
+                "broker.storage",
+                self.clock.now(),
+                "delivery shed at storage subscriber in-flight cap".to_string(),
+            );
+        }
     }
 
     /// The storage consumer: decode uplink events into TSDB points and feed
-    /// the dataport twins.
+    /// the dataport twins. Each run is bounded to `drain_batch` deliveries;
+    /// leftover backlog is worked off by scheduled [`SimEvent::StorageDrain`]
+    /// events instead of one unbounded dispatch, so tick latency stays flat
+    /// under overload. While a drain is scheduled, opportunistic runs stand
+    /// down — all backlog work flows through the calendar, which is what
+    /// keeps segmented `run_until` calls split-invariant.
     fn consume_storage(&mut self) {
+        let now = self.clock.now();
         if self
             .chaos
             .as_ref()
-            .map(|c| c.broker_stalled(self.clock.now()))
+            .map(|c| c.broker_stalled(now))
             .unwrap_or(false)
         {
             // Injected consumer stall: deliveries wait in the broker queue
-            // (QoS1 keeps them in flight) until the window passes. The
-            // counter tallies skipped consumer runs, not stall windows.
-            self.chaos_obs.broker_stall.inc();
+            // (QoS1 keeps them in flight) until the window passes.
+            // `broker_stall` edge-counts distinct windows; `stall_ticks`
+            // tallies the raw skipped runs.
+            if !self.stall_active {
+                self.stall_active = true;
+                self.chaos_obs.broker_stall.inc();
+            }
+            self.chaos_obs.stall_ticks.inc();
+            // Keep a drain on the calendar so the backlog is picked up
+            // when the window passes even if the radio goes quiet.
+            self.ensure_drain_scheduled(now);
             return;
         }
-        self.recorder.enter(self.clock.now(), "storage");
-        loop {
-            // Stage 1 (serial): drain the queue through the exactly-once
-            // ack gate, in delivery order.
-            let mut batch: Vec<Arc<Vec<u8>>> = Vec::new();
-            while let Some(delivery) = self.storage_sub.try_recv() {
-                if let Some(pid) = delivery.packet_id {
-                    if !self.broker.ack(self.storage_sub.id, pid) {
-                        // Already acked: a redelivered copy of an uplink
-                        // this consumer has processed. Exactly-once gate.
-                        continue;
-                    }
-                }
-                batch.push(Arc::clone(&delivery.message.payload));
-            }
-            // Stage 2 (parallel): decode on the worker pool. The pool's
-            // id-ordered merge returns outcomes in delivery order, so the
-            // serial apply below is byte-identical to the old inline loop.
-            let decoded = self.decode_pool.map(batch);
-            // Stage 3 (serial): ledger, twins, and one batched TSDB write.
-            let mut points: Vec<DataPoint> = Vec::with_capacity(decoded.len() * 9);
-            for outcome in decoded {
-                match outcome {
-                    DecodeOutcome::BadEvent => {
-                        self.stats.decode_errors += 1;
-                    }
-                    DecodeOutcome::BadPayload { device, time } => {
-                        self.stats.decode_errors += 1;
-                        self.ledger.attribute(device, time, CauseCode::DecodeError);
-                    }
-                    DecodeOutcome::Decoded(pair) => {
-                        let (event, reading) = *pair;
-                        let skew = self
-                            .chaos
-                            .as_ref()
-                            .and_then(|c| c.clock_skew(event.device, event.time))
-                            .unwrap_or(Span::seconds(0));
-                        self.collect_points(&event, &reading, skew, &mut points);
-                        self.ledger.stored(event.device, event.time);
-                        self.dataport.on_uplink(
-                            event.device,
-                            event.time,
-                            reading.battery_pct,
-                            event.gateway,
-                            Dbm(event.rssi_dbm),
-                        );
-                    }
-                }
-            }
-            self.stats.points_stored += self.tsdb.put_batch(&points);
-            // Queue drained: pull back any QoS1 deliveries that were
-            // deferred while it was full, until none remain.
-            if self.broker.redeliver_deferred() == 0 {
+        self.stall_active = false;
+        if self.drain_scheduled {
+            return;
+        }
+        self.recorder.enter(now, "storage");
+        self.drain_storage(self.drain_batch);
+        self.recorder.exit(now, "storage");
+        self.ensure_drain_scheduled(now);
+    }
+
+    /// One bounded drain pass: up to `limit` deliveries through the
+    /// exactly-once ack gate, decoded in parallel, applied serially.
+    fn drain_storage(&mut self, limit: usize) {
+        // Stage 1 (serial): drain the queue through the exactly-once
+        // ack gate, in delivery order.
+        let mut batch: Vec<Arc<Vec<u8>>> = Vec::new();
+        while batch.len() < limit {
+            let Some(delivery) = self.storage_sub.try_recv() else {
                 break;
+            };
+            if let Some(pid) = delivery.packet_id {
+                if !self.broker.ack(self.storage_sub.id, pid) {
+                    // Already acked: a redelivered copy of an uplink
+                    // this consumer has processed. Exactly-once gate.
+                    continue;
+                }
+            }
+            batch.push(Arc::clone(&delivery.message.payload));
+        }
+        // Stage 2 (parallel): decode on the worker pool. The pool's
+        // id-ordered merge returns outcomes in delivery order, so the
+        // serial apply below is byte-identical to the old inline loop.
+        let decoded = self.decode_pool.map(batch);
+        // Stage 3 (serial): ledger, twins, and one batched TSDB write.
+        let mut points: Vec<DataPoint> = Vec::with_capacity(decoded.len() * 9);
+        for outcome in decoded {
+            match outcome {
+                DecodeOutcome::BadEvent => {
+                    self.stats.decode_errors += 1;
+                }
+                DecodeOutcome::BadPayload { device, time } => {
+                    self.stats.decode_errors += 1;
+                    self.ledger.attribute(device, time, CauseCode::DecodeError);
+                }
+                DecodeOutcome::Decoded(pair) => {
+                    let (event, reading) = *pair;
+                    let skew = self
+                        .chaos
+                        .as_ref()
+                        .and_then(|c| c.clock_skew(event.device, event.time))
+                        .unwrap_or(Span::seconds(0));
+                    self.collect_points(&event, &reading, skew, &mut points);
+                    self.ledger.stored(event.device, event.time);
+                    self.dataport.on_uplink(
+                        event.device,
+                        event.time,
+                        reading.battery_pct,
+                        event.gateway,
+                        Dbm(event.rssi_dbm),
+                    );
+                }
             }
         }
-        self.recorder.exit(self.clock.now(), "storage");
+        self.stats.points_stored += self.tsdb.put_batch(&points);
+        // Queue headroom opened: pull back QoS1 deliveries deferred while
+        // it was full. One round per pass — a scheduled drain picks up
+        // whatever is still deferred.
+        self.broker.redeliver_deferred();
+    }
+
+    /// Schedule a [`SimEvent::StorageDrain`] one logical second out if
+    /// backlog remains anywhere — queued deliveries, deferred QoS1 copies,
+    /// or admission-held records — and none is outstanding yet.
+    fn ensure_drain_scheduled(&mut self, now: Timestamp) {
+        if self.drain_scheduled {
+            return;
+        }
+        if self.storage_sub.pending() > 0
+            || self.broker.deferred_count() > 0
+            || !self.admission_pending.is_empty()
+        {
+            self.events
+                .schedule(now + Span::seconds(1), PRIO_DRAIN, SimEvent::StorageDrain);
+            self.drain_scheduled = true;
+        }
     }
 
     /// Turn one decoded uplink into its TSDB points, appended to the batch
