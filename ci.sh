@@ -28,7 +28,7 @@ cargo test --offline -q --workspace
 echo "==> obs smoke (two-city metrics snapshot + scheduling profile replay-identical)"
 cargo test --offline -q -p ctt --test obs_profile
 
-echo "==> criterion smoke benches (BENCH_ingest / BENCH_query / BENCH_scheduler / BENCH_obs)"
+echo "==> criterion smoke benches (BENCH_ingest / BENCH_query / BENCH_query_multiuser / BENCH_scheduler / BENCH_obs)"
 # cargo bench runs the bench binary with CWD = the package dir, so the
 # report paths must be absolute to land in the repo root.
 REPO_ROOT="$PWD"
@@ -36,6 +36,8 @@ CRITERION_SAMPLES=10 CRITERION_JSON="$REPO_ROOT/BENCH_ingest.json" \
     cargo bench --offline -q -p ctt-bench --bench ingest_sharded
 CRITERION_SAMPLES=5 CRITERION_JSON="$REPO_ROOT/BENCH_query.json" \
     cargo bench --offline -q -p ctt-bench --bench query_sharded
+CRITERION_SAMPLES=10 CRITERION_JSON="$REPO_ROOT/BENCH_query_multiuser.json" \
+    cargo bench --offline -q -p ctt-bench --bench query_multiuser
 CRITERION_SAMPLES=10 CRITERION_JSON="$REPO_ROOT/BENCH_scheduler.json" \
     cargo bench --offline -q -p ctt-bench --bench scheduler
 CRITERION_SAMPLES=10 CRITERION_JSON="$REPO_ROOT/BENCH_obs.json" \
@@ -43,8 +45,9 @@ CRITERION_SAMPLES=10 CRITERION_JSON="$REPO_ROOT/BENCH_obs.json" \
 CRITERION_SAMPLES=10 CRITERION_JSON="$REPO_ROOT/BENCH_overload.json" \
     cargo bench --offline -q -p ctt-bench --bench overload
 
-echo "==> bench_check (reports well-formed; ingest + scheduler + obs-overhead + overload gates)"
+echo "==> bench_check (reports well-formed; ingest + query + multiuser + scheduler + obs-overhead + overload gates)"
 cargo run --offline -q --release -p ctt-bench --bin bench_check \
-    BENCH_ingest.json BENCH_query.json BENCH_scheduler.json BENCH_obs.json BENCH_overload.json
+    BENCH_ingest.json BENCH_query.json BENCH_query_multiuser.json \
+    BENCH_scheduler.json BENCH_obs.json BENCH_overload.json
 
 echo "CI: all green"

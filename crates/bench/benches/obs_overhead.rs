@@ -3,7 +3,9 @@
 //!
 //! The observability subsystem's budget is hard: recording a dispatch is a
 //! handful of plain-integer adds plus a short histogram scan, so the
-//! instrumented loop must stay within 10% of the bare loop's events/sec.
+//! instrumented loop must stay within 15% of the bare loop's events/sec
+//! (10% on quiet hardware; the CI container's run-to-run variance needs
+//! the wider margin — see `check_obs_overhead` in `bench_check`).
 //! CI exports the results as `BENCH_obs.json` (via `CRITERION_JSON`) and
 //! `bench_check` enforces the ratio on peak throughput at 2000 nodes.
 

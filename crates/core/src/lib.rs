@@ -16,6 +16,8 @@
 //!   [`scenario`] for synthetic pollution injection.
 //! * **Pilots**: [`deployment`] — the Trondheim (12-node) and Vejle (2-node)
 //!   configurations and the paper's cost model.
+//! * **Concurrency**: [`pool`] — the deterministic ordered worker pool and
+//!   fork/join helpers shared by the pipeline and the sharded TSDB.
 //!
 //! Everything is deterministic given explicit seeds; nothing here performs
 //! I/O. Reproduces the domain layer of *"Analysis and Visualization of
@@ -34,6 +36,7 @@ pub mod ids;
 pub mod measurement;
 pub mod node;
 pub mod payload;
+pub mod pool;
 pub mod quantity;
 pub mod scenario;
 pub mod solar;
@@ -50,6 +53,7 @@ pub use geo::{BoundingBox, LatLon, LocalProjection};
 pub use ids::{DevEui, GatewayId};
 pub use measurement::{Measurement, QualityFlag, SensorReading, Series};
 pub use node::{NodeHealth, SensorNode, SensorSpec};
+pub use pool::{join_all, worker_width, OrderedPool};
 pub use quantity::{Pollutant, Quantity};
 pub use scenario::{Injection, ScenarioKind, ScenarioSet};
 pub use time::{Span, TimeRange, Timestamp, Weekday};

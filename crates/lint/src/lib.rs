@@ -165,6 +165,9 @@ impl Default for LintConfig {
                 "crates/tsdb/src/query.rs".into(),
                 "crates/tsdb/src/shard.rs".into(),
                 "crates/tsdb/src/bits.rs".into(),
+                "crates/tsdb/src/rollup.rs".into(),
+                "crates/tsdb/src/cache.rs".into(),
+                "crates/core/src/pool.rs".into(),
                 "crates/lorawan/src/server.rs".into(),
                 "crates/lorawan/src/sim.rs".into(),
                 "crates/sim/src/".into(),
@@ -189,7 +192,14 @@ impl Default for LintConfig {
                 ("ShardedTsdb".into(), "put".into()),
                 ("ShardedTsdb".into(), "put_batch".into()),
                 ("ShardedTsdb".into(), "execute".into()),
+                ("ShardedTsdb".into(), "execute_with".into()),
                 ("ShardedTsdb".into(), "read_series".into()),
+                // Query-serving layer: the cache sits on every dashboard
+                // query; rollup serving runs per bucket.
+                ("QueryCache".into(), "get_results".into()),
+                ("QueryCache".into(), "put_results".into()),
+                ("QueryCache".into(), "get_collection".into()),
+                ("QueryCache".into(), "put_collection".into()),
                 ("EventQueue".into(), "pop".into()),
                 ("UplinkEvent".into(), "decode".into()),
                 // Backpressure paths: drain dispatch and bridge admission

@@ -6,11 +6,16 @@
 //! * [`model`] — metric + tag data model with OpenTSDB naming rules.
 //! * [`bits`] / [`gorilla`] — bit-packed Gorilla chunk compression
 //!   (delta-of-delta timestamps, XOR floats).
-//! * [`store`] — interned series, chunked storage, retention, stats.
+//! * [`store`] — interned series, chunked storage, a per-series
+//!   time-range block index, retention, stats.
+//! * [`rollup`] — seal-time materialized rollups (pre-downsampled
+//!   per-bucket summaries) serving dashboard queries without decode.
 //! * [`shard`] — series-key-hash partitioning across N lock-guarded
 //!   shards with batched ingest and merge-on-read queries.
 //! * [`query`] — tag filters, group-by, downsampling (`1h-avg`),
 //!   cross-series aggregation, rate.
+//! * [`cache`] — seal-aware query result cache with deterministic
+//!   epoch-based invalidation (no wall clock).
 //! * [`text`] — telnet-style `put` import/export and table rendering.
 
 #![warn(missing_docs)]
@@ -18,17 +23,23 @@
 #![deny(missing_debug_implementations)]
 
 pub mod bits;
+pub mod cache;
 pub mod error;
 pub mod gorilla;
 pub mod model;
 pub mod query;
+pub mod rollup;
 pub mod shard;
 pub mod store;
 pub mod text;
 
+pub use cache::{CacheStats, QueryCache};
 pub use error::TsdbError;
 pub use gorilla::{CompressedChunk, GorillaEncoder};
 pub use model::{DataPoint, ModelError, TagFilter, TagSet};
-pub use query::{execute, Aggregator, Downsample, FillPolicy, Query, QueryResult};
-pub use shard::{ShardedTsdb, DEFAULT_SHARDS};
-pub use store::{BitFlipOutcome, IntegrityReport, QuarantineReport, SeriesId, StoreStats, Tsdb};
+pub use query::{execute, execute_raw, Aggregator, Downsample, FillPolicy, Query, QueryResult};
+pub use rollup::RollupBucket;
+pub use shard::{ServePolicy, ShardedTsdb, DEFAULT_SHARDS};
+pub use store::{
+    BitFlipOutcome, IntegrityReport, QuarantineReport, ScanCounts, SeriesId, StoreStats, Tsdb,
+};

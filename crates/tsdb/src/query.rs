@@ -8,7 +8,8 @@
 
 use crate::error::TsdbError;
 use crate::model::{TagFilter, TagSet};
-use crate::store::{SeriesId, Tsdb};
+use crate::rollup::{find_bucket, rollup_servable};
+use crate::store::{dedup_last_write_wins, ScanCounts, Series, SeriesId, Tsdb};
 use ctt_core::measurement::Series as OutSeries;
 use ctt_core::time::{Span, Timestamp};
 use std::collections::BTreeMap;
@@ -254,12 +255,17 @@ pub struct QueryResult {
     pub quarantined_points: u64,
 }
 
-/// Downsample a sorted point list.
+/// Downsample a sorted point list. `seed` initializes the
+/// [`FillPolicy::Previous`] carry — the value of the last point *before*
+/// `start` — so leading empty buckets extend the pre-range value instead
+/// of being silently dropped. Pass `None` when no point precedes the
+/// range (or for the other fill policies, which ignore it).
 fn downsample_points(
     points: &[(Timestamp, f64)],
     ds: Downsample,
     start: Timestamp,
     end: Timestamp,
+    seed: Option<f64>,
 ) -> Vec<(Timestamp, f64)> {
     let mut out = Vec::new();
     if points.is_empty() && ds.fill == FillPolicy::None {
@@ -268,7 +274,7 @@ fn downsample_points(
     let first_bucket = start.align_down(ds.interval);
     let mut bucket_start = first_bucket;
     let mut idx = 0usize;
-    let mut prev_value: Option<f64> = None;
+    let mut prev_value: Option<f64> = seed;
     while bucket_start < end {
         let bucket_end = bucket_start + ds.interval;
         let mut vals = Vec::new();
@@ -328,16 +334,139 @@ fn to_rate(points: &[(Timestamp, f64)]) -> Vec<(Timestamp, f64)> {
         .collect()
 }
 
+/// Serve one series' downsample over `[start, end)` bucket by bucket,
+/// answering from seal-time rollups wherever a bucket is provably owned by
+/// a single sealed chunk (and untouched by the open buffer), decoding raw
+/// points — memoized per chunk — everywhere else. The output is
+/// bit-identical to `downsample_points(collect(start, end), ...)`: rollup
+/// values replay the raw aggregator folds exactly (see [`crate::rollup`]),
+/// and every bucket the rollups cannot prove goes through the same decode
+/// → sort → dedup → aggregate sequence the raw path uses.
+#[allow(clippy::too_many_arguments)]
+fn serve_downsample_series(
+    s: &Series,
+    start: Timestamp,
+    end: Timestamp,
+    ds: Downsample,
+    rollup_interval: Span,
+    seed: Option<f64>,
+    quarantine: &mut crate::store::QuarantineReport,
+    counts: &mut ScanCounts,
+) -> Vec<(Timestamp, f64)> {
+    // Rollups only answer their own bucket width and the aggregators whose
+    // folds they replay; anything else is a plain raw downsample.
+    if ds.interval != rollup_interval || !rollup_servable(ds.aggregator) {
+        let (pts, q, c) = s.collect_counted(start, end);
+        quarantine.merge(q);
+        counts.merge(c);
+        return downsample_points(&pts, ds, start, end, seed);
+    }
+    let (hits, skipped) = s.chunks_overlapping(start, end);
+    counts.chunks_skipped += skipped;
+    let open_span = s.open_span();
+    // Per-call decode memo: a chunk is decoded (and, on failure,
+    // quarantine-counted) at most once, matching the raw path's accounting.
+    let mut memo: BTreeMap<usize, Option<Vec<(Timestamp, f64)>>> = BTreeMap::new();
+    let mut out = Vec::new();
+    let mut prev_value = seed;
+    let mut bucket_start = start.align_down(ds.interval);
+    while bucket_start < end {
+        let bucket_end = bucket_start + ds.interval;
+        let lo = bucket_start.max(start);
+        let hi = bucket_end.min(end);
+        let in_bucket: Vec<usize> = hits
+            .iter()
+            .copied()
+            .filter(|&i| s.sealed.get(i).is_some_and(|c| c.start < hi && c.end >= lo))
+            .collect();
+        let open_overlaps = open_span.is_some_and(|(omin, omax)| omin < hi && omax >= lo);
+        let interior = bucket_start >= start && bucket_end <= end;
+        // `Some(v)` = the bucket's aggregated value; `None` = empty bucket.
+        let mut value: Option<f64> = None;
+        let mut resolved = false;
+        if interior && !open_overlaps {
+            match in_bucket.as_slice() {
+                // No chunk can contain the bucket: provably empty.
+                [] => resolved = true,
+                [only] => {
+                    if let Some(rollups) = s.sealed.get(*only).and_then(|c| c.rollups.as_ref()) {
+                        resolved = true;
+                        counts.rollup_buckets += 1;
+                        value = find_bucket(rollups, bucket_start)
+                            .and_then(|b| b.value_for(ds.aggregator));
+                    }
+                }
+                // Several chunks share the bucket (out-of-order seals):
+                // only a merged decode resolves duplicate timestamps.
+                _ => {}
+            }
+        }
+        if !resolved {
+            counts.raw_buckets += 1;
+            let mut pts: Vec<(Timestamp, f64)> = Vec::new();
+            for &i in &in_bucket {
+                let decoded = memo.entry(i).or_insert_with(|| match s.sealed.get(i) {
+                    Some(sc) => match sc.chunk.decode() {
+                        Ok(p) => {
+                            counts.chunks_decoded += 1;
+                            Some(p)
+                        }
+                        Err(_) => {
+                            quarantine.chunks += 1;
+                            quarantine.points += u64::from(sc.chunk.count());
+                            None
+                        }
+                    },
+                    None => None,
+                });
+                if let Some(p) = decoded {
+                    pts.extend(p.iter().copied().filter(|&(t, _)| t >= lo && t < hi));
+                }
+            }
+            pts.extend(s.open.iter().copied().filter(|&(t, _)| t >= lo && t < hi));
+            pts.sort_by_key(|&(t, _)| t);
+            dedup_last_write_wins(&mut pts);
+            if !pts.is_empty() {
+                let vals: Vec<f64> = pts.iter().map(|&(_, v)| v).collect();
+                value = Some(ds.aggregator.apply(&vals));
+            }
+        }
+        match value {
+            Some(v) => {
+                prev_value = Some(v);
+                out.push((bucket_start, v));
+            }
+            None => match ds.fill {
+                FillPolicy::None => {}
+                FillPolicy::Zero => out.push((bucket_start, 0.0)),
+                FillPolicy::Previous => {
+                    if let Some(v) = prev_value {
+                        out.push((bucket_start, v));
+                    }
+                }
+            },
+        }
+        bucket_start = bucket_end;
+    }
+    out
+}
+
 /// Raw per-series points collected for one result group, before any rate /
 /// downsample / cross-series aggregation. Each entry carries the canonical
 /// series key so merges across shards aggregate in a shard-count-independent
 /// order — the byte-identical-results guarantee of `ShardedTsdb`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct GroupCollection {
-    /// `(canonical series key, raw points in [start, end))`.
+    /// `(canonical series key, points in [start, end))` — raw, or already
+    /// downsampled when [`GroupCollection::downsampled`] is set.
     pub(crate) series: Vec<(String, Vec<(Timestamp, f64)>)>,
     /// Corruption skipped while reading this group.
     pub(crate) quarantine: crate::store::QuarantineReport,
+    /// Scan accounting (index skips, decodes, rollup vs raw buckets).
+    pub(crate) counts: ScanCounts,
+    /// `series` holds collect-time downsampled buckets; finalize must not
+    /// downsample again.
+    pub(crate) downsampled: bool,
 }
 
 impl GroupCollection {
@@ -345,16 +474,28 @@ impl GroupCollection {
     pub(crate) fn merge(&mut self, other: GroupCollection) {
         self.series.extend(other.series);
         self.quarantine.merge(other.quarantine);
+        self.counts.merge(other.counts);
+        self.downsampled |= other.downsampled;
     }
 }
 
 /// Phase 1 of query execution: match series against the filters, group by
-/// the wildcard tags, and read each series' raw points. No aggregation
-/// happens here, so collections from several shards can be merged before
-/// [`finalize_groups`] aggregates — averaging averages would be wrong.
+/// the wildcard tags, and read each series' points. No cross-series
+/// aggregation happens here, so collections from several shards can be
+/// merged before [`finalize_groups`] aggregates — averaging averages would
+/// be wrong.
+///
+/// Non-rate downsamples are applied here, per series (each series lives
+/// wholly in one shard, so collect-time downsampling commutes with the
+/// shard merge); with `use_rollups` they are answered from seal-time
+/// rollups where possible. `FillPolicy::Previous` seeds its carry from the
+/// last point preceding the range on both paths. Rate queries keep their
+/// raw points (rate + downsample runs in finalize, unseeded: a pre-range
+/// *rate* would need two pre-range points and is out of scope).
 pub(crate) fn collect_groups(
     db: &Tsdb,
     q: &Query,
+    use_rollups: bool,
 ) -> Result<BTreeMap<TagSet, GroupCollection>, TsdbError> {
     let matching: Vec<SeriesId> = db
         .series_for_metric(&q.metric)
@@ -387,17 +528,52 @@ pub(crate) fn collect_groups(
             (Some(metric), Some(tags)) => crate::model::series_key(metric, tags),
             _ => continue, // unreachable: id came from the metric index
         };
-        let (pts, skipped) = db.read_with_quarantine(id, q.start, q.end)?;
+        let Some(series) = db.series.get(id.0 as usize) else {
+            continue; // unreachable: id came from the metric index
+        };
         let entry = groups.entry(group).or_default();
-        entry.series.push((key, pts));
-        entry.quarantine.merge(skipped);
+        match q.downsample {
+            Some(ds) if !q.rate => {
+                let seed = if ds.fill == FillPolicy::Previous {
+                    series.last_value_before(q.start)
+                } else {
+                    None
+                };
+                let pts = if use_rollups {
+                    serve_downsample_series(
+                        series,
+                        q.start,
+                        q.end,
+                        ds,
+                        db.rollup_interval(),
+                        seed,
+                        &mut entry.quarantine,
+                        &mut entry.counts,
+                    )
+                } else {
+                    let (raw, skipped, c) = series.collect_counted(q.start, q.end);
+                    entry.quarantine.merge(skipped);
+                    entry.counts.merge(c);
+                    downsample_points(&raw, ds, q.start, q.end, seed)
+                };
+                entry.downsampled = true;
+                entry.series.push((key, pts));
+            }
+            _ => {
+                let (pts, skipped, c) = series.collect_counted(q.start, q.end);
+                entry.quarantine.merge(skipped);
+                entry.counts.merge(c);
+                entry.series.push((key, pts));
+            }
+        }
     }
     Ok(groups)
 }
 
-/// Phase 2 of query execution: per-series rate + downsample, then
-/// cross-series aggregation per group. Series are processed in canonical
-/// key order, so the result is independent of insertion (and shard) order.
+/// Phase 2 of query execution: per-series rate + downsample (unless
+/// already downsampled at collect time), then cross-series aggregation per
+/// group. Series are processed in canonical key order, so the result is
+/// independent of insertion (and shard) order.
 pub(crate) fn finalize_groups(
     groups: BTreeMap<TagSet, GroupCollection>,
     q: &Query,
@@ -406,13 +582,16 @@ pub(crate) fn finalize_groups(
     for (group, mut coll) in groups {
         coll.series.sort_by(|a, b| a.0.cmp(&b.0));
         let source_series = coll.series.len();
+        let downsampled = coll.downsampled;
         let mut per_series: Vec<Vec<(Timestamp, f64)>> = Vec::with_capacity(source_series);
         for (_, mut pts) in coll.series {
-            if q.rate {
-                pts = to_rate(&pts);
-            }
-            if let Some(ds) = q.downsample {
-                pts = downsample_points(&pts, ds, q.start, q.end);
+            if !downsampled {
+                if q.rate {
+                    pts = to_rate(&pts);
+                }
+                if let Some(ds) = q.downsample {
+                    pts = downsample_points(&pts, ds, q.start, q.end, None);
+                }
             }
             per_series.push(pts);
         }
@@ -450,11 +629,19 @@ pub(crate) fn finalize_groups(
     results
 }
 
-/// Execute a query. Storage corruption does not fail the query: corrupt
-/// chunks are quarantined and surfaced in the per-group quarantine counts.
-/// An unmatched metric or filter is an empty result set, not an error.
+/// Execute a query through the full serving stack (block index + seal-time
+/// rollups). Storage corruption does not fail the query: corrupt chunks
+/// are quarantined and surfaced in the per-group quarantine counts. An
+/// unmatched metric or filter is an empty result set, not an error.
 pub fn execute(db: &Tsdb, q: &Query) -> Result<Vec<QueryResult>, TsdbError> {
-    Ok(finalize_groups(collect_groups(db, q)?, q))
+    Ok(finalize_groups(collect_groups(db, q, true)?, q))
+}
+
+/// Execute a query strictly by decoding raw chunks — the reference path
+/// the serving stack must match byte for byte. Used by the equivalence
+/// suite and the before/after benchmarks.
+pub fn execute_raw(db: &Tsdb, q: &Query) -> Result<Vec<QueryResult>, TsdbError> {
+    Ok(finalize_groups(collect_groups(db, q, false)?, q))
 }
 
 #[cfg(test)]
@@ -649,9 +836,21 @@ mod tests {
             aggregator: Aggregator::Avg,
             fill,
         };
-        let none = downsample_points(&pts, mk(FillPolicy::None), Timestamp(0), Timestamp(3000));
+        let none = downsample_points(
+            &pts,
+            mk(FillPolicy::None),
+            Timestamp(0),
+            Timestamp(3000),
+            None,
+        );
         assert_eq!(none.len(), 2);
-        let zero = downsample_points(&pts, mk(FillPolicy::Zero), Timestamp(0), Timestamp(3000));
+        let zero = downsample_points(
+            &pts,
+            mk(FillPolicy::Zero),
+            Timestamp(0),
+            Timestamp(3000),
+            None,
+        );
         assert_eq!(
             zero,
             vec![
@@ -665,8 +864,97 @@ mod tests {
             mk(FillPolicy::Previous),
             Timestamp(0),
             Timestamp(3000),
+            None,
         );
         assert_eq!(prev[1], (Timestamp(1000), 1.0));
+    }
+
+    #[test]
+    fn previous_fill_seeded_from_pre_range_value() {
+        // Points end before the queried range begins; the carry must seed
+        // from the last pre-range value instead of emitting nothing.
+        let pts: Vec<(Timestamp, f64)> = vec![];
+        let ds = Downsample {
+            interval: Span::seconds(1000),
+            aggregator: Aggregator::Avg,
+            fill: FillPolicy::Previous,
+        };
+        let unseeded = downsample_points(&pts, ds, Timestamp(0), Timestamp(3000), None);
+        assert!(unseeded.is_empty(), "no seed, no carry: {unseeded:?}");
+        let seeded = downsample_points(&pts, ds, Timestamp(0), Timestamp(3000), Some(7.5));
+        assert_eq!(
+            seeded,
+            vec![
+                (Timestamp(0), 7.5),
+                (Timestamp(1000), 7.5),
+                (Timestamp(2000), 7.5)
+            ]
+        );
+        // A real bucket overrides the seed and becomes the new carry.
+        let pts = vec![(Timestamp(1500), 2.0)];
+        let mixed = downsample_points(&pts, ds, Timestamp(0), Timestamp(3000), Some(7.5));
+        assert_eq!(
+            mixed,
+            vec![
+                (Timestamp(0), 7.5),
+                (Timestamp(1000), 2.0),
+                (Timestamp(2000), 2.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn previous_fill_seeds_through_execute() {
+        let mut db = Tsdb::with_layout(4, Span::seconds(1000));
+        // Data only before t=2000; query [2000, 5000) with Previous fill.
+        for i in 0..6 {
+            db.put(&dp("co2", "n1", "trd", i * 300, 400.0 + i as f64));
+        }
+        let q = Query::range("co2", Timestamp(2000), Timestamp(5000))
+            .with_tag("device", "n1")
+            .downsample(Downsample {
+                interval: Span::seconds(1000),
+                aggregator: Aggregator::Last,
+                fill: FillPolicy::Previous,
+            });
+        let rs = execute(&db, &q).unwrap();
+        // Last pre-range point is (1500, 405): every empty bucket carries it.
+        assert_eq!(
+            rs[0].series.points,
+            vec![
+                (Timestamp(2000), 405.0),
+                (Timestamp(3000), 405.0),
+                (Timestamp(4000), 405.0)
+            ]
+        );
+        // The raw reference path agrees byte for byte.
+        assert_eq!(execute_raw(&db, &q).unwrap(), rs);
+    }
+
+    #[test]
+    fn previous_fill_seed_negative_timestamps() {
+        let mut db = Tsdb::with_layout(4, Span::seconds(600));
+        // Pre-epoch data; align_down must bucket negatives correctly.
+        db.put(&dp("co2", "n1", "trd", -3000, 1.0));
+        db.put(&dp("co2", "n1", "trd", -2500, 2.0));
+        let q = Query::range("co2", Timestamp(-1800), Timestamp(0))
+            .with_tag("device", "n1")
+            .downsample(Downsample {
+                interval: Span::seconds(600),
+                aggregator: Aggregator::Avg,
+                fill: FillPolicy::Previous,
+            });
+        let rs = execute(&db, &q).unwrap();
+        assert_eq!(
+            rs[0].series.points,
+            vec![
+                (Timestamp(-1800), 2.0),
+                (Timestamp(-1200), 2.0),
+                (Timestamp(-600), 2.0)
+            ],
+            "pre-epoch buckets must align via div_euclid and carry the seed"
+        );
+        assert_eq!(execute_raw(&db, &q).unwrap(), rs);
     }
 
     #[test]

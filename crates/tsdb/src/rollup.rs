@@ -1,0 +1,215 @@
+//! Seal-time materialized rollups: pre-downsampled per-bucket summaries
+//! written alongside each sealed chunk (OpenTSDB-style), so dashboard
+//! downsample queries over sealed data are served without re-decoding the
+//! Gorilla bitstream.
+//!
+//! The non-negotiable property is **byte-identity with the raw path**: a
+//! rollup-served value must be bit-for-bit the value `Aggregator::apply`
+//! would produce over the bucket's decoded points. f64 addition is not
+//! associative, so every accumulator here replays the *exact* fold the raw
+//! aggregators use — `sum` starts at `-0.0` (std's `Sum<f64>` identity:
+//! `-0.0 + x == x` for every `x`, including `-0.0`, where `0.0 + -0.0`
+//! would flip the sign) and adds points in time order, `min`/`max` fold from
+//! `±INFINITY` through `f64::min`/`f64::max` (which also reproduces the
+//! raw path's NaN handling). Order-sensitive aggregators that need the
+//! full sample (`Median`, `P95`, `Dev`) are never rollup-served.
+
+use crate::query::Aggregator;
+use ctt_core::time::{Span, Timestamp};
+
+/// Pre-aggregated summary of one rollup bucket within one sealed chunk.
+///
+/// Built from the chunk's sorted, deduplicated points at seal time;
+/// immutable afterwards (corruption invalidates the whole rollup vector
+/// rather than patching it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RollupBucket {
+    /// Bucket start (aligned down to the store's rollup interval).
+    pub start: Timestamp,
+    /// Points in the bucket.
+    pub count: u32,
+    /// Sum folded from `-0.0` in time order (bit-identical to `iter().sum()`).
+    pub sum: f64,
+    /// Minimum folded from `+∞` through `f64::min`.
+    pub min: f64,
+    /// Maximum folded from `-∞` through `f64::max`.
+    pub max: f64,
+    /// First value in time order.
+    pub first: f64,
+    /// Last value in time order.
+    pub last: f64,
+}
+
+impl RollupBucket {
+    /// Start a bucket from its first point, replaying each aggregator's
+    /// fold from its identity element (`-0.0 + v`, not `v` and not
+    /// `0.0 + v`: std's `iter().sum()` folds from `-0.0`, so the raw sum
+    /// of `[-0.0]` is `-0.0`, and Avg divides this sum, so the sign of
+    /// zero is observable).
+    fn seed(start: Timestamp, v: f64) -> RollupBucket {
+        RollupBucket {
+            start,
+            count: 1,
+            sum: -0.0 + v,
+            min: f64::min(f64::INFINITY, v),
+            max: f64::max(f64::NEG_INFINITY, v),
+            first: v,
+            last: v,
+        }
+    }
+
+    /// Fold one more point (time order) into the bucket.
+    fn fold(&mut self, v: f64) {
+        self.count = self.count.saturating_add(1);
+        self.sum += v;
+        self.min = f64::min(self.min, v);
+        self.max = f64::max(self.max, v);
+        self.last = v;
+    }
+
+    /// The value [`Aggregator::apply`] would produce over this bucket's
+    /// points, or `None` for aggregators that need the full sample.
+    pub fn value_for(&self, agg: Aggregator) -> Option<f64> {
+        Some(match agg {
+            Aggregator::Avg => self.sum / f64::from(self.count),
+            Aggregator::Sum => self.sum,
+            Aggregator::Min => self.min,
+            Aggregator::Max => self.max,
+            Aggregator::Count => f64::from(self.count),
+            Aggregator::First => self.first,
+            Aggregator::Last => self.last,
+            Aggregator::Median | Aggregator::P95 | Aggregator::Dev => return None,
+        })
+    }
+
+    /// Approximate in-memory size, for storage stats.
+    pub const SIZE_BYTES: usize = std::mem::size_of::<RollupBucket>();
+}
+
+/// Whether an aggregator can ever be served from rollups.
+pub fn rollup_servable(agg: Aggregator) -> bool {
+    !matches!(agg, Aggregator::Median | Aggregator::P95 | Aggregator::Dev)
+}
+
+/// Build the rollup vector for a chunk's points (must be time-sorted and
+/// deduplicated — exactly the state a chunk is sealed in). One bucket per
+/// occupied interval, in time order; empty buckets are not materialized.
+pub fn build_rollups(points: &[(Timestamp, f64)], interval: Span) -> Vec<RollupBucket> {
+    let mut out: Vec<RollupBucket> = Vec::new();
+    for &(t, v) in points {
+        let b = t.align_down(interval);
+        match out.last_mut() {
+            Some(last) if last.start == b => last.fold(v),
+            _ => out.push(RollupBucket::seed(b, v)),
+        }
+    }
+    out
+}
+
+/// The rollup bucket starting exactly at `start`, if materialized. The
+/// vector is sorted by start, so this is a binary search.
+pub fn find_bucket(rollups: &[RollupBucket], start: Timestamp) -> Option<&RollupBucket> {
+    rollups
+        .binary_search_by_key(&start, |b| b.start)
+        .ok()
+        .and_then(|i| rollups.get(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(raw: &[(i64, f64)]) -> Vec<(Timestamp, f64)> {
+        raw.iter().map(|&(t, v)| (Timestamp(t), v)).collect()
+    }
+
+    #[test]
+    fn buckets_match_raw_aggregator_folds() {
+        let points = pts(&[
+            (0, 3.0),
+            (100, 1.0),
+            (200, 2.0),
+            (3600, 10.0),
+            (3700, -4.0),
+            (7300, 5.5),
+        ]);
+        let rollups = build_rollups(&points, Span::hours(1));
+        assert_eq!(rollups.len(), 3);
+        for rb in &rollups {
+            let vals: Vec<f64> = points
+                .iter()
+                .filter(|&&(t, _)| t.align_down(Span::hours(1)) == rb.start)
+                .map(|&(_, v)| v)
+                .collect();
+            for agg in [
+                Aggregator::Avg,
+                Aggregator::Sum,
+                Aggregator::Min,
+                Aggregator::Max,
+                Aggregator::Count,
+                Aggregator::First,
+                Aggregator::Last,
+            ] {
+                let served = rb.value_for(agg).expect("servable");
+                let raw = agg.apply(&vals);
+                assert_eq!(
+                    served.to_bits(),
+                    raw.to_bits(),
+                    "{agg} bucket {:?}: served {served} vs raw {raw}",
+                    rb.start
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negative_zero_sum_matches_raw_fold() {
+        let points = pts(&[(0, -0.0)]);
+        let rollups = build_rollups(&points, Span::hours(1));
+        let served = rollups[0].value_for(Aggregator::Sum).unwrap();
+        let raw = Aggregator::Sum.apply(&[-0.0]);
+        assert_eq!(
+            served.to_bits(),
+            raw.to_bits(),
+            "sum must replay std's -0.0 fold identity bit-for-bit"
+        );
+        assert_eq!(
+            rollups[0].value_for(Aggregator::Avg).unwrap().to_bits(),
+            Aggregator::Avg.apply(&[-0.0]).to_bits()
+        );
+    }
+
+    #[test]
+    fn negative_timestamps_align_into_pre_epoch_buckets() {
+        let points = pts(&[(-7200, 1.0), (-3599, 2.0), (-1, 3.0), (0, 4.0)]);
+        let rollups = build_rollups(&points, Span::hours(1));
+        let starts: Vec<i64> = rollups.iter().map(|b| b.start.0).collect();
+        assert_eq!(starts, vec![-7200, -3600, 0]);
+        assert_eq!(
+            rollups[1].count, 2,
+            "-3599 and -1 share the [-3600,0) bucket"
+        );
+    }
+
+    #[test]
+    fn order_sensitive_aggregators_not_servable() {
+        for agg in [Aggregator::Median, Aggregator::P95, Aggregator::Dev] {
+            assert!(!rollup_servable(agg));
+            assert_eq!(
+                build_rollups(&pts(&[(0, 1.0)]), Span::hours(1))[0].value_for(agg),
+                None
+            );
+        }
+        assert!(rollup_servable(Aggregator::Avg));
+    }
+
+    #[test]
+    fn find_bucket_binary_search() {
+        let rollups = build_rollups(&pts(&[(0, 1.0), (3600, 2.0), (10800, 3.0)]), Span::hours(1));
+        assert_eq!(
+            find_bucket(&rollups, Timestamp(3600)).map(|b| b.first),
+            Some(2.0)
+        );
+        assert!(find_bucket(&rollups, Timestamp(7200)).is_none());
+    }
+}

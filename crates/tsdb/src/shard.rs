@@ -9,22 +9,44 @@
 //! each touched shard once.
 //!
 //! Queries run in two phases (see [`crate::query`]): every shard *collects*
-//! raw per-series points under a read lock, the collections are merged, and
-//! aggregation happens once over the merged set. Aggregating per shard and
-//! then combining would be wrong (an average of averages weights shards,
-//! not points) — the two-phase split is what makes an N-shard store return
-//! byte-identical query results to a 1-shard store.
+//! per-series points under a read lock, the collections are merged in shard
+//! index order, and cross-series aggregation happens once over the merged
+//! set. Aggregating per shard and then combining would be wrong (an average
+//! of averages weights shards, not points) — the two-phase split is what
+//! makes an N-shard store return byte-identical query results to a 1-shard
+//! store.
+//!
+//! The serving stack on top of that ([`ServePolicy`]):
+//!
+//! * **Epochs** — every shard carries an atomic epoch counter bumped by
+//!   each mutation; the [`QueryCache`] validates against them, so
+//!   invalidation is deterministic (no wall clock, lint R5).
+//! * **Seal-aware cache** — finalized results are reused while *all*
+//!   epochs match; per-shard phase-1 collections are reused while *their*
+//!   shard's epoch matches, so sustained ingest into one shard only forces
+//!   re-collection of that shard.
+//! * **Rollups + block index** — inside each shard, downsample queries are
+//!   answered from seal-time rollups and non-overlapping chunks are
+//!   skipped via the block index (see [`crate::rollup`], [`crate::store`]).
+//! * **Parallel collect** — on multi-core hosts, phase-1 runs on the
+//!   shared [`OrderedPool`]; results merge in submission (= shard) order,
+//!   so parallelism never changes bytes.
 
+use crate::cache::{query_signature, CacheStats, QueryCache};
 use crate::error::TsdbError;
 use crate::model::{series_key, DataPoint, TagSet};
 use crate::query::{collect_groups, finalize_groups, GroupCollection, Query, QueryResult};
 use crate::store::{
-    BitFlipOutcome, IntegrityReport, QuarantineReport, StoreStats, Tsdb, DEFAULT_CHUNK_SIZE,
+    BitFlipOutcome, IntegrityReport, QuarantineReport, ScanCounts, StoreStats, Tsdb,
+    DEFAULT_CHUNK_SIZE, DEFAULT_ROLLUP_INTERVAL,
 };
-use ctt_core::time::Timestamp;
+use ctt_core::pool::{worker_width, OrderedPool};
+use ctt_core::time::{Span, Timestamp};
 use ctt_obs::{Counter, Registry};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Default shard count: matches the ingest worker pool's default width.
 pub const DEFAULT_SHARDS: usize = 4;
@@ -40,6 +62,45 @@ fn fnv1a(key: &str) -> u64 {
     h
 }
 
+/// Which serving layers a query may use. The default ([`ServePolicy::full`])
+/// is the fast path; [`ServePolicy::raw`] forces the reference raw-decode
+/// path the equivalence suite compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServePolicy {
+    /// Consult and populate the seal-aware query cache.
+    pub cache: bool,
+    /// Serve downsample buckets from seal-time rollups where provable.
+    pub rollups: bool,
+    /// Collect shards on the worker pool when the host has spare cores.
+    pub parallel: bool,
+}
+
+impl ServePolicy {
+    /// Every serving layer enabled.
+    pub fn full() -> Self {
+        ServePolicy {
+            cache: true,
+            rollups: true,
+            parallel: true,
+        }
+    }
+
+    /// Reference path: sequential, uncached, raw chunk decode only.
+    pub fn raw() -> Self {
+        ServePolicy {
+            cache: false,
+            rollups: false,
+            parallel: false,
+        }
+    }
+}
+
+impl Default for ServePolicy {
+    fn default() -> Self {
+        ServePolicy::full()
+    }
+}
+
 /// Per-shard observability counters, registered as `tsdb.shard<i>.*`.
 /// Detached (uncounted into any registry) until
 /// [`ShardedTsdb::attach_registry`] is called; counter handles are atomics,
@@ -49,13 +110,38 @@ struct ShardObs {
     puts: Counter,
     queries: Counter,
     quarantined_points: Counter,
+    blocks_skipped: Counter,
+    chunks_decoded: Counter,
+    rollup_buckets: Counter,
+    raw_buckets: Counter,
 }
+
+impl ShardObs {
+    fn record_scan(&self, counts: ScanCounts) {
+        self.blocks_skipped.add(counts.chunks_skipped);
+        self.chunks_decoded.add(counts.chunks_decoded);
+        self.rollup_buckets.add(counts.rollup_buckets);
+        self.raw_buckets.add(counts.raw_buckets);
+    }
+}
+
+type ShardCollections = BTreeMap<TagSet, GroupCollection>;
+type PoolJob = (Arc<RwLock<Tsdb>>, Arc<Query>, bool);
+type PoolOut = Result<ShardCollections, TsdbError>;
 
 /// A time-series database partitioned across N single-owner shards.
 #[derive(Debug)]
 pub struct ShardedTsdb {
-    shards: Vec<RwLock<Tsdb>>,
+    shards: Vec<Arc<RwLock<Tsdb>>>,
+    /// Per-shard mutation epochs: bumped by every write-path mutation,
+    /// read (lock-free) by the cache validation.
+    epochs: Vec<Arc<AtomicU64>>,
     obs: Vec<ShardObs>,
+    cache: QueryCache,
+    /// Lazily-built phase-1 collection pool; `None` once initialized on a
+    /// host where `worker_width` resolves to a single worker (parallel
+    /// collect would only add channel overhead there).
+    pool: OnceLock<Option<OrderedPool<PoolJob, PoolOut>>>,
 }
 
 impl Default for ShardedTsdb {
@@ -73,30 +159,60 @@ impl ShardedTsdb {
 
     /// New store with a custom points-per-chunk in every shard.
     pub fn with_chunk_size(shards: usize, chunk_size: usize) -> Self {
+        ShardedTsdb::with_layout(shards, chunk_size, DEFAULT_ROLLUP_INTERVAL)
+    }
+
+    /// New store with custom points-per-chunk and rollup interval in every
+    /// shard (see [`Tsdb::with_layout`]).
+    pub fn with_layout(shards: usize, chunk_size: usize, rollup_interval: Span) -> Self {
         let n = shards.max(1);
         ShardedTsdb {
             shards: (0..n)
-                .map(|_| RwLock::new(Tsdb::with_chunk_size(chunk_size)))
+                .map(|_| Arc::new(RwLock::new(Tsdb::with_layout(chunk_size, rollup_interval))))
                 .collect(),
+            epochs: (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect(),
             obs: vec![ShardObs::default(); n],
+            cache: QueryCache::default(),
+            pool: OnceLock::new(),
         }
     }
 
-    /// Register per-shard put/query/quarantine counters into `registry`
-    /// (as `tsdb.shard<i>.*`). Counts accumulated before attachment are
-    /// discarded — attach before ingest starts.
+    /// Register per-shard put/query/quarantine/scan counters (as
+    /// `tsdb.shard<i>.*`) and the cache counters (`tsdb.cache.*`) into
+    /// `registry`. Counts accumulated before attachment are discarded —
+    /// attach before ingest starts.
     pub fn attach_registry(&mut self, registry: &Registry) {
         self.obs = (0..self.shards.len())
             .map(|i| ShardObs {
                 puts: registry.counter(&format!("tsdb.shard{i}.puts")),
                 queries: registry.counter(&format!("tsdb.shard{i}.queries")),
                 quarantined_points: registry.counter(&format!("tsdb.shard{i}.quarantined_points")),
+                blocks_skipped: registry.counter(&format!("tsdb.shard{i}.blocks_skipped")),
+                chunks_decoded: registry.counter(&format!("tsdb.shard{i}.chunks_decoded")),
+                rollup_buckets: registry.counter(&format!("tsdb.shard{i}.rollup_buckets")),
+                raw_buckets: registry.counter(&format!("tsdb.shard{i}.raw_buckets")),
             })
             .collect();
+        self.cache.attach_registry(registry);
     }
 
     fn obs_of(&self, shard: usize) -> Option<&ShardObs> {
         self.obs.get(shard)
+    }
+
+    /// Bump a shard's mutation epoch (Release: pairs with the Acquire load
+    /// in cache validation).
+    fn bump_epoch(&self, shard: usize) {
+        if let Some(e) = self.epochs.get(shard) {
+            e.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Current mutation epoch of one shard (0 for out-of-range indices).
+    pub fn epoch(&self, shard: usize) -> u64 {
+        self.epochs
+            .get(shard)
+            .map_or(0, |e| e.load(Ordering::Acquire))
     }
 
     /// Number of shards.
@@ -109,12 +225,23 @@ impl ShardedTsdb {
         (fnv1a(key) % self.shards.len() as u64) as usize
     }
 
+    /// Cache hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop every cached query entry (benchmark hygiene).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
     /// Insert one data point. Prefer [`ShardedTsdb::put_batch`] on the hot
     /// path — it locks each touched shard once per batch, not per point.
     pub fn put(&self, point: &DataPoint) {
         let shard = self.shard_of_key(&point.series_key());
         if let Some(s) = self.shards.get(shard) {
             s.write().put(point);
+            self.bump_epoch(shard);
             if let Some(o) = self.obs_of(shard) {
                 o.puts.inc();
             }
@@ -122,7 +249,8 @@ impl ShardedTsdb {
     }
 
     /// Batched ingest: bucket points by owning shard, then lock each
-    /// touched shard exactly once. Returns the number of points written.
+    /// touched shard exactly once. Untouched shards keep their epoch, so
+    /// their cached collections stay valid. Returns points written.
     pub fn put_batch(&self, points: &[DataPoint]) -> u64 {
         let mut buckets: Vec<Vec<&DataPoint>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
@@ -137,11 +265,14 @@ impl ShardedTsdb {
             if bucket.is_empty() {
                 continue;
             }
-            let mut guard = shard.write();
-            for p in bucket {
-                guard.put(p);
-                written += 1;
+            {
+                let mut guard = shard.write();
+                for p in bucket {
+                    guard.put(p);
+                    written += 1;
+                }
             }
+            self.bump_epoch(i);
             if let Some(o) = self.obs_of(i) {
                 o.puts.add(bucket.len() as u64);
             }
@@ -149,22 +280,143 @@ impl ShardedTsdb {
         written
     }
 
-    /// Execute a query across every shard: per-shard raw collection under
-    /// read locks, one merged aggregation pass. Byte-identical to running
-    /// the same query against a single [`Tsdb`] holding all the data.
+    /// The shared phase-1 collection pool, built on first use; `None` on
+    /// single-worker hosts (sequential collect is strictly cheaper there).
+    fn pool(&self) -> Option<&OrderedPool<PoolJob, PoolOut>> {
+        self.pool
+            .get_or_init(|| {
+                let width = worker_width(1, self.shards.len());
+                (width > 1).then(|| {
+                    OrderedPool::new(width, |(db, q, rollups): PoolJob| {
+                        collect_groups(&db.read(), &q, rollups)
+                    })
+                })
+            })
+            .as_ref()
+    }
+
+    fn collect_sequential(
+        &self,
+        missing: &[usize],
+        q: &Query,
+        rollups: bool,
+    ) -> Vec<(usize, PoolOut)> {
+        missing
+            .iter()
+            .filter_map(|&i| {
+                self.shards
+                    .get(i)
+                    .map(|s| (i, collect_groups(&s.read(), q, rollups)))
+            })
+            .collect()
+    }
+
+    /// Execute a query with the full serving stack (cache + rollups +
+    /// parallel collect). Byte-identical to running the same query against
+    /// a single [`Tsdb`] holding all the data.
     pub fn execute(&self, q: &Query) -> Result<Vec<QueryResult>, TsdbError> {
-        let mut merged: BTreeMap<TagSet, GroupCollection> = BTreeMap::new();
-        for (i, shard) in self.shards.iter().enumerate() {
+        self.execute_with(q, ServePolicy::full())
+    }
+
+    /// Execute a query with an explicit [`ServePolicy`]. All policies
+    /// return byte-identical results — the policy only chooses how much
+    /// work is skipped getting there.
+    pub fn execute_with(
+        &self,
+        q: &Query,
+        policy: ServePolicy,
+    ) -> Result<Vec<QueryResult>, TsdbError> {
+        // Count the query on every shard up front: cache-served queries
+        // are still queries, and miss/hit ratios depend on this base rate.
+        for i in 0..self.shards.len() {
             if let Some(o) = self.obs_of(i) {
                 o.queries.inc();
             }
-            // Collect fully under the read lock, merge after releasing it.
-            let collected = collect_groups(&shard.read(), q)?;
-            for (group, coll) in collected {
-                merged.entry(group).or_default().merge(coll);
+        }
+        // Epochs are read *before* collecting: a write racing with the
+        // collection can only make the stored entry look older than its
+        // data, so a stale entry is never served after the epoch bump.
+        let epochs: Vec<u64> = self
+            .epochs
+            .iter()
+            .map(|e| e.load(Ordering::Acquire))
+            .collect();
+        let sig = if policy.cache {
+            Some(query_signature(q))
+        } else {
+            None
+        };
+        if let Some(sig) = &sig {
+            if let Some(results) = self.cache.get_results(sig, &epochs) {
+                return Ok(results);
             }
         }
-        Ok(finalize_groups(merged, q))
+        // Per-shard phase-1 collections: cache-valid shards are reused, the
+        // rest are collected under their read lock (in parallel when the
+        // host allows). Cache locks and shard locks are never held together.
+        let n = self.shards.len();
+        let mut collections: Vec<Option<ShardCollections>> = (0..n).map(|_| None).collect();
+        if let Some(sig) = &sig {
+            for (i, slot) in collections.iter_mut().enumerate() {
+                *slot = self
+                    .cache
+                    .get_collection(sig, i, epochs.get(i).copied().unwrap_or(0));
+            }
+        }
+        let missing: Vec<usize> = collections
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let fresh: Vec<(usize, PoolOut)> = match self.pool() {
+            Some(pool) if policy.parallel && missing.len() > 1 => {
+                let qa = Arc::new(q.clone());
+                let jobs: Vec<PoolJob> = missing
+                    .iter()
+                    .filter_map(|&i| {
+                        self.shards
+                            .get(i)
+                            .map(|s| (Arc::clone(s), Arc::clone(&qa), policy.rollups))
+                    })
+                    .collect();
+                missing.iter().copied().zip(pool.map(jobs)).collect()
+            }
+            _ => self.collect_sequential(&missing, q, policy.rollups),
+        };
+        for (i, result) in fresh {
+            let collected = result?;
+            if let Some(o) = self.obs_of(i) {
+                let mut counts = ScanCounts::default();
+                for c in collected.values() {
+                    counts.merge(c.counts);
+                }
+                o.record_scan(counts);
+            }
+            if let Some(sig) = &sig {
+                self.cache.put_collection(
+                    sig,
+                    i,
+                    epochs.get(i).copied().unwrap_or(0),
+                    collected.clone(),
+                );
+            }
+            if let Some(slot) = collections.get_mut(i) {
+                *slot = Some(collected);
+            }
+        }
+        // Merge in shard index order; finalize once over the merged set.
+        let mut merged: ShardCollections = BTreeMap::new();
+        for coll in collections.into_iter().flatten() {
+            for (group, c) in coll {
+                merged.entry(group).or_default().merge(c);
+            }
+        }
+        let results = finalize_groups(merged, q);
+        if let Some(sig) = sig {
+            self.cache.put_results(sig, epochs, results.clone());
+        }
+        Ok(results)
     }
 
     /// Raw points of one exactly-identified series in `[start, end)`, with
@@ -178,11 +430,14 @@ impl ShardedTsdb {
         end: Timestamp,
     ) -> Option<(Vec<(Timestamp, f64)>, QuarantineReport)> {
         let shard = self.shard_of_key(&series_key(metric, tags));
-        let guard = self.shards.get(shard)?.read();
-        let id = guard.series_id(metric, tags)?;
+        // Count before the lookup resolves: unknown-series probes are real
+        // query traffic, and hiding them skews every hit/miss ratio built
+        // on this counter.
         if let Some(o) = self.obs_of(shard) {
             o.queries.inc();
         }
+        let guard = self.shards.get(shard)?.read();
+        let id = guard.series_id(metric, tags)?;
         guard.read_with_quarantine(id, start, end).ok()
     }
 
@@ -195,6 +450,7 @@ impl ShardedTsdb {
             total.points += st.points;
             total.chunks += st.chunks;
             total.bytes += st.bytes;
+            total.rollup_bytes += st.rollup_bytes;
         }
         total
     }
@@ -218,8 +474,9 @@ impl ShardedTsdb {
 
     /// Force-seal all open buffers in every shard.
     pub fn seal_all(&self) {
-        for s in &self.shards {
+        for (i, s) in self.shards.iter().enumerate() {
             s.write().seal_all();
+            self.bump_epoch(i);
         }
     }
 
@@ -230,8 +487,10 @@ impl ShardedTsdb {
     pub fn evict_before(&self, cutoff: Timestamp) -> Result<u64, TsdbError> {
         let mut dropped = 0u64;
         let mut first_err = None;
-        for s in &self.shards {
-            match s.write().evict_before(cutoff) {
+        for (i, s) in self.shards.iter().enumerate() {
+            let swept = s.write().evict_before(cutoff);
+            self.bump_epoch(i);
+            match swept {
                 Ok(n) => dropped += n,
                 Err(e) => {
                     first_err.get_or_insert(e);
@@ -279,6 +538,14 @@ impl ShardedTsdb {
                 continue;
             }
             let outcome = shard.write().flip_chunk_bit(target as u64, bit);
+            // Any successful flip mutated stored bytes (and dropped the
+            // chunk's rollups): cached answers over them are invalid.
+            if !matches!(
+                outcome,
+                BitFlipOutcome::NoChunks | BitFlipOutcome::BitOutOfRange
+            ) {
+                self.bump_epoch(i);
+            }
             if let BitFlipOutcome::Quarantined { points } = outcome {
                 if let Some(o) = self.obs_of(i) {
                     o.quarantined_points.add(u64::from(points));
@@ -368,6 +635,73 @@ mod tests {
     }
 
     #[test]
+    fn serve_policies_agree_byte_for_byte() {
+        let db = ShardedTsdb::with_layout(4, 16, Span::minutes(30));
+        fill(&db, 6, 100);
+        db.seal_all();
+        let queries = [
+            Query::range("m", Timestamp(0), Timestamp(100 * 300)),
+            Query::range("m", Timestamp(0), Timestamp(100 * 300))
+                .group_by("device")
+                .downsample(crate::query::Downsample {
+                    interval: Span::minutes(30),
+                    aggregator: Aggregator::Avg,
+                    fill: crate::query::FillPolicy::None,
+                }),
+            Query::range("m", Timestamp(3000), Timestamp(21_000)).downsample(
+                crate::query::Downsample {
+                    interval: Span::minutes(30),
+                    aggregator: Aggregator::Max,
+                    fill: crate::query::FillPolicy::Previous,
+                },
+            ),
+        ];
+        for q in &queries {
+            let raw = db.execute_with(q, ServePolicy::raw()).unwrap();
+            let full = db.execute_with(q, ServePolicy::full()).unwrap();
+            assert_eq!(full, raw, "serving diverged on {q:?}");
+            // Second run: served from the result cache, still identical.
+            let cached = db.execute_with(q, ServePolicy::full()).unwrap();
+            assert_eq!(cached, raw, "cache diverged on {q:?}");
+        }
+        assert!(db.cache_stats().hits >= queries.len() as u64);
+    }
+
+    #[test]
+    fn cache_invalidates_on_mutation() {
+        let db = ShardedTsdb::with_chunk_size(2, 8);
+        fill(&db, 4, 10);
+        let q = Query::range("m", Timestamp(0), Timestamp(10_000));
+        let before = db.execute(&q).unwrap();
+        assert_eq!(db.execute(&q).unwrap(), before, "cached repeat");
+        // A new point must invalidate: the cached answer is stale.
+        db.put(&dp("m", "n0", 9000, 1234.5));
+        let after = db.execute(&q).unwrap();
+        assert_ne!(after, before, "epoch bump must invalidate the cache");
+        assert_eq!(
+            after,
+            db.execute_with(&q, ServePolicy::raw()).unwrap(),
+            "post-invalidation answer matches raw"
+        );
+    }
+
+    #[test]
+    fn epochs_bump_only_touched_shards() {
+        let db = ShardedTsdb::new(4);
+        let before: Vec<u64> = (0..4).map(|i| db.epoch(i)).collect();
+        let p = dp("m", "n0", 0, 1.0);
+        let owner = db.shard_of_key(&p.series_key());
+        db.put(&p);
+        for (i, &was) in before.iter().enumerate() {
+            if i == owner {
+                assert_eq!(db.epoch(i), was + 1, "owner shard bumps");
+            } else {
+                assert_eq!(db.epoch(i), was, "other shards untouched");
+            }
+        }
+    }
+
+    #[test]
     fn read_series_routes_to_owning_shard() {
         let db = ShardedTsdb::new(8);
         fill(&db, 8, 10);
@@ -380,6 +714,24 @@ mod tests {
         assert!(db
             .read_series("m", &TagSet::new(), Timestamp(0), Timestamp(1))
             .is_none());
+    }
+
+    #[test]
+    fn unknown_series_lookup_is_counted() {
+        let registry = Registry::new();
+        let mut db = ShardedTsdb::new(2);
+        db.attach_registry(&registry);
+        let tags: TagSet = [("device".to_string(), "ghost".to_string())].into();
+        let shard = db.shard_of_key(&series_key("m", &tags));
+        assert!(db
+            .read_series("m", &tags, Timestamp(0), Timestamp(1))
+            .is_none());
+        let snap = registry.snapshot(Timestamp(0));
+        assert_eq!(
+            snap.value(&format!("tsdb.shard{shard}.queries")),
+            Some(1),
+            "a miss is still a query: it must appear in the snapshot"
+        );
     }
 
     #[test]
@@ -408,6 +760,26 @@ mod tests {
             scan.readable_points + scan.quarantined_points,
             db.stats().points
         );
+    }
+
+    #[test]
+    fn corruption_invalidates_cached_answers() {
+        let db = ShardedTsdb::with_chunk_size(2, 8);
+        fill(&db, 4, 24);
+        db.seal_all();
+        let q = Query::range("m", Timestamp(0), Timestamp(24 * 300));
+        let before = db.execute(&q).unwrap();
+        // Corrupt until a chunk actually quarantines.
+        let mut bit = 1u64;
+        loop {
+            match db.flip_chunk_bit(1, bit) {
+                BitFlipOutcome::Quarantined { .. } => break,
+                _ => bit += 7,
+            }
+        }
+        let after = db.execute(&q).unwrap();
+        assert_ne!(after, before, "quarantine must not serve stale cache");
+        assert_eq!(after, db.execute_with(&q, ServePolicy::raw()).unwrap());
     }
 
     #[test]

@@ -8,7 +8,8 @@
 use crate::error::TsdbError;
 use crate::gorilla::{CompressedChunk, GorillaEncoder};
 use crate::model::{series_key, DataPoint, TagSet};
-use ctt_core::time::Timestamp;
+use crate::rollup::{build_rollups, RollupBucket};
+use ctt_core::time::{Span, Timestamp};
 use std::collections::HashMap;
 
 /// Identifies a series within one [`Tsdb`].
@@ -18,10 +19,14 @@ pub struct SeriesId(pub u32);
 /// Default points per sealed chunk (one day of 5-minute data is 288).
 pub const DEFAULT_CHUNK_SIZE: usize = 512;
 
+/// Default rollup bucket width: one hour, the dashboard downsample the
+/// paper's Zeppelin panels use (`1h-avg`).
+pub const DEFAULT_ROLLUP_INTERVAL: Span = Span::hours(1);
+
 /// Collapse duplicate timestamps in a time-sorted point list, keeping the
 /// last occurrence of each run (last write wins). Returns how many points
 /// were removed.
-fn dedup_last_write_wins(points: &mut Vec<(Timestamp, f64)>) -> usize {
+pub(crate) fn dedup_last_write_wins(points: &mut Vec<(Timestamp, f64)>) -> usize {
     let before = points.len();
     let mut kept: Vec<(Timestamp, f64)> = Vec::with_capacity(before);
     for &(t, v) in points.iter() {
@@ -35,10 +40,38 @@ fn dedup_last_write_wins(points: &mut Vec<(Timestamp, f64)>) -> usize {
 }
 
 #[derive(Debug, Clone)]
-struct SealedChunk {
-    chunk: CompressedChunk,
-    start: Timestamp,
-    end: Timestamp,
+pub(crate) struct SealedChunk {
+    pub(crate) chunk: CompressedChunk,
+    pub(crate) start: Timestamp,
+    pub(crate) end: Timestamp,
+    /// Seal-time pre-downsampled summaries (sorted by bucket start).
+    /// `None` after the chunk has been corrupted — serving then falls back
+    /// to raw decode, which quarantines exactly like a plain read.
+    pub(crate) rollups: Option<Vec<RollupBucket>>,
+}
+
+/// Per-read scan accounting: how much work the block index and rollups
+/// saved. Exposed through query results up to the `ctt-obs` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanCounts {
+    /// Sealed chunks excluded by the time-range block index (no decode).
+    pub chunks_skipped: u64,
+    /// Sealed chunks Gorilla-decoded.
+    pub chunks_decoded: u64,
+    /// Downsample buckets served from seal-time rollups (no decode).
+    pub rollup_buckets: u64,
+    /// Downsample buckets resolved by decoding raw points.
+    pub raw_buckets: u64,
+}
+
+impl ScanCounts {
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: ScanCounts) {
+        self.chunks_skipped += other.chunks_skipped;
+        self.chunks_decoded += other.chunks_decoded;
+        self.rollup_buckets += other.rollup_buckets;
+        self.raw_buckets += other.raw_buckets;
+    }
 }
 
 /// One stored series.
@@ -46,8 +79,11 @@ struct SealedChunk {
 pub(crate) struct Series {
     pub(crate) metric: String,
     pub(crate) tags: TagSet,
-    sealed: Vec<SealedChunk>,
-    open: Vec<(Timestamp, f64)>,
+    pub(crate) sealed: Vec<SealedChunk>,
+    pub(crate) open: Vec<(Timestamp, f64)>,
+    /// Block index: chunk positions sorted by `(start, seal order)`, so a
+    /// range read binary-searches instead of walking every chunk.
+    index: Vec<u32>,
     points: u64,
 }
 
@@ -58,49 +94,150 @@ impl Series {
             tags,
             sealed: Vec::new(),
             open: Vec::new(),
+            index: Vec::new(),
             points: 0,
         }
     }
 
-    fn seal_open(&mut self) {
-        // Stable sort + last-write-wins dedup: a QoS1 redelivery that slips
-        // past the pipeline's exactly-once guard must not double-count in
-        // Avg/Sum/Count. Within equal timestamps the stable sort preserves
-        // arrival order, so keeping the final value is last-write-wins.
+    /// Sort the open buffer and collapse duplicate timestamps.
+    ///
+    /// Stable sort + last-write-wins dedup: a QoS1 redelivery that slips
+    /// past the pipeline's exactly-once guard must not double-count in
+    /// Avg/Sum/Count. Within equal timestamps the stable sort preserves
+    /// arrival order, so keeping the final value is last-write-wins.
+    fn sort_dedup_open(&mut self) {
         self.open.sort_by_key(|&(t, _)| t);
         let removed = dedup_last_write_wins(&mut self.open);
         self.points = self.points.saturating_sub(removed as u64);
-        let (Some(&(start, _)), Some(&(end, _))) = (self.open.first(), self.open.last()) else {
-            return; // nothing buffered
+    }
+
+    /// Append a sealed chunk and insert its position into the block index
+    /// (after any chunk with the same start, keeping seal order stable).
+    fn push_sealed(&mut self, sc: SealedChunk) {
+        let pos = self.index.partition_point(|&i| {
+            self.sealed
+                .get(i as usize)
+                .is_some_and(|c| c.start <= sc.start)
+        });
+        let idx = self.sealed.len() as u32;
+        self.sealed.push(sc);
+        self.index.insert(pos, idx);
+    }
+
+    /// Rebuild the block index from scratch (after retention rewrites).
+    fn rebuild_index(&mut self) {
+        let mut ix: Vec<u32> = (0..self.sealed.len() as u32).collect();
+        ix.sort_by_key(|&i| {
+            (
+                self.sealed
+                    .get(i as usize)
+                    .map_or(Timestamp(i64::MAX), |c| c.start),
+                i,
+            )
+        });
+        self.index = ix;
+    }
+
+    /// Encode the first `cut` points of the (sorted, deduplicated) open
+    /// buffer into a sealed chunk, materializing its rollups.
+    fn seal_prefix(&mut self, cut: usize, interval: Span) {
+        let pts = self.open.get(..cut).unwrap_or(&[]);
+        let (Some(&(start, _)), Some(&(end, _))) = (pts.first(), pts.last()) else {
+            return; // nothing to seal
         };
         let mut enc = GorillaEncoder::new();
-        for &(t, v) in &self.open {
+        for &(t, v) in pts {
             enc.append(t, v);
         }
-        self.sealed.push(SealedChunk {
+        let rollups = build_rollups(pts, interval);
+        self.push_sealed(SealedChunk {
             chunk: enc.finish(),
             start,
             end,
+            rollups: Some(rollups),
         });
-        self.open.clear();
+        self.open.drain(..cut);
     }
 
-    /// Collect points within `[start, end)`, sorted by time. Corrupt
-    /// sealed chunks are quarantined — skipped and counted — so one bad
-    /// chunk degrades the read instead of failing the whole range.
-    fn collect(
+    /// Seal the entire open buffer (force-flush path).
+    fn seal_open(&mut self, interval: Span) {
+        self.sort_dedup_open();
+        self.seal_prefix(self.open.len(), interval);
+    }
+
+    /// Threshold seal: cut the sorted buffer at the last full rollup-bucket
+    /// boundary, so sealed chunks align to buckets and — for in-order data
+    /// — every bucket is wholly owned by one chunk, which is what lets the
+    /// rollup path answer it without decoding neighbors. Falls back to a
+    /// full seal when everything sits in one bucket (no boundary to cut
+    /// at) or the tail alone already exceeds the chunk size (a bucket
+    /// denser than a chunk must not pin the buffer open).
+    fn seal_at_threshold(&mut self, interval: Span, chunk_size: usize) {
+        self.sort_dedup_open();
+        let Some(&(last, _)) = self.open.last() else {
+            return;
+        };
+        let boundary = last.align_down(interval);
+        let cut = self.open.partition_point(|&(t, _)| t < boundary);
+        if cut == 0 || self.open.len() - cut >= chunk_size {
+            self.seal_prefix(self.open.len(), interval);
+        } else {
+            self.seal_prefix(cut, interval);
+        }
+    }
+
+    /// Sealed-chunk positions (in seal order) whose time span intersects
+    /// `[start, end)`, plus how many chunks the block index excluded
+    /// without decoding. The hit list is re-sorted into seal order so the
+    /// downstream stable sort resolves duplicate timestamps exactly as the
+    /// pre-index code did.
+    pub(crate) fn chunks_overlapping(&self, start: Timestamp, end: Timestamp) -> (Vec<usize>, u64) {
+        let cut = self
+            .index
+            .partition_point(|&i| self.sealed.get(i as usize).is_some_and(|c| c.start < end));
+        let mut skipped = (self.index.len() - cut) as u64;
+        let mut hits = Vec::new();
+        for &i in self.index.get(..cut).unwrap_or(&[]) {
+            match self.sealed.get(i as usize) {
+                Some(c) if c.end >= start => hits.push(i as usize),
+                _ => skipped += 1,
+            }
+        }
+        hits.sort_unstable();
+        (hits, skipped)
+    }
+
+    /// Minimum and maximum timestamp currently in the open buffer (which
+    /// is unsorted between seals), or `None` when it is empty.
+    pub(crate) fn open_span(&self) -> Option<(Timestamp, Timestamp)> {
+        let mut it = self.open.iter().map(|&(t, _)| t);
+        let first = it.next()?;
+        Some(it.fold((first, first), |(lo, hi), t| (lo.min(t), hi.max(t))))
+    }
+
+    /// Collect points within `[start, end)`, sorted by time, with scan
+    /// accounting. Corrupt sealed chunks are quarantined — skipped and
+    /// counted — so one bad chunk degrades the read instead of failing the
+    /// whole range.
+    pub(crate) fn collect_counted(
         &self,
         start: Timestamp,
         end: Timestamp,
-    ) -> (Vec<(Timestamp, f64)>, QuarantineReport) {
+    ) -> (Vec<(Timestamp, f64)>, QuarantineReport, ScanCounts) {
         let mut out = Vec::new();
         let mut quarantine = QuarantineReport::default();
-        for sc in &self.sealed {
-            if sc.end < start || sc.start >= end {
+        let mut counts = ScanCounts::default();
+        let (hits, skipped) = self.chunks_overlapping(start, end);
+        counts.chunks_skipped = skipped;
+        for i in hits {
+            let Some(sc) = self.sealed.get(i) else {
                 continue;
-            }
+            };
             match sc.chunk.decode() {
-                Ok(pts) => out.extend(pts.into_iter().filter(|&(t, _)| t >= start && t < end)),
+                Ok(pts) => {
+                    counts.chunks_decoded += 1;
+                    out.extend(pts.into_iter().filter(|&(t, _)| t >= start && t < end));
+                }
                 Err(_) => {
                     quarantine.chunks += 1;
                     quarantine.points += u64::from(sc.chunk.count());
@@ -118,7 +255,55 @@ impl Series {
         // most recently written copy of a duplicated timestamp.
         out.sort_by_key(|&(t, _)| t);
         dedup_last_write_wins(&mut out);
-        (out, quarantine)
+        (out, quarantine, counts)
+    }
+
+    /// [`Series::collect_counted`] without the scan accounting.
+    fn collect(
+        &self,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> (Vec<(Timestamp, f64)>, QuarantineReport) {
+        let (pts, quarantine, _) = self.collect_counted(start, end);
+        (pts, quarantine)
+    }
+
+    /// The value of the last point strictly before `t`, if one is
+    /// readable — seeds `FillPolicy::Previous` so leading empty buckets
+    /// carry the pre-range value. The block index answers "which chunk"
+    /// from metadata; only chunks straddling `t` are decoded. The final
+    /// value is read back through [`Series::collect`] so duplicate
+    /// timestamps resolve last-write-wins exactly like a normal read.
+    /// Corrupt chunks are skipped without being counted (the range read
+    /// itself reports them).
+    pub(crate) fn last_value_before(&self, t: Timestamp) -> Option<f64> {
+        let mut best: Option<Timestamp> = None;
+        let mut consider = |ts: Timestamp| {
+            if ts < t && best.is_none_or(|b| ts > b) {
+                best = Some(ts);
+            }
+        };
+        for sc in &self.sealed {
+            if sc.start >= t {
+                continue;
+            }
+            if sc.end < t {
+                consider(sc.end);
+            } else if let Ok(pts) = sc.chunk.decode() {
+                for &(ts, _) in &pts {
+                    if ts >= t {
+                        break;
+                    }
+                    consider(ts);
+                }
+            }
+        }
+        for &(ts, _) in &self.open {
+            consider(ts);
+        }
+        let best = best?;
+        let (pts, _) = self.collect(best, Timestamp(best.0.saturating_add(1)));
+        pts.last().map(|&(_, v)| v)
     }
 
     fn compressed_bytes(&self) -> usize {
@@ -127,6 +312,17 @@ impl Series {
             .map(|s| s.chunk.size_bytes())
             .sum::<usize>()
             + self.open.len() * std::mem::size_of::<(Timestamp, f64)>()
+    }
+
+    fn rollup_bytes(&self) -> usize {
+        self.sealed
+            .iter()
+            .map(|s| {
+                s.rollups
+                    .as_ref()
+                    .map_or(0, |r| r.len() * RollupBucket::SIZE_BYTES)
+            })
+            .sum()
     }
 }
 
@@ -185,35 +381,62 @@ pub struct StoreStats {
     pub points: u64,
     /// Total sealed chunks.
     pub chunks: usize,
-    /// Approximate stored bytes (compressed chunks + open buffers).
+    /// Approximate stored bytes (compressed chunks + open buffers),
+    /// excluding rollups so the raw compression ratio stays visible.
     pub bytes: usize,
+    /// Bytes of seal-time rollup summaries (the cost of fast serving).
+    pub rollup_bytes: usize,
 }
 
 /// The time-series database.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Tsdb {
     pub(crate) series: Vec<Series>,
     by_key: HashMap<String, SeriesId>,
     by_metric: HashMap<String, Vec<SeriesId>>,
     chunk_size: usize,
+    rollup_interval: Span,
+}
+
+impl Default for Tsdb {
+    fn default() -> Self {
+        Tsdb::new()
+    }
 }
 
 impl Tsdb {
-    /// New database with the default chunk size.
+    /// New database with the default chunk size and rollup interval.
     pub fn new() -> Self {
-        Tsdb {
-            chunk_size: DEFAULT_CHUNK_SIZE,
-            ..Tsdb::default()
-        }
+        Tsdb::with_layout(DEFAULT_CHUNK_SIZE, DEFAULT_ROLLUP_INTERVAL)
     }
 
     /// New database with a custom points-per-chunk.
     pub fn with_chunk_size(chunk_size: usize) -> Self {
+        Tsdb::with_layout(chunk_size, DEFAULT_ROLLUP_INTERVAL)
+    }
+
+    /// New database with custom points-per-chunk and rollup bucket width.
+    /// Threshold seals cut at rollup boundaries, so the interval also
+    /// shapes chunk spans; queries downsampling at exactly this interval
+    /// are served from seal-time rollups without decoding chunks.
+    pub fn with_layout(chunk_size: usize, rollup_interval: Span) -> Self {
         assert!(chunk_size >= 2, "chunk size too small");
+        assert!(
+            rollup_interval.as_seconds() > 0,
+            "rollup interval must be positive"
+        );
         Tsdb {
+            series: Vec::new(),
+            by_key: HashMap::new(),
+            by_metric: HashMap::new(),
             chunk_size,
-            ..Tsdb::default()
+            rollup_interval,
         }
+    }
+
+    /// The rollup bucket width this store materializes at seal time.
+    pub fn rollup_interval(&self) -> Span {
+        self.rollup_interval
     }
 
     /// Insert a data point, interning its series on first sight.
@@ -239,7 +462,7 @@ impl Tsdb {
             series.open.push((point.time, point.value));
             series.points += 1;
             if series.open.len() >= self.chunk_size {
-                series.seal_open();
+                series.seal_at_threshold(self.rollup_interval, self.chunk_size);
             }
         }
         id
@@ -332,12 +555,35 @@ impl Tsdb {
             if !sc.chunk.flip_bit(bit) {
                 return BitFlipOutcome::BitOutOfRange;
             }
-            return match sc.chunk.decode() {
-                Ok(_) => BitFlipOutcome::StillReadable,
+            // Even a still-readable flip may have changed values, so the
+            // rollups no longer summarize the chunk: drop them and let
+            // serving fall back to raw decode (which quarantines exactly
+            // like a plain read if the bitstream broke).
+            sc.rollups = None;
+            let outcome = match sc.chunk.decode() {
+                Ok(pts) => {
+                    // A readable flip may have moved points in time (a
+                    // corrupted timestamp delta shifts every later point),
+                    // so the chunk's time-range metadata is *widened* to
+                    // cover wherever the points now decode to — otherwise
+                    // the block index would skip buckets the points moved
+                    // into. Widened, not replaced: the original range stays
+                    // covered so reads over it still attribute quarantine
+                    // to this chunk if a later flip breaks the bitstream.
+                    let min = pts.iter().map(|&(t, _)| t).min();
+                    let max = pts.iter().map(|&(t, _)| t).max();
+                    if let (Some(min), Some(max)) = (min, max) {
+                        sc.start = sc.start.min(min);
+                        sc.end = sc.end.max(max);
+                    }
+                    BitFlipOutcome::StillReadable
+                }
                 Err(_) => BitFlipOutcome::Quarantined {
                     points: sc.chunk.count(),
                 },
             };
+            s.rebuild_index();
+            return outcome;
         }
         BitFlipOutcome::NoChunks
     }
@@ -375,13 +621,14 @@ impl Tsdb {
             points: self.series.iter().map(|s| s.points).sum(),
             chunks: self.series.iter().map(|s| s.sealed.len()).sum(),
             bytes: self.series.iter().map(Series::compressed_bytes).sum(),
+            rollup_bytes: self.series.iter().map(Series::rollup_bytes).sum(),
         }
     }
 
     /// Force-seal all open buffers (e.g. before measuring compression).
     pub fn seal_all(&mut self) {
         for s in &mut self.series {
-            s.seal_open();
+            s.seal_open(self.rollup_interval);
         }
     }
 
@@ -392,6 +639,7 @@ impl Tsdb {
     pub fn evict_before(&mut self, cutoff: Timestamp) -> Result<u64, TsdbError> {
         let mut dropped = 0u64;
         let mut first_err = None;
+        let rollup_interval = self.rollup_interval;
         for s in &mut self.series {
             let mut kept_sealed = Vec::with_capacity(s.sealed.len());
             for sc in s.sealed.drain(..) {
@@ -416,15 +664,20 @@ impl Tsdb {
                         for &(t, v) in &pts {
                             enc.append(t, v);
                         }
+                        // Rollups rebuilt over the surviving points only:
+                        // the truncated leading bucket summarizes exactly
+                        // what a raw decode of the new chunk would see.
                         kept_sealed.push(SealedChunk {
                             chunk: enc.finish(),
                             start,
                             end,
+                            rollups: Some(build_rollups(&pts, rollup_interval)),
                         });
                     }
                 }
             }
             s.sealed = kept_sealed;
+            s.rebuild_index();
             let before = s.open.len();
             s.open.retain(|&(t, _)| t >= cutoff);
             dropped += (before - s.open.len()) as u64;

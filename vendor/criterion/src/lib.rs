@@ -114,6 +114,20 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// Record a pre-measured scalar metric (e.g. a latency percentile computed
+/// by the benchmark itself) into the JSON report. The value lands in the
+/// `mean_ns_per_iter` field so `bench_check` reads it like any timing.
+pub fn report_metric(name: &str, ns: f64) {
+    println!("bench {name}: {:.3} ms (reported metric)", ns / 1e6);
+    record(BenchResult {
+        name: name.to_string(),
+        mean_ns_per_iter: ns.max(1.0),
+        min_ns_per_iter: ns.max(1.0),
+        samples: 1,
+        elements: None,
+    });
+}
+
 /// Top-level benchmark driver (one per `criterion_group!`).
 #[derive(Debug, Clone)]
 pub struct Criterion {
@@ -145,6 +159,13 @@ impl Criterion {
             self.test_mode = true;
         }
         self
+    }
+
+    /// Whether this run is a `--test` smoke run. Benchmarks that measure
+    /// and report their own metrics (percentiles over many operations)
+    /// check this to shrink the workload to a single pass.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
     }
 
     /// Run a single named benchmark.
