@@ -50,6 +50,8 @@ pub struct OrderedPool<I, O> {
     jobs: Option<Sender<(usize, I)>>,
     results: Receiver<(usize, O)>,
     workers: Vec<JoinHandle<()>>,
+    /// Kept for the single-item inline fast path in [`OrderedPool::map`].
+    f: Arc<dyn Fn(I) -> O + Send + Sync>,
 }
 
 impl<I, O> fmt::Debug for OrderedPool<I, O> {
@@ -87,12 +89,21 @@ impl<I: Send + 'static, O: Send + 'static> OrderedPool<I, O> {
             jobs: Some(jobs_tx),
             results: results_rx,
             workers: handles,
+            f,
         }
     }
 
     /// Apply the pool's function to every item, returning outputs in input
     /// order regardless of which worker finished first.
+    ///
+    /// Single-item batches run inline on the caller thread, skipping the
+    /// channel round-trip: the function is pure, so where it runs cannot
+    /// change the value, and one-item batches are the common shape for
+    /// fleet slices that touch a single shard.
     pub fn map(&self, items: Vec<I>) -> Vec<O> {
+        if items.len() == 1 {
+            return items.into_iter().map(|item| (self.f)(item)).collect();
+        }
         let Some(jobs) = self.jobs.as_ref() else {
             return Vec::new();
         };
@@ -198,6 +209,8 @@ mod tests {
         assert_eq!(out, expect);
         // The pool is reusable across batches.
         assert_eq!(pool.map(vec![7, 3]), vec![14, 6]);
+        // Single-item batches take the inline fast path; same contract.
+        assert_eq!(pool.map(vec![5]), vec![10]);
         assert_eq!(pool.map(Vec::new()), Vec::<u64>::new());
     }
 

@@ -175,6 +175,7 @@ impl Default for LintConfig {
                 "crates/dataport/src/".into(),
                 "src/pipeline.rs".into(),
                 "src/parallel.rs".into(),
+                "src/fleet.rs".into(),
             ],
             replay_paths: vec![
                 "crates/broker/src/".into(),
@@ -208,6 +209,12 @@ impl Default for LintConfig {
                 ("AdmissionControl".into(), "admit".into()),
                 ("AdmissionControl".into(), "retry".into()),
                 ("Pipeline".into(), "consume_storage".into()),
+                // Sharded event space: slice pop and schedule run on every
+                // fleet dispatch; Fleet::run_until is the fleet hot loop.
+                ("ShardedEventQueue".into(), "schedule".into()),
+                ("ShardedEventQueue".into(), "pop_slice".into()),
+                ("ShardedEventQueue".into(), "pop_slice_until".into()),
+                ("Fleet".into(), "run_until".into()),
             ],
         }
     }

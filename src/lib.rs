@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
+pub mod fleet;
 pub mod parallel;
 pub mod pipeline;
 
@@ -49,11 +50,13 @@ pub use ctt_sim as sim;
 pub use ctt_tsdb as tsdb;
 pub use ctt_viz as viz;
 
+pub use fleet::{Fleet, FleetConfig, DEFAULT_FLEET_SHARDS};
 pub use parallel::{run_cities_parallel, worker_width, OrderedPool};
 pub use pipeline::{Pipeline, PipelineStats};
 
 /// Commonly used items for examples and applications.
 pub mod prelude {
+    pub use crate::fleet::{Fleet, FleetConfig};
     pub use crate::pipeline::{Pipeline, PipelineStats};
     pub use ctt_core::deployment::Deployment;
     pub use ctt_core::ids::{DevEui, GatewayId};

@@ -1,7 +1,7 @@
 //! Deterministic parallelism: re-exports of the `ctt_core::pool` worker
 //! pool (which lives in `ctt-core` so lower layers like `ctt-tsdb` can use
-//! it for parallel per-shard query collection), plus the fork/join helper
-//! for running whole city pipelines side by side.
+//! it for parallel per-shard query collection), plus the compatibility
+//! facade for running whole city pipelines side by side.
 //!
 //! Parallel execution must not perturb replay: the PR 2 determinism tests
 //! compare alarm traces and TSDB contents byte for byte across runs. The
@@ -12,24 +12,48 @@
 
 pub use ctt_core::pool::{join_all, worker_width, OrderedPool};
 
-/// Advance several city pipelines concurrently, each on its own worker,
-/// until `horizon` past its deployment start. Returns the pipelines in the
-/// order given. Equivalent to calling [`crate::Pipeline::run_until`] on
-/// each sequentially — the pipelines share no state.
+use crate::fleet::Fleet;
+
+/// Advance several city pipelines concurrently until `horizon` past each
+/// deployment's start. Returns the pipelines in the order given, with
+/// observables byte-identical to calling [`crate::Pipeline::run_until`] on
+/// each sequentially.
+///
+/// **Deprecation note:** this is now a thin compatibility facade over
+/// [`crate::Fleet`], which mounts every pipeline's calendar into one
+/// sharded event space and dispatches same-instant slices on disjoint
+/// shards in parallel. New code should build a `Fleet` directly — it keeps
+/// the cities resident (no per-call mount/unmount), supports cross-shard
+/// rollup events, and exposes the space's dispatch profile. The one case
+/// still served by the old fork/join path is a pipeline set whose
+/// deployments started at different instants (heterogeneous horizons), for
+/// which the fleet's single `end` is not expressible.
 pub fn run_cities_parallel(
     pipelines: Vec<crate::Pipeline>,
     horizon: ctt_core::time::Span,
 ) -> Vec<crate::Pipeline> {
-    join_all(
-        pipelines
-            .into_iter()
-            .map(|mut p| {
-                move || {
-                    let end = p.deployment.started + horizon;
-                    p.run_until(end);
-                    p
-                }
-            })
-            .collect(),
-    )
+    let mut ends = pipelines.iter().map(|p| p.deployment.started + horizon);
+    let first = ends.next();
+    let uniform = ends.all(|e| Some(e) == first);
+    match (first, uniform) {
+        (Some(end), true) => {
+            let mut fleet = Fleet::new(pipelines);
+            fleet.run_until(end);
+            fleet.into_pipelines()
+        }
+        // Heterogeneous start instants (or an empty set): the legacy
+        // fork/join path, one worker per city.
+        _ => join_all(
+            pipelines
+                .into_iter()
+                .map(|mut p| {
+                    move || {
+                        let end = p.deployment.started + horizon;
+                        p.run_until(end);
+                        p
+                    }
+                })
+                .collect(),
+        ),
+    }
 }

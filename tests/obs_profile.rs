@@ -7,6 +7,25 @@
 
 use ctt::prelude::*;
 
+/// Run a two-city fleet and capture the fleet-level exports.
+fn fleet_run(shards: usize) -> (String, String, String) {
+    let mut fleet = Fleet::with_config(
+        vec![
+            Pipeline::new(Deployment::vejle(), 42),
+            Pipeline::new(Deployment::trondheim(), 7),
+        ],
+        FleetConfig {
+            shards,
+            parallel: true,
+            ..FleetConfig::default()
+        },
+    );
+    let end = Deployment::vejle().started + Span::hours(6);
+    fleet.run_until(end);
+    let snap = fleet.metrics_snapshot();
+    (snap.to_csv(), snap.to_json(), fleet.scheduling_profile())
+}
+
 /// Run one city with full instrumentation and capture every export.
 fn instrumented_run(deployment: Deployment, seed: u64, hours: i64) -> (String, String, String) {
     let mut p = Pipeline::new(deployment, seed);
@@ -69,6 +88,55 @@ fn snapshot_agrees_with_pipeline_stats() {
     assert!(snap.value("sim.queue.high_water").unwrap_or(0) > 0);
     // Snapshot time is the simulation clock, not the wall clock.
     assert_eq!(snap.at(), p.now());
+}
+
+#[test]
+fn fleet_profile_is_byte_identical_across_replays_and_pins_shard_metrics() {
+    let (csv_a, json_a, prof_a) = fleet_run(4);
+    let (csv_b, json_b, prof_b) = fleet_run(4);
+    assert_eq!(csv_a, csv_b, "fleet metrics CSV diverged across replays");
+    assert_eq!(json_a, json_b, "fleet metrics JSON diverged across replays");
+    assert_eq!(prof_a, prof_b, "fleet profile diverged across replays");
+    // The sharded event space's names are pinned in the fleet snapshot:
+    // per-shard dispatch counters, the cross lane, and the slice-width
+    // histogram all export under sim.*.
+    for name in [
+        "sim.shard0.dispatched",
+        "sim.shard3.dispatched",
+        "sim.cross_shard_events",
+        "sim.slices",
+        "sim.slice_width",
+        "sim.space.len",
+        "fleet.cities",
+    ] {
+        assert!(
+            csv_a.contains(name),
+            "{name} missing from fleet CSV:\n{csv_a}"
+        );
+    }
+    assert!(prof_a.contains("space shards=4"), "{prof_a}");
+    assert!(prof_a.contains("slice_width.p50="), "{prof_a}");
+    // Per-city dispatch accounting flows into the fleet snapshot via the
+    // cities' own registries; something actually dispatched per shard.
+    let snap_total: i128 = {
+        let mut fleet = Fleet::with_config(
+            vec![
+                Pipeline::new(Deployment::vejle(), 42),
+                Pipeline::new(Deployment::trondheim(), 7),
+            ],
+            FleetConfig {
+                shards: 4,
+                parallel: true,
+                ..FleetConfig::default()
+            },
+        );
+        fleet.run_until(Deployment::vejle().started + Span::hours(6));
+        let snap = fleet.metrics_snapshot();
+        (0..4)
+            .map(|i| snap.value(&format!("sim.shard{i}.dispatched")).unwrap_or(0))
+            .sum()
+    };
+    assert!(snap_total > 0, "no shard dispatched anything");
 }
 
 #[test]
