@@ -132,6 +132,49 @@ fn best_ratio(num: &Bench, den: &Bench) -> Option<f64> {
     }
 }
 
+/// The staged-runtime criterion: the best-width single-writer runtime
+/// (lock-free routing, per-shard writer threads, batch interning, arena
+/// buffers, streaming seals) must sustain at least 2x the mean throughput
+/// of plain serial 1-shard `put_batch` ingest. Mean, not peak: the runtime
+/// claim is sustained throughput, and the 2x margin is far enough from
+/// parity that scheduler noise cannot fake a pass.
+fn check_ingest_runtime(benches: &[Bench]) -> Result<(), String> {
+    let mean = |name: &str| {
+        benches
+            .iter()
+            .find(|b| b.name == name)
+            .and_then(|b| b.elems_per_sec)
+            .ok_or_else(|| format!("no {name} mean throughput in report"))
+    };
+    let serial = mean("ingest_serial/shards/1")?;
+    let mut best = f64::MIN;
+    let mut best_width = "";
+    for width in ["1", "2", "4", "8"] {
+        let t = mean(&format!("ingest_runtime/writers/{width}"))?;
+        if t > best {
+            best = t;
+            best_width = width;
+        }
+    }
+    if best < 2.0 * serial {
+        return Err(format!(
+            "best runtime ingest ({best:.0} elems/s at {best_width} writers) is under 2x serial 1-shard ({serial:.0} elems/s)"
+        ));
+    }
+    let high_water = |width: &str| {
+        benches
+            .iter()
+            .find(|b| b.name == format!("ingest_runtime/queue_high_water/{width}"))
+            .map(|b| b.mean_ns_per_iter)
+    };
+    println!(
+        "bench_check: ingest runtime ok — serial {serial:.0} elems/s, best {best_width} writers {best:.0} elems/s ({:.2}x), queue high-water {:.0} batches",
+        best / serial,
+        high_water(best_width).unwrap_or(0.0)
+    );
+    Ok(())
+}
+
 /// The scheduler criteria:
 /// - at 2000 nodes the event-queue dispatch loop must beat the old
 ///   min-scan shape outright (80x observed — a hard gate);
@@ -289,8 +332,11 @@ fn check_query_scaling(benches: &[Bench]) -> Result<(), String> {
 }
 
 /// The rollup criterion: serving a matching-interval downsample from
-/// seal-time rollups must be at least 3× faster than re-decoding the
-/// Gorilla streams (cache disabled on both sides; ~3.7× observed).
+/// seal-time rollups must be at least 2.5× faster than re-decoding the
+/// Gorilla streams (cache disabled on both sides). The floor was 3×
+/// (~3.7× observed) until the ingest-runtime PR rewrote `BitReader` to
+/// byte-gulp reads — raw decode, the comparison baseline, got ~25%
+/// faster, so the honest rollup margin is now ~2.9–3.4×.
 fn check_rollup_speedup(benches: &[Bench]) -> Result<(), String> {
     let peak = |variant: &str| {
         benches
@@ -301,9 +347,9 @@ fn check_rollup_speedup(benches: &[Bench]) -> Result<(), String> {
     };
     let raw = peak("raw")?;
     let rollup = peak("rollup")?;
-    if rollup < 3.0 * raw {
+    if rollup < 2.5 * raw {
         return Err(format!(
-            "rollup serving ({rollup:.0} elems/s) is under 3x raw decode ({raw:.0} elems/s)"
+            "rollup serving ({rollup:.0} elems/s) is under 2.5x raw decode ({raw:.0} elems/s)"
         ));
     }
     println!(
@@ -378,6 +424,12 @@ fn check_file(path: &str) -> Result<(), String> {
     }
     if benches.iter().any(|b| b.name.starts_with("ingest/")) {
         check_ingest_scaling(&benches).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if benches
+        .iter()
+        .any(|b| b.name.starts_with("ingest_runtime/"))
+    {
+        check_ingest_runtime(&benches).map_err(|e| format!("{path}: {e}"))?;
     }
     if benches.iter().any(|b| b.name.starts_with("scheduler/")) {
         check_scheduler_scaling(&benches).map_err(|e| format!("{path}: {e}"))?;

@@ -1,0 +1,874 @@
+//! # ctt-ingest — single-writer sharded ingest runtime
+//!
+//! The storage tier's put path used to be "hash the point, take the
+//! shard's `RwLock`, insert": correct, but every core contends on the same
+//! handful of locks, per-point series-key strings are built twice, and the
+//! intern map is probed for every single point. This crate restructures
+//! ingest as a staged runtime, the way dedicated ingest tiers in the
+//! related urban-sensing systems are built:
+//!
+//! * **One writer per shard.** Each TSDB shard is owned by exactly one
+//!   writer thread. Producers never take a shard lock — they route points
+//!   by the same FNV-1a series-key hash as [`ShardedTsdb`] and push
+//!   batches onto the owner's bounded SPSC ring ([`ring::SpscRing`]).
+//!   (The writer still takes its shard's `RwLock` once per ring batch so
+//!   concurrent *readers* stay safe, but no other writer ever touches it —
+//!   the put path itself acquires no lock.)
+//! * **Resolve once, ship runs.** A series is resolved producer-side
+//!   exactly once: the first point of a new series hashes its key, lands
+//!   in the producer's open-addressed table, and appends a definition to
+//!   the owning lane's log. Every later point ships as a bare
+//!   `(timestamp, value)` pair under a run header `(ref, len)` — real
+//!   ingest is run-shaped (devices drain contiguously), so one memoized
+//!   equality check replaces hash + probe on the fast path, and the
+//!   writer feeds whole runs straight into the shard without regrouping.
+//! * **Batch interning.** The writer interns a series into the shard's
+//!   map once per series *lifetime* (the id is cached per ref), not once
+//!   per point, and applies each ring batch through one write session.
+//! * **Arena batches.** Batch buffers (run headers + point arrays) are
+//!   recycled ring → spare stack → producer, so steady-state ingest
+//!   allocates nothing on the hot path.
+//! * **Streaming seals.** Writers append through
+//!   [`ctt_tsdb::Tsdb::append_run`], which feeds the store's streaming
+//!   Gorilla encoder — sealing a chunk is a checkpoint rewind, not a
+//!   re-encode of the whole open buffer.
+//! * **Epoch publication.** A writer publishes each batch by dropping its
+//!   [`ctt_tsdb::ShardWriteSession`], which bumps the same per-shard
+//!   atomic epoch the query cache validates against — the serving stack
+//!   is unchanged.
+//!
+//! ## Determinism contract
+//!
+//! The runtime is asynchronous between barriers and exactly equivalent at
+//! them: after [`IngestRuntime::flush`], the sharded store (state, stats,
+//! query results, per-shard `puts` counters) is byte-identical to having
+//! called [`ShardedTsdb::put_batch`] with the same points in the same
+//! order. The pipeline flushes at segment/slice boundaries, before
+//! snapshots, and before reads, so replay, run-split invariance, and the
+//! loss ledger see no difference.
+//!
+//! The runtime's own metrics are *producer-side* quantities so they share
+//! that contract: admission is governed by a deterministic unflushed-batch
+//! budget per lane (not by racing the writer), which makes `full_stalls`
+//! and `ring_high_water` functions of the submitted workload alone —
+//! byte-identical across replays — while also guaranteeing the physical
+//! ring never overflows.
+//!
+//! ## Crash drill
+//!
+//! The occupied ring slot is the lane's write-ahead record: a writer
+//! killed mid-batch ([`IngestRuntime::arm_crash`]) leaves the batch in the
+//! ring; the next barrier joins the dead thread, respawns the writer, and
+//! the batch is reapplied exactly once. Writer-local state (ref → series
+//! id) dies with the thread and is rebuilt from the lane's definition log
+//! and the shard's intern map, whose ids are stable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+pub mod ring;
+
+use ctt_core::time::Timestamp;
+use ctt_obs::{Counter, Gauge, Registry};
+use ctt_tsdb::{series_key_hash, DataPoint, SeriesId, ShardWriter, ShardedTsdb, TagSet};
+use parking_lot::Mutex;
+use ring::SpscRing;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{JoinHandle, Thread};
+
+/// Default bound on unflushed batches per lane (and the lane's physical
+/// ring capacity). Reaching it forces a lane barrier — counted in
+/// `full_stalls` — so producers can never overrun a slow writer.
+pub const DEFAULT_LANE_CAPACITY: usize = 256;
+
+/// Default staging threshold: a lane's staged points are shipped as one
+/// ring batch once they reach this many, amortizing the per-batch costs
+/// (ring hand-off, shard write session, writer wakeup) over more points.
+/// Anything still staged ships at the next flush barrier regardless.
+pub const DEFAULT_SHIP_POINTS: usize = 1024;
+
+/// Ingest runtime tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Unflushed-batch budget per lane; also the SPSC ring's slot count.
+    pub lane_capacity: usize,
+    /// Staged points per lane that trigger shipping a ring batch.
+    pub ship_points: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            lane_capacity: DEFAULT_LANE_CAPACITY,
+            ship_points: DEFAULT_SHIP_POINTS,
+        }
+    }
+}
+
+/// One routed batch on a lane's ring: run headers `(ref, len)` over a flat
+/// point array. The producer emits a new header only when the series
+/// changes mid-stream, so the writer can feed each run straight into
+/// [`ctt_tsdb::Tsdb::append_run`] — no per-point regrouping, no heap
+/// traffic beyond the recycled buffers themselves.
+#[derive(Debug, Default)]
+struct LaneBatch {
+    runs: Vec<(u32, u32)>,
+    pts: Vec<(Timestamp, f64)>,
+}
+
+impl LaneBatch {
+    fn clear(&mut self) {
+        self.runs.clear();
+        self.pts.clear();
+    }
+}
+
+/// Per-lane observability, registered as `ingest.shard<i>.*`. All values
+/// are producer-side or barrier-exact (see the crate docs), so snapshots
+/// taken at flush barriers are replay-deterministic.
+#[derive(Debug, Clone)]
+struct LaneObs {
+    /// Points accepted into this lane by `submit`.
+    enqueued: Counter,
+    /// Ring batches applied by the writer (equals batches pushed, at
+    /// barriers).
+    batches: Counter,
+    /// Forced lane barriers: a submit found the lane's unflushed-batch
+    /// budget exhausted and waited for the writer to drain.
+    full_stalls: Counter,
+    /// Compressed bytes this lane's shard encoded during writer sessions.
+    encoded_bytes: Counter,
+    /// High-water of unflushed batches in this lane between barriers.
+    ring_high_water: Gauge,
+}
+
+impl LaneObs {
+    fn register(registry: &Registry, shard: usize) -> Self {
+        LaneObs {
+            enqueued: registry.counter(&format!("ingest.shard{shard}.enqueued")),
+            batches: registry.counter(&format!("ingest.shard{shard}.batches")),
+            full_stalls: registry.counter(&format!("ingest.shard{shard}.full_stalls")),
+            encoded_bytes: registry.counter(&format!("ingest.shard{shard}.encoded_bytes")),
+            ring_high_water: registry.gauge(&format!("ingest.shard{shard}.ring_high_water")),
+        }
+    }
+}
+
+/// State shared between a lane's producer side and its writer thread.
+#[derive(Debug)]
+struct LaneShared {
+    ring: SpscRing<LaneBatch>,
+    /// The lane's series definition log, indexed by ref. Append-only; the
+    /// producer writes a new series' identity here *before* any of its
+    /// points enter the ring, so a (re)spawned writer can always resolve
+    /// every ref it encounters. Touched once per series lifetime by the
+    /// producer and once per series per writer incarnation — never on the
+    /// per-point path.
+    defs: Mutex<Vec<(String, TagSet)>>,
+    /// Cleared batch buffers flowing back writer → producer for reuse.
+    spares: Mutex<Vec<LaneBatch>>,
+    /// Batches fully applied (and popped) by the writer. The flush barrier
+    /// waits for this to reach the producer's pushed count.
+    applied: AtomicU64,
+    /// The applied count a parked barrier is waiting for (`u64::MAX` when
+    /// nobody waits). The writer only takes the waiter-unpark path when it
+    /// crosses this, so a flush costs one wakeup, not one per batch.
+    wait_target: AtomicU64,
+    /// Writer liveness: set false by a crashing writer on its way out.
+    alive: AtomicBool,
+    /// Shutdown request: the writer drains the ring, then exits.
+    shutdown: AtomicBool,
+    /// Chaos: when set, the writer dies mid-batch (batch read off the
+    /// ring's front but not applied) instead of applying the next batch.
+    crash_next: AtomicBool,
+    /// True while the writer is parked on an empty ring. Producers only
+    /// pay the unpark syscall when this is set; a busy writer picks new
+    /// batches up on its own.
+    writer_parked: AtomicBool,
+    /// The writer thread's handle for unparking (token semantics: the
+    /// producer unparks after every push, so no wakeup is ever lost).
+    thread: Mutex<Option<Thread>>,
+    /// A barrier waiter's handle; unparked by the writer when `applied`
+    /// crosses `wait_target`.
+    waiter: Mutex<Option<Thread>>,
+    obs: LaneObs,
+}
+
+impl LaneShared {
+    fn unpark_writer(&self) {
+        if let Some(t) = self.thread.lock().as_ref() {
+            t.unpark();
+        }
+    }
+}
+
+/// Producer-side lane accounting. `pushed`/`acked` are written only by the
+/// producer; they are atomics so `&self` barriers (`flush`) can read them.
+#[derive(Debug)]
+struct LaneLocal {
+    shared: Arc<LaneShared>,
+    writer: ShardWriter,
+    /// Batches ever pushed onto the ring.
+    pushed: AtomicU64,
+    /// `pushed` as of the last completed barrier; `pushed - acked` is the
+    /// deterministic unflushed budget admission charges against.
+    acked: AtomicU64,
+    join: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// One resolved series on the producer side: its identity (for probe
+/// verification) and its routing — owning lane plus lane-local ref.
+#[derive(Debug)]
+struct ProducerSlot {
+    metric: String,
+    tags: TagSet,
+    lane: u32,
+    r: u32,
+}
+
+/// Open-addressed series-key-hash table with full-key verification on
+/// hits. Deterministic (FNV keys, linear probing, no `RandomState`) and
+/// panic-free. Values are `slot_index + 1`; zero marks a vacant bucket.
+#[derive(Debug, Default)]
+struct KeyTable {
+    entries: Vec<(u64, u32)>,
+    len: usize,
+}
+
+impl KeyTable {
+    #[inline]
+    fn probe(&self, slots: &[ProducerSlot], hash: u64, metric: &str, tags: &TagSet) -> Option<u32> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mask = self.entries.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let &(h, s) = self.entries.get(i)?;
+            if s == 0 {
+                return None;
+            }
+            if h == hash {
+                if let Some(slot) = slots.get((s - 1) as usize) {
+                    if slot.metric == metric && slot.tags == *tags {
+                        return Some(s - 1);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, hash: u64, slot_plus1: u32) {
+        if self.entries.len() < (self.len + 1) * 2 {
+            self.grow();
+        }
+        let mask = self.entries.len().saturating_sub(1);
+        let mut i = (hash as usize) & mask;
+        loop {
+            match self.entries.get_mut(i) {
+                Some(e) if e.1 == 0 => {
+                    *e = (hash, slot_plus1);
+                    self.len += 1;
+                    return;
+                }
+                Some(_) => i = (i + 1) & mask,
+                None => return,
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.entries.len() * 2).max(64);
+        let old = std::mem::replace(&mut self.entries, vec![(0, 0); new_cap]);
+        self.len = 0;
+        for (h, s) in old {
+            if s != 0 {
+                self.insert(h, s);
+            }
+        }
+    }
+}
+
+/// Everything a writer thread owns: the ref → shard series id cache. Dies
+/// with the thread on a crash and is rebuilt from the lane's definition
+/// log and the shard's stable intern map on respawn.
+#[derive(Debug, Default)]
+struct WriterState {
+    ids: Vec<Option<SeriesId>>,
+}
+
+impl WriterState {
+    /// Apply one ring batch through one shard write session: each run
+    /// header feeds its point subslice straight into the shard, resolving
+    /// unknown refs from the lane's definition log (one intern per series
+    /// per writer incarnation) in first-occurrence order — exactly serial
+    /// interning order, so new-series ids match `put_batch`. Returns the
+    /// compressed bytes the shard encoded during the session.
+    fn apply(&mut self, writer: &ShardWriter, shared: &LaneShared, batch: &LaneBatch) -> u64 {
+        let mut session = writer.session();
+        let encoded_before = session.encoded_bytes_total();
+        let mut off = 0usize;
+        for &(r, len) in &batch.runs {
+            let idx = r as usize;
+            if idx >= self.ids.len() {
+                self.ids.resize(idx + 1, None);
+            }
+            let id = match self.ids.get(idx).copied().flatten() {
+                Some(id) => id,
+                None => {
+                    // Lock order: shard write lock (the session), then the
+                    // defs mutex. The producer takes defs without ever
+                    // holding a shard lock, so no cycle.
+                    let defs = shared.defs.lock();
+                    let Some((metric, tags)) = defs.get(idx) else {
+                        off += len as usize;
+                        continue;
+                    };
+                    let id = session.intern(metric, tags);
+                    drop(defs);
+                    if let Some(slot) = self.ids.get_mut(idx) {
+                        *slot = Some(id);
+                    }
+                    id
+                }
+            };
+            let end = off + len as usize;
+            if let Some(run) = batch.pts.get(off..end) {
+                session.append_run(id, run);
+            }
+            off = end;
+        }
+        session.encoded_bytes_total() - encoded_before
+    }
+}
+
+/// What the writer found at the ring's front.
+#[derive(Debug)]
+enum Step {
+    Applied(u64),
+    Crashed,
+}
+
+/// The writer thread body for one lane.
+fn writer_loop(shared: Arc<LaneShared>, writer: ShardWriter) {
+    let mut state = WriterState::default();
+    loop {
+        let step = shared.ring.with_front(|batch| {
+            if shared.crash_next.swap(false, Ordering::AcqRel) {
+                // Chaos drill: die mid-batch — read off the ring's front
+                // but not applied. The slot keeps the batch for the
+                // respawned writer.
+                return Step::Crashed;
+            }
+            Step::Applied(state.apply(&writer, &shared, batch))
+        });
+        match step {
+            Some(Step::Crashed) => {
+                shared.alive.store(false, Ordering::Release);
+                return;
+            }
+            Some(Step::Applied(encoded)) => {
+                shared.obs.encoded_bytes.add(encoded);
+                shared.obs.batches.inc();
+                if let Some(mut batch) = shared.ring.pop_front() {
+                    batch.clear();
+                    shared.spares.lock().push(batch);
+                }
+                let done = shared.applied.fetch_add(1, Ordering::AcqRel) + 1;
+                if done >= shared.wait_target.load(Ordering::Acquire) {
+                    if let Some(w) = shared.waiter.lock().as_ref() {
+                        w.unpark();
+                    }
+                }
+            }
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Empty ring: park until the producer pushes. Publish the
+                // parked flag BEFORE re-checking the ring: a producer that
+                // pushes after the re-check already sees the flag and
+                // unparks, so park returns immediately (token semantics —
+                // no lost wakeup).
+                shared.writer_parked.store(true, Ordering::Release);
+                if shared.ring.depth() > 0 || shared.shutdown.load(Ordering::Acquire) {
+                    shared.writer_parked.store(false, Ordering::Release);
+                    continue;
+                }
+                std::thread::park();
+                shared.writer_parked.store(false, Ordering::Release);
+            }
+        }
+    }
+}
+
+/// The staged ingest runtime: one bounded SPSC lane and one writer thread
+/// per TSDB shard. See the crate docs for the architecture and the
+/// determinism contract.
+pub struct IngestRuntime {
+    lanes: Vec<LaneLocal>,
+    /// Producer-side routing buffers, one per lane, recycled via spares.
+    /// Staged points accumulate across `submit` calls and ship as one ring
+    /// batch when a lane crosses `ship_points` — or at any flush barrier.
+    /// Behind a mutex (uncontended: one lock per submit/flush, never per
+    /// point) so `flush(&self)` can drain staged work too.
+    staging: Mutex<Vec<LaneBatch>>,
+    /// Staged points per lane that trigger shipping a ring batch.
+    ship_points: usize,
+    /// Series resolution: (metric, tags) → (lane, ref), assigned in first
+    /// occurrence order.
+    table: KeyTable,
+    slots: Vec<ProducerSlot>,
+    /// Memo of the slot the previous point resolved to. Real ingest is
+    /// run-shaped (consecutive points from one series), so this one
+    /// equality check replaces hash + probe on the fast path.
+    last_slot: Option<u32>,
+}
+
+impl std::fmt::Debug for IngestRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestRuntime")
+            .field("lanes", &self.lanes.len())
+            .field("series", &self.slots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl IngestRuntime {
+    /// Build a runtime over `db`'s shards, registering `ingest.shard<i>.*`
+    /// metrics into `registry`, and spawn one writer per shard.
+    ///
+    /// Call after [`ShardedTsdb::attach_registry`]: writer handles capture
+    /// the shard put counters current at this moment.
+    pub fn new(db: &ShardedTsdb, registry: &Registry, config: IngestConfig) -> Self {
+        let n = db.shard_count();
+        let mut lanes = Vec::with_capacity(n);
+        for shard in 0..n {
+            let Some(writer) = db.writer(shard) else {
+                continue;
+            };
+            let shared = Arc::new(LaneShared {
+                ring: SpscRing::new(config.lane_capacity.max(1)),
+                defs: Mutex::new(Vec::new()),
+                spares: Mutex::new(Vec::new()),
+                applied: AtomicU64::new(0),
+                wait_target: AtomicU64::new(u64::MAX),
+                alive: AtomicBool::new(true),
+                shutdown: AtomicBool::new(false),
+                crash_next: AtomicBool::new(false),
+                writer_parked: AtomicBool::new(false),
+                thread: Mutex::new(None),
+                waiter: Mutex::new(None),
+                obs: LaneObs::register(registry, shard),
+            });
+            let lane = LaneLocal {
+                shared,
+                writer,
+                pushed: AtomicU64::new(0),
+                acked: AtomicU64::new(0),
+                join: Mutex::new(None),
+            };
+            Self::spawn_writer(&lane);
+            lanes.push(lane);
+        }
+        IngestRuntime {
+            staging: Mutex::new((0..lanes.len()).map(|_| LaneBatch::default()).collect()),
+            ship_points: config.ship_points.max(1),
+            lanes,
+            table: KeyTable::default(),
+            slots: Vec::new(),
+            last_slot: None,
+        }
+    }
+
+    /// Spawn (or respawn) a lane's writer thread.
+    fn spawn_writer(lane: &LaneLocal) {
+        let shared = Arc::clone(&lane.shared);
+        let writer = lane.writer.clone();
+        let name = format!("ctt-ingest-{}", lane.writer.shard());
+        shared.alive.store(true, Ordering::Release);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || writer_loop(shared, writer))
+        {
+            *lane.shared.thread.lock() = Some(handle.thread().clone());
+            *lane.join.lock() = Some(handle);
+        } else {
+            lane.shared.alive.store(false, Ordering::Release);
+        }
+    }
+
+    /// Number of lanes (= shards).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Resolve a point's series to its routing — owning lane plus
+    /// lane-local ref — registering a new series (producer table + lane
+    /// definition log) on first sight. Free-standing over the resolution
+    /// fields so `submit` can hold its staging lock alongside.
+    #[inline]
+    fn resolve_in(
+        table: &mut KeyTable,
+        slots: &mut Vec<ProducerSlot>,
+        last_slot: &mut Option<u32>,
+        lanes: &[LaneLocal],
+        p: &DataPoint,
+    ) -> Option<(u32, u32)> {
+        if let Some(idx) = *last_slot {
+            if let Some(slot) = slots.get(idx as usize) {
+                if slot.metric == p.metric && slot.tags == p.tags {
+                    return Some((slot.lane, slot.r));
+                }
+            }
+        }
+        let hash = series_key_hash(&p.metric, &p.tags);
+        let idx = match table.probe(slots, hash, &p.metric, &p.tags) {
+            Some(idx) => idx,
+            None => {
+                let lane = (hash % lanes.len() as u64) as u32;
+                let shared = &lanes.get(lane as usize)?.shared;
+                let mut defs = shared.defs.lock();
+                let r = defs.len() as u32;
+                defs.push((p.metric.clone(), p.tags.clone()));
+                drop(defs);
+                let idx = slots.len() as u32;
+                slots.push(ProducerSlot {
+                    metric: p.metric.clone(),
+                    tags: p.tags.clone(),
+                    lane,
+                    r,
+                });
+                table.insert(hash, idx + 1);
+                idx
+            }
+        };
+        *last_slot = Some(idx);
+        let slot = slots.get(idx as usize)?;
+        Some((slot.lane, slot.r))
+    }
+
+    /// Submit a batch of points for ingest. Routes each point to its
+    /// owning shard's lane under the same FNV-1a series-key discipline as
+    /// [`ShardedTsdb::put_batch`] — resolved once per series, memoized
+    /// across runs — and pushes one compact run-structured batch per
+    /// touched lane. Returns the number of points accepted — all of them;
+    /// when a lane's unflushed budget is exhausted this blocks on that
+    /// lane's barrier (counted in `full_stalls`) rather than dropping
+    /// data.
+    pub fn submit(&mut self, points: &[DataPoint]) -> u64 {
+        if self.lanes.is_empty() {
+            return 0;
+        }
+        let mut staging = self.staging.lock();
+        for p in points {
+            let Some((lane, r)) = Self::resolve_in(
+                &mut self.table,
+                &mut self.slots,
+                &mut self.last_slot,
+                &self.lanes,
+                p,
+            ) else {
+                continue;
+            };
+            if let Some(stage) = staging.get_mut(lane as usize) {
+                match stage.runs.last_mut() {
+                    Some(run) if run.0 == r => run.1 += 1,
+                    _ => stage.runs.push((r, 1)),
+                }
+                stage.pts.push((p.time, p.value));
+            }
+        }
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let full_enough = staging
+                .get(i)
+                .is_some_and(|s| s.pts.len() >= self.ship_points);
+            if full_enough {
+                if let Some(stage) = staging.get_mut(i) {
+                    Self::ship(lane, stage);
+                }
+            }
+        }
+        points.len() as u64
+    }
+
+    /// Hand one lane's staged batch to its writer: deterministic
+    /// admission, buffer swap against the spare pool, ring push, counters.
+    fn ship(lane: &LaneLocal, stage: &mut LaneBatch) {
+        let staged = stage.pts.len();
+        if staged == 0 {
+            return;
+        }
+        // Deterministic admission: the unflushed-batch budget depends only
+        // on the submitted workload, never on writer timing. It also
+        // bounds ring occupancy (applied >= acked), so the physical push
+        // below cannot find the ring full.
+        let unflushed = lane.pushed.load(Ordering::Relaxed) - lane.acked.load(Ordering::Relaxed);
+        if unflushed >= lane.shared.ring.capacity() as u64 {
+            lane.shared.obs.full_stalls.inc();
+            Self::barrier(lane);
+        }
+        let spare = lane.shared.spares.lock().pop().unwrap_or_default();
+        let mut batch = std::mem::replace(stage, spare);
+        loop {
+            match lane.shared.ring.push(batch) {
+                Ok(()) => break,
+                Err(back) => {
+                    // Unreachable by the budget argument above; kept as a
+                    // safety backstop rather than a panic.
+                    batch = back;
+                    lane.shared.unpark_writer();
+                    std::thread::yield_now();
+                }
+            }
+        }
+        lane.pushed.fetch_add(1, Ordering::Release);
+        lane.shared.obs.enqueued.add(staged as u64);
+        let unflushed = lane.pushed.load(Ordering::Relaxed) - lane.acked.load(Ordering::Relaxed);
+        lane.shared.obs.ring_high_water.raise_to(unflushed as i64);
+        if lane.shared.writer_parked.load(Ordering::Acquire) {
+            lane.shared.unpark_writer();
+        }
+    }
+
+    /// Wait until one lane's writer has applied everything its producer
+    /// pushed, respawning the writer if it died (the crash drill path).
+    /// The waiter parks after publishing its target; the writer unparks it
+    /// once `applied` crosses that target, with a bounded park timeout as
+    /// the backstop against the publish/apply race.
+    fn barrier(lane: &LaneLocal) {
+        let target = lane.pushed.load(Ordering::Acquire);
+        if lane.shared.applied.load(Ordering::Acquire) >= target {
+            lane.acked.store(target, Ordering::Release);
+            return;
+        }
+        // lint:allow(det) -- wakeup routing only; never a replayed observable
+        *lane.shared.waiter.lock() = Some(std::thread::current());
+        lane.shared.wait_target.store(target, Ordering::Release);
+        while lane.shared.applied.load(Ordering::Acquire) < target {
+            if !lane.shared.alive.load(Ordering::Acquire) {
+                // Writer died mid-batch. Join the corpse, then respawn; the
+                // in-flight batch is still in the ring and is reapplied
+                // exactly once by the fresh writer.
+                if let Some(handle) = lane.join.lock().take() {
+                    let _ = handle.join();
+                }
+                Self::spawn_writer(lane);
+            }
+            lane.shared.unpark_writer();
+            std::thread::park_timeout(std::time::Duration::from_micros(200));
+        }
+        lane.shared.wait_target.store(u64::MAX, Ordering::Release);
+        *lane.shared.waiter.lock() = None;
+        lane.acked.store(target, Ordering::Release);
+    }
+
+    /// Synchronous flush barrier: ships anything still staged, then
+    /// returns once every lane's writer has applied every submitted
+    /// point. After this, the sharded store is byte-identical to the same
+    /// points having gone through [`ShardedTsdb::put_batch`] in submit
+    /// order.
+    pub fn flush(&self) {
+        let mut staging = self.staging.lock();
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if let Some(stage) = staging.get_mut(i) {
+                Self::ship(lane, stage);
+            }
+        }
+        drop(staging);
+        for lane in &self.lanes {
+            Self::barrier(lane);
+        }
+    }
+
+    /// Chaos drill: make one shard's writer die mid-batch (after reading
+    /// the next batch off the ring, before applying it). The writer is
+    /// respawned at the next barrier and the batch is reapplied exactly
+    /// once. No-op for out-of-range shards.
+    pub fn arm_crash(&self, shard: usize) {
+        if let Some(lane) = self.lanes.get(shard) {
+            lane.shared.crash_next.store(true, Ordering::Release);
+            lane.shared.unpark_writer();
+        }
+    }
+
+    /// Whether a lane's writer thread is currently alive (test hook for
+    /// the crash drill).
+    pub fn writer_alive(&self, shard: usize) -> bool {
+        self.lanes
+            .get(shard)
+            .is_some_and(|l| l.shared.alive.load(Ordering::Acquire))
+    }
+}
+
+impl Drop for IngestRuntime {
+    fn drop(&mut self) {
+        // Drain everything first so no accepted point is lost, then stop
+        // the writers.
+        self.flush();
+        for lane in &self.lanes {
+            lane.shared.shutdown.store(true, Ordering::Release);
+            lane.shared.unpark_writer();
+        }
+        for lane in &self.lanes {
+            if let Some(handle) = lane.join.lock().take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctt_tsdb::Query;
+
+    fn dp(metric: &str, device: &str, t: i64, v: f64) -> DataPoint {
+        DataPoint::new(
+            metric,
+            vec![("device".to_string(), device.to_string())],
+            Timestamp(t),
+            v,
+        )
+        .expect("valid point")
+    }
+
+    fn points(devices: u32, per_device: i64) -> Vec<DataPoint> {
+        // Interleaved across devices, like the pipeline's drain batches.
+        (0..per_device)
+            .flat_map(|i| {
+                (0..devices)
+                    .map(move |d| dp("m", &format!("n{d}"), i * 300, f64::from(d) + i as f64))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn runtime_matches_put_batch_at_flush() {
+        let registry_a = Registry::new();
+        let mut a = ShardedTsdb::with_chunk_size(4, 16);
+        a.attach_registry(&registry_a);
+        let registry_b = Registry::new();
+        let mut b = ShardedTsdb::with_chunk_size(4, 16);
+        b.attach_registry(&registry_b);
+        let mut rt = IngestRuntime::new(&b, &registry_b, IngestConfig::default());
+        for chunk in points(8, 60).chunks(37) {
+            a.put_batch(chunk);
+            rt.submit(chunk);
+        }
+        rt.flush();
+        assert_eq!(a.stats(), b.stats());
+        let q = Query::range("m", Timestamp(0), Timestamp(60 * 300)).group_by("device");
+        assert_eq!(a.execute(&q).expect("a"), b.execute(&q).expect("b"));
+        // Shard put counters agree exactly.
+        let at = Timestamp(0);
+        let snap_a = registry_a.snapshot(at);
+        let snap_b = registry_b.snapshot(at);
+        for i in 0..4 {
+            let name = format!("tsdb.shard{i}.puts");
+            assert_eq!(snap_a.value(&name), snap_b.value(&name), "{name}");
+        }
+    }
+
+    #[test]
+    fn ingest_metrics_are_deterministic_across_replays() {
+        let run = || {
+            let registry = Registry::new();
+            let mut db = ShardedTsdb::with_chunk_size(4, 16);
+            db.attach_registry(&registry);
+            let mut rt = IngestRuntime::new(
+                &db,
+                &registry,
+                IngestConfig {
+                    lane_capacity: 2,
+                    ship_points: 1,
+                },
+            );
+            for chunk in points(6, 50).chunks(23) {
+                rt.submit(chunk);
+            }
+            rt.flush();
+            registry.snapshot(Timestamp(0)).to_csv()
+        };
+        let a = run();
+        assert_eq!(a, run(), "ingest metrics must not depend on thread timing");
+        assert!(a.contains("ingest.shard0.enqueued"));
+        assert!(a.contains("ingest.shard0.ring_high_water"));
+    }
+
+    #[test]
+    fn tiny_lane_budget_forces_deterministic_stalls() {
+        let registry = Registry::new();
+        let mut db = ShardedTsdb::with_chunk_size(2, 16);
+        db.attach_registry(&registry);
+        let mut rt = IngestRuntime::new(
+            &db,
+            &registry,
+            IngestConfig {
+                lane_capacity: 1,
+                ship_points: 1,
+            },
+        );
+        for chunk in points(4, 40).chunks(11) {
+            rt.submit(chunk);
+        }
+        rt.flush();
+        let snap = registry.snapshot(Timestamp(0));
+        let stalls: i128 = (0..2)
+            .map(|i| {
+                snap.value(&format!("ingest.shard{i}.full_stalls"))
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert!(
+            stalls > 0,
+            "budget 1 with many submits must stall:\n{snap:?}"
+        );
+        assert_eq!(db.stats().points, 4 * 40, "stalls never drop points");
+    }
+
+    #[test]
+    fn crash_mid_batch_loses_and_duplicates_nothing() {
+        let registry = Registry::new();
+        let mut db = ShardedTsdb::with_chunk_size(2, 16);
+        db.attach_registry(&registry);
+        let mut rt = IngestRuntime::new(&db, &registry, IngestConfig::default());
+        let all = points(4, 30);
+        let mid = all.len() / 2;
+        rt.submit(all.get(..mid).unwrap_or_default());
+        rt.flush();
+        rt.arm_crash(0);
+        rt.arm_crash(1);
+        rt.submit(all.get(mid..).unwrap_or_default());
+        rt.flush();
+        assert!(
+            rt.writer_alive(0) && rt.writer_alive(1),
+            "writers respawned"
+        );
+        // Reference store, no crash.
+        let mut reference = ShardedTsdb::with_chunk_size(2, 16);
+        reference.attach_registry(&Registry::new());
+        reference.put_batch(&all);
+        assert_eq!(db.stats(), reference.stats());
+        let q = Query::range("m", Timestamp(0), Timestamp(30 * 300)).group_by("device");
+        assert_eq!(
+            db.execute(&q).expect("db"),
+            reference.execute(&q).expect("reference")
+        );
+    }
+
+    #[test]
+    fn drop_flushes_outstanding_batches() {
+        let registry = Registry::new();
+        let mut db = ShardedTsdb::with_chunk_size(2, 16);
+        db.attach_registry(&registry);
+        {
+            let mut rt = IngestRuntime::new(&db, &registry, IngestConfig::default());
+            rt.submit(&points(3, 20));
+        }
+        assert_eq!(db.stats().points, 3 * 20);
+    }
+}

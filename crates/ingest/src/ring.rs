@@ -1,0 +1,192 @@
+//! Bounded SPSC ring the ingest lanes are built on.
+//!
+//! One producer (the submit path) and one consumer (the shard's writer
+//! thread) per ring. Synchronization is a per-slot `full` flag: the
+//! producer only touches a slot whose flag is clear, the consumer only one
+//! whose flag is set, so the slot's value lock is never contended — it
+//! exists to keep the implementation `forbid(unsafe_code)`-clean, not to
+//! arbitrate access.
+//!
+//! The occupied head slot doubles as the lane's write-ahead record: the
+//! consumer reads it in place ([`SpscRing::with_front`]), applies it, and
+//! only then pops. A consumer that dies mid-batch leaves the batch intact
+//! in the ring, so a restarted consumer reapplies it exactly once — the
+//! property the `WriterCrash` chaos drill pins.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// One ring slot: the flag is the SPSC hand-off, the lock is uncontended.
+#[derive(Debug)]
+struct Slot<T> {
+    full: AtomicBool,
+    value: Mutex<Option<T>>,
+}
+
+/// A bounded single-producer single-consumer ring.
+#[derive(Debug)]
+pub struct SpscRing<T> {
+    slots: Box<[Slot<T>]>,
+    /// Next slot the consumer reads. Only the consumer advances it.
+    head: AtomicUsize,
+    /// Next slot the producer writes. Only the producer advances it.
+    tail: AtomicUsize,
+}
+
+impl<T> SpscRing<T> {
+    /// A ring with `capacity` slots (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let n = capacity.max(1);
+        SpscRing {
+            slots: (0..n)
+                .map(|_| Slot {
+                    full: AtomicBool::new(false),
+                    value: Mutex::new(None),
+                })
+                .collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupied slots (approximate between threads; exact from either end
+    /// of the SPSC pair for its own progress decisions).
+    pub fn depth(&self) -> usize {
+        self.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.load(Ordering::Acquire))
+    }
+
+    fn slot(&self, index: usize) -> Option<&Slot<T>> {
+        self.slots.get(index % self.slots.len())
+    }
+
+    /// Producer: push a value, or hand it back if the ring is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let Some(slot) = self.slot(tail) else {
+            return Err(value);
+        };
+        if slot.full.load(Ordering::Acquire) {
+            return Err(value);
+        }
+        *slot.value.lock() = Some(value);
+        slot.full.store(true, Ordering::Release);
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer: run `f` over the front value without removing it. The
+    /// value stays in its slot (and stays visible to a future consumer)
+    /// until [`SpscRing::pop_front`]. `None` when the ring is empty.
+    pub fn with_front<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = self.slot(head)?;
+        if !slot.full.load(Ordering::Acquire) {
+            return None;
+        }
+        slot.value.lock().as_ref().map(f)
+    }
+
+    /// Consumer: remove and return the front value, if any.
+    pub fn pop_front(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = self.slot(head)?;
+        if !slot.full.load(Ordering::Acquire) {
+            return None;
+        }
+        let value = slot.value.lock().take();
+        slot.full.store(false, Ordering::Release);
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let ring = SpscRing::new(4);
+        assert_eq!(ring.capacity(), 4);
+        for i in 0..4 {
+            assert!(ring.push(i).is_ok());
+        }
+        assert_eq!(ring.depth(), 4);
+        assert_eq!(ring.push(99), Err(99), "full ring rejects");
+        for i in 0..4 {
+            assert_eq!(ring.with_front(|&v| v), Some(i));
+            assert_eq!(ring.pop_front(), Some(i));
+        }
+        assert_eq!(ring.pop_front(), None);
+        assert_eq!(ring.with_front(|&v| v), None);
+        // Wrap around: indices keep working past one lap.
+        for lap in 0..3 {
+            for i in 0..4 {
+                assert!(ring.push(lap * 10 + i).is_ok());
+            }
+            for i in 0..4 {
+                assert_eq!(ring.pop_front(), Some(lap * 10 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn with_front_is_crash_safe_peek() {
+        // Reading the front does not consume it: a consumer that observed
+        // the batch but died before popping leaves it for its successor.
+        let ring = SpscRing::new(2);
+        ring.push("batch").ok();
+        assert_eq!(ring.with_front(|v| v.len()), Some(5));
+        assert_eq!(ring.with_front(|v| v.len()), Some(5));
+        assert_eq!(ring.depth(), 1);
+        assert_eq!(ring.pop_front(), Some("batch"));
+        assert_eq!(ring.depth(), 0);
+    }
+
+    #[test]
+    fn spsc_threads_transfer_everything_in_order() {
+        let ring = Arc::new(SpscRing::new(8));
+        let consumer_ring = Arc::clone(&ring);
+        let consumer = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            while seen.len() < 1000 {
+                match consumer_ring.pop_front() {
+                    Some(v) => seen.push(v),
+                    None => std::thread::yield_now(),
+                }
+            }
+            seen
+        });
+        for i in 0..1000u32 {
+            let mut v = i;
+            loop {
+                match ring.push(v) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        v = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let seen = consumer.join().expect("consumer thread");
+        assert_eq!(seen, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = SpscRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        assert!(ring.push(1).is_ok());
+        assert_eq!(ring.push(2), Err(2));
+        assert_eq!(ring.pop_front(), Some(1));
+    }
+}

@@ -173,6 +173,7 @@ impl Default for LintConfig {
                 "crates/sim/src/".into(),
                 "crates/obs/src/".into(),
                 "crates/dataport/src/".into(),
+                "crates/ingest/src/".into(),
                 "src/pipeline.rs".into(),
                 "src/parallel.rs".into(),
                 "src/fleet.rs".into(),
@@ -181,6 +182,7 @@ impl Default for LintConfig {
                 "crates/broker/src/".into(),
                 "crates/chaos/src/".into(),
                 "crates/dataport/src/".into(),
+                "crates/ingest/src/".into(),
                 "crates/lorawan/src/".into(),
                 "crates/obs/src/".into(),
                 "crates/sim/src/".into(),
@@ -215,6 +217,10 @@ impl Default for LintConfig {
                 ("ShardedEventQueue".into(), "pop_slice".into()),
                 ("ShardedEventQueue".into(), "pop_slice_until".into()),
                 ("Fleet".into(), "run_until".into()),
+                // Ingest runtime: submit is the producer put path; flush is
+                // the sync barrier every observation point crosses.
+                ("IngestRuntime".into(), "submit".into()),
+                ("IngestRuntime".into(), "flush".into()),
             ],
         }
     }

@@ -15,7 +15,7 @@
 //! * value XOR: `0` (same) | `10` (within previous leading/trailing window)
 //!   | `11` + 5-bit leading + 6-bit length + meaningful bits
 
-use crate::bits::{BitReader, BitWriter};
+use crate::bits::{BitMark, BitReader, BitWriter};
 use crate::error::TsdbError;
 use ctt_core::time::Timestamp;
 
@@ -62,6 +62,7 @@ impl GorillaEncoder {
     }
 
     /// Append one point. Timestamps must be non-decreasing.
+    #[inline]
     pub fn append(&mut self, t: Timestamp, value: f64) {
         let ts = t.as_seconds();
         let vbits = value.to_bits();
@@ -103,23 +104,31 @@ impl GorillaEncoder {
             if xor == 0 {
                 self.w.write_bit(false);
             } else {
-                self.w.write_bit(true);
                 let leading = (xor.leading_zeros() as u8).min(31);
                 let trailing = xor.trailing_zeros() as u8;
                 if self.prev_leading != u8::MAX
                     && leading >= self.prev_leading
                     && trailing >= self.prev_trailing
                 {
-                    // Fits the previous window.
-                    self.w.write_bit(false);
+                    // Fits the previous window: control bits `10`, then the
+                    // significand — fused into one write when they fit a
+                    // u64 together (xor >> prev_trailing has at most `sig`
+                    // significant bits here, so the OR never collides).
                     let sig = 64 - self.prev_leading - self.prev_trailing;
-                    self.w.write_bits(xor >> self.prev_trailing, sig);
+                    if sig <= 62 {
+                        self.w
+                            .write_bits((0b10 << sig) | (xor >> self.prev_trailing), sig + 2);
+                    } else {
+                        self.w.write_bits(0b10, 2);
+                        self.w.write_bits(xor >> self.prev_trailing, sig);
+                    }
                 } else {
-                    self.w.write_bit(true);
+                    // New window: control bits `11`, the 5-bit leading
+                    // count, and the 6-bit `sig-1` (sig is 1..=64) — one
+                    // 13-bit header — then the significand.
                     let sig = 64 - leading - trailing;
-                    self.w.write_bits(u64::from(leading), 5);
-                    // sig is 1..=64; store sig-1 in 6 bits.
-                    self.w.write_bits(u64::from(sig - 1), 6);
+                    let header = (0b11 << 11) | (u64::from(leading) << 6) | u64::from(sig - 1);
+                    self.w.write_bits(header, 13);
                     self.w.write_bits(xor >> trailing, sig);
                     self.prev_leading = leading;
                     self.prev_trailing = trailing;
@@ -138,6 +147,48 @@ impl GorillaEncoder {
             data: self.w.into_bytes(),
         }
     }
+
+    /// Capture the full encoder state — bitstream position plus the
+    /// delta/XOR prediction context — so a later [`Self::restore`] rewinds
+    /// to exactly this instant. This is what lets a streaming appender
+    /// re-encode the final point (last-write-wins on duplicate timestamps)
+    /// or cut a chunk at a bucket boundary without re-walking the stream.
+    pub fn checkpoint(&self) -> EncCheckpoint {
+        EncCheckpoint {
+            mark: self.w.mark(),
+            count: self.count,
+            prev_ts: self.prev_ts,
+            prev_delta: self.prev_delta,
+            prev_value_bits: self.prev_value_bits,
+            prev_leading: self.prev_leading,
+            prev_trailing: self.prev_trailing,
+        }
+    }
+
+    /// Rewind to a previously captured checkpoint, discarding every point
+    /// appended since. The checkpoint must come from this encoder.
+    pub fn restore(&mut self, ck: &EncCheckpoint) {
+        self.w.truncate_to(&ck.mark);
+        self.count = ck.count;
+        self.prev_ts = ck.prev_ts;
+        self.prev_delta = ck.prev_delta;
+        self.prev_value_bits = ck.prev_value_bits;
+        self.prev_leading = ck.prev_leading;
+        self.prev_trailing = ck.prev_trailing;
+    }
+}
+
+/// A saved [`GorillaEncoder`] position: the bitstream mark plus the
+/// prediction context (previous timestamp, delta, value bits, XOR window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncCheckpoint {
+    mark: BitMark,
+    count: u32,
+    prev_ts: i64,
+    prev_delta: i64,
+    prev_value_bits: u64,
+    prev_leading: u8,
+    prev_trailing: u8,
 }
 
 /// A sealed compressed chunk.
@@ -414,6 +465,44 @@ mod tests {
         let mut enc = GorillaEncoder::new();
         enc.append(Timestamp(100), 1.0);
         enc.append(Timestamp(50), 2.0);
+    }
+
+    #[test]
+    fn checkpoint_restore_yields_identical_bytes() {
+        // Rewinding N points and re-appending the same tail must produce a
+        // chunk byte-identical to never having rewound — including when the
+        // rewind crosses XOR-window renegotiations.
+        let pts: Vec<(Timestamp, f64)> = (0..40i64)
+            .map(|i| {
+                let v = if i % 7 == 0 {
+                    f64::NAN
+                } else {
+                    400.0 + (i as f64) * 1.5
+                };
+                (Timestamp(i * 300), v)
+            })
+            .collect();
+        let mut straight = GorillaEncoder::new();
+        for &(t, v) in &pts {
+            straight.append(t, v);
+        }
+        for cut in [1usize, 13, 25, 39] {
+            let mut enc = GorillaEncoder::new();
+            for &(t, v) in &pts[..cut] {
+                enc.append(t, v);
+            }
+            let ck = enc.checkpoint();
+            // Scribble extra points, then rewind them all.
+            for i in 0..5i64 {
+                enc.append(Timestamp(pts[cut - 1].0 .0 + 1 + i), 9e9);
+            }
+            enc.restore(&ck);
+            assert_eq!(enc.count() as usize, cut);
+            for &(t, v) in &pts[cut..] {
+                enc.append(t, v);
+            }
+            assert_eq!(enc.clone().finish(), straight.clone().finish(), "cut {cut}");
+        }
     }
 
     #[test]

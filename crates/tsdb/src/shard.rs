@@ -54,12 +54,38 @@ pub const DEFAULT_SHARDS: usize = 4;
 /// FNV-1a 64-bit hash — deterministic (unlike `std`'s `RandomState`), so
 /// shard assignment is replay-stable across processes and runs.
 fn fnv1a(key: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in key.as_bytes() {
+    fnv1a_step(0xcbf2_9ce4_8422_2325, key.as_bytes())
+}
+
+/// Fold more bytes into a running FNV-1a 64-bit state.
+#[inline]
+fn fnv1a_step(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
         h ^= u64::from(*b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// FNV-1a 64-bit hash of the canonical series key (`metric{k1=v1,...}`),
+/// folded incrementally over the key's exact byte sequence — no key string
+/// is allocated. Equal to hashing [`series_key`]'s output (pinned by a
+/// unit test), so routing by this hash agrees with
+/// [`ShardedTsdb::shard_of_key`]. This is the ingest runtime's submit-path
+/// router: one hash, zero allocations, per point.
+#[inline]
+pub fn series_key_hash(metric: &str, tags: &TagSet) -> u64 {
+    let mut h = fnv1a_step(0xcbf2_9ce4_8422_2325, metric.as_bytes());
+    h = fnv1a_step(h, b"{");
+    for (i, (k, v)) in tags.iter().enumerate() {
+        if i > 0 {
+            h = fnv1a_step(h, b",");
+        }
+        h = fnv1a_step(h, k.as_bytes());
+        h = fnv1a_step(h, b"=");
+        h = fnv1a_step(h, v.as_bytes());
+    }
+    fnv1a_step(h, b"}")
 }
 
 /// Which serving layers a query may use. The default ([`ServePolicy::full`])
@@ -223,6 +249,31 @@ impl ShardedTsdb {
     /// The shard index that owns a canonical series key.
     pub fn shard_of_key(&self, key: &str) -> usize {
         (fnv1a(key) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard index that owns a precomputed [`series_key_hash`]. Agrees
+    /// with [`ShardedTsdb::shard_of_key`] for the same metric + tags.
+    pub fn shard_of_hash(&self, hash: u64) -> usize {
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    /// A standalone write handle for one shard, for single-writer ingest
+    /// runtimes: it holds its own `Arc`s to the shard's store and epoch
+    /// (plus a clone of the shard's `puts` counter), so a writer thread can
+    /// own it without borrowing the `ShardedTsdb`. Writes through the
+    /// handle bump the same epoch the query cache validates against, so
+    /// serving stays correct regardless of which path wrote. `None` for
+    /// out-of-range indices.
+    ///
+    /// Call after [`ShardedTsdb::attach_registry`]: the handle captures the
+    /// shard's current counter, and attaching replaces counters.
+    pub fn writer(&self, shard: usize) -> Option<ShardWriter> {
+        Some(ShardWriter {
+            store: Arc::clone(self.shards.get(shard)?),
+            epoch: Arc::clone(self.epochs.get(shard)?),
+            puts: self.obs.get(shard)?.puts.clone(),
+            shard,
+        })
     }
 
     /// Cache hit/miss/eviction counters.
@@ -557,6 +608,92 @@ impl ShardedTsdb {
     }
 }
 
+/// A write handle bound to one shard of a [`ShardedTsdb`] (see
+/// [`ShardedTsdb::writer`]). Cheap to move across threads; the ingest
+/// runtime gives each shard exactly one, making that thread the shard's
+/// single writer.
+#[derive(Debug, Clone)]
+pub struct ShardWriter {
+    store: Arc<RwLock<Tsdb>>,
+    epoch: Arc<AtomicU64>,
+    puts: Counter,
+    shard: usize,
+}
+
+impl ShardWriter {
+    /// The shard index this handle writes.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Open a write session: the shard lock is taken once and held until
+    /// the session drops, which is when the epoch bump and put-counter
+    /// update publish everything the session wrote. Readers (queries, the
+    /// cache) either see the shard wholly before or wholly after the
+    /// session — never a half-applied batch.
+    pub fn session(&self) -> ShardWriteSession<'_> {
+        ShardWriteSession {
+            guard: self.store.write(),
+            epoch: &self.epoch,
+            puts: &self.puts,
+            written: 0,
+        }
+    }
+}
+
+/// One atomic batch of writes against a single shard, created by
+/// [`ShardWriter::session`]. Dropping the session publishes: the shard
+/// epoch is bumped (once, iff anything was written) and the shard's `puts`
+/// counter advances by the points written — the same observable effects
+/// per batch as [`ShardedTsdb::put_batch`] on that shard.
+pub struct ShardWriteSession<'a> {
+    guard: parking_lot::RwLockWriteGuard<'a, Tsdb>,
+    epoch: &'a AtomicU64,
+    puts: &'a Counter,
+    written: u64,
+}
+
+impl std::fmt::Debug for ShardWriteSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardWriteSession")
+            .field("written", &self.written)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardWriteSession<'_> {
+    /// Intern a series in this shard (see [`Tsdb::intern`]). The id is
+    /// stable for the shard's lifetime, so callers may cache it.
+    pub fn intern(&mut self, metric: &str, tags: &TagSet) -> crate::store::SeriesId {
+        self.guard.intern(metric, tags)
+    }
+
+    /// Append a time-ordered-as-received run of points to an interned
+    /// series, sealing at thresholds exactly as per-point `put` would.
+    pub fn append_run(&mut self, id: crate::store::SeriesId, pts: &[(Timestamp, f64)]) {
+        self.guard.append_run(id, pts);
+        self.written += pts.len() as u64;
+    }
+
+    /// Monotone compressed-bytes total of this shard (for encoded-bytes
+    /// deltas without re-taking the lock).
+    pub fn encoded_bytes_total(&self) -> u64 {
+        self.guard.encoded_bytes_total()
+    }
+}
+
+impl Drop for ShardWriteSession<'_> {
+    fn drop(&mut self) {
+        if self.written > 0 {
+            // Release-ordered bump after the writes, matching
+            // `ShardedTsdb::bump_epoch`: cache validation that loads the
+            // new epoch observes the session's writes.
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+            self.puts.add(self.written);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -820,6 +957,98 @@ mod tests {
         let quarantined = snap.value("tsdb.shard0.quarantined_points").unwrap_or(0)
             + snap.value("tsdb.shard1.quarantined_points").unwrap_or(0);
         assert_eq!(quarantined, flipped);
+    }
+
+    #[test]
+    fn incremental_key_hash_matches_built_key_hash() {
+        let cases: Vec<(String, TagSet)> = vec![
+            ("m".to_string(), TagSet::new()),
+            (
+                "ctt.air.co2".to_string(),
+                [
+                    ("city".to_string(), "trondheim".to_string()),
+                    ("device".to_string(), "70b3000000000001".to_string()),
+                ]
+                .into(),
+            ),
+            (
+                "x".to_string(),
+                [
+                    ("a".to_string(), "1".to_string()),
+                    ("b".to_string(), "2".to_string()),
+                    ("c".to_string(), "3".to_string()),
+                ]
+                .into(),
+            ),
+        ];
+        let db = ShardedTsdb::new(8);
+        for (metric, tags) in cases {
+            let key = series_key(&metric, &tags);
+            assert_eq!(series_key_hash(&metric, &tags), fnv1a(&key), "{key}");
+            assert_eq!(
+                db.shard_of_hash(series_key_hash(&metric, &tags)),
+                db.shard_of_key(&key)
+            );
+        }
+    }
+
+    #[test]
+    fn writer_session_equals_put_batch() {
+        // Writing through per-shard sessions must leave the store, epochs,
+        // and puts counters exactly as put_batch would.
+        let mk = || {
+            let registry = Registry::new();
+            let mut db = ShardedTsdb::with_chunk_size(4, 8);
+            db.attach_registry(&registry);
+            (registry, db)
+        };
+        let points: Vec<DataPoint> = (0..6u32)
+            .flat_map(|d| {
+                (0..30i64).map(move |i| dp("m", &format!("n{d}"), i * 300, f64::from(d) + i as f64))
+            })
+            .collect();
+        let (reg_a, a) = mk();
+        assert_eq!(a.put_batch(&points), points.len() as u64);
+        let (reg_b, b) = mk();
+        // Route by hash, group per shard preserving arrival order, then
+        // apply each shard's bucket through one write session.
+        let mut buckets: Vec<Vec<&DataPoint>> = (0..b.shard_count()).map(|_| Vec::new()).collect();
+        for p in &points {
+            let shard = b.shard_of_hash(series_key_hash(&p.metric, &p.tags));
+            if let Some(bucket) = buckets.get_mut(shard) {
+                bucket.push(p);
+            }
+        }
+        for (i, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let writer = b.writer(i).expect("shard in range");
+            assert_eq!(writer.shard(), i);
+            let mut session = writer.session();
+            for p in bucket {
+                let id = session.intern(&p.metric, &p.tags);
+                session.append_run(id, &[(p.time, p.value)]);
+            }
+        }
+        assert_eq!(a.stats(), b.stats());
+        for i in 0..a.shard_count() {
+            assert_eq!(a.epoch(i), b.epoch(i), "shard {i} epoch");
+        }
+        let q = Query::range("m", Timestamp(0), Timestamp(30 * 300)).group_by("device");
+        assert_eq!(a.execute(&q).unwrap(), b.execute(&q).unwrap());
+        let at = Timestamp(0);
+        assert_eq!(reg_a.snapshot(at).to_csv(), reg_b.snapshot(at).to_csv());
+    }
+
+    #[test]
+    fn empty_session_does_not_bump_epoch() {
+        let db = ShardedTsdb::new(2);
+        let before = db.epoch(0);
+        let writer = db.writer(0).expect("shard 0");
+        drop(writer.session());
+        assert_eq!(db.epoch(0), before);
+        assert!(db.writer(99).is_none());
     }
 
     #[test]

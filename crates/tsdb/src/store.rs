@@ -6,7 +6,7 @@
 //! Reads merge sealed chunks and the open buffer.
 
 use crate::error::TsdbError;
-use crate::gorilla::{CompressedChunk, GorillaEncoder};
+use crate::gorilla::{CompressedChunk, EncCheckpoint, GorillaEncoder};
 use crate::model::{series_key, DataPoint, TagSet};
 use crate::rollup::{build_rollups, RollupBucket};
 use ctt_core::time::{Span, Timestamp};
@@ -27,16 +27,28 @@ pub const DEFAULT_ROLLUP_INTERVAL: Span = Span::hours(1);
 /// last occurrence of each run (last write wins). Returns how many points
 /// were removed.
 pub(crate) fn dedup_last_write_wins(points: &mut Vec<(Timestamp, f64)>) -> usize {
+    // In-place two-cursor compaction — the seal path calls this for every
+    // chunk, so it must not allocate a shadow vector.
     let before = points.len();
-    let mut kept: Vec<(Timestamp, f64)> = Vec::with_capacity(before);
-    for &(t, v) in points.iter() {
-        match kept.last_mut() {
-            Some(last) if last.0 == t => last.1 = v,
-            _ => kept.push((t, v)),
+    let mut w = 0usize;
+    for r in 0..before {
+        let Some(&(t, v)) = points.get(r) else {
+            break;
+        };
+        // `w.wrapping_sub(1)` is `usize::MAX` when nothing is kept yet,
+        // which `get_mut` rejects — the empty case without a branch.
+        match points.get_mut(w.wrapping_sub(1)) {
+            Some(prev) if prev.0 == t => prev.1 = v,
+            _ => {
+                if let Some(slot) = points.get_mut(w) {
+                    *slot = (t, v);
+                }
+                w += 1;
+            }
         }
     }
-    *points = kept;
-    before - points.len()
+    points.truncate(w);
+    before - w
 }
 
 #[derive(Debug, Clone)]
@@ -74,6 +86,82 @@ impl ScanCounts {
     }
 }
 
+/// Streaming encoder over a series' open buffer: the Gorilla bitstream is
+/// built as points arrive, so an in-order seal is a checkpoint rewind plus
+/// `finish()` instead of an O(chunk) re-walk of every point.
+///
+/// The stream mirrors what `sort_dedup_open` would produce for strictly
+/// increasing arrivals; a duplicate timestamp (last-write-wins rewrite) or
+/// an out-of-order arrival abandons the stream (`push` returns `false`),
+/// and the seal falls back to re-encoding the sorted, deduped buffer —
+/// byte-identical output, and self-healing, since the post-seal rebuild
+/// walks the sorted tail. Keeping the in-order fast path checkpoint-free
+/// matters: it runs once per ingested point.
+#[derive(Debug, Clone)]
+struct OpenEnc {
+    enc: GorillaEncoder,
+    /// The threshold-seal cut: `(points before the last rollup-bucket
+    /// boundary crossed, encoder state at that instant)`. `None` while all
+    /// points sit in one bucket.
+    cut: Option<(usize, EncCheckpoint)>,
+    last_ts: Timestamp,
+    /// End of the rollup bucket containing `last_ts`, cached so the
+    /// boundary test is one compare per point instead of two `align_down`
+    /// divisions. Valid whenever `count > 0` (the store's interval is
+    /// fixed at construction).
+    bucket_end: Timestamp,
+}
+
+impl OpenEnc {
+    fn new() -> Self {
+        OpenEnc {
+            enc: GorillaEncoder::new(),
+            cut: None,
+            last_ts: Timestamp(i64::MIN),
+            bucket_end: Timestamp(i64::MIN),
+        }
+    }
+
+    /// Feed one arrival. Returns `false` when the stream cannot follow
+    /// (out-of-order point, or a duplicate timestamp whose last-write-wins
+    /// rewrite would mean re-encoding) — the caller then drops the stream
+    /// and the next seal re-encodes from the sorted buffer.
+    #[inline]
+    fn push(&mut self, t: Timestamp, v: f64, interval: Span) -> bool {
+        if self.enc.count() > 0 {
+            if t <= self.last_ts {
+                return false;
+            }
+            if t >= self.bucket_end {
+                self.cut = Some((self.enc.count() as usize, self.enc.checkpoint()));
+                self.bucket_end = t.align_down(interval) + interval;
+            }
+        } else {
+            self.bucket_end = t.align_down(interval) + interval;
+        }
+        self.enc.append(t, v);
+        self.last_ts = t;
+        true
+    }
+
+    /// Consume the stream into the sealed chunk for its first `cut`
+    /// points, if the stream can produce it without a re-walk: either the
+    /// whole stream is sealed, or `cut` lands exactly on the recorded
+    /// bucket-boundary checkpoint.
+    fn into_chunk_for(mut self, cut: usize) -> Option<CompressedChunk> {
+        if cut == self.enc.count() as usize {
+            return Some(self.enc.finish());
+        }
+        match self.cut {
+            Some((at, ck)) if at == cut => {
+                self.enc.restore(&ck);
+                Some(self.enc.finish())
+            }
+            _ => None,
+        }
+    }
+}
+
 /// One stored series.
 #[derive(Debug, Clone)]
 pub(crate) struct Series {
@@ -85,6 +173,13 @@ pub(crate) struct Series {
     /// range read binary-searches instead of walking every chunk.
     index: Vec<u32>,
     points: u64,
+    /// Streaming encoder shadowing `open`; `None` after an out-of-order
+    /// arrival until the next seal rebuilds it from the sorted tail.
+    stream: Option<OpenEnc>,
+    /// Monotone total of compressed bytes this series has ever encoded
+    /// (seal-time chunks plus retention re-encodes). Feeds the ingest
+    /// runtime's `encoded_bytes` counters; never decremented.
+    encoded_bytes_total: u64,
 }
 
 impl Series {
@@ -96,7 +191,37 @@ impl Series {
             open: Vec::new(),
             index: Vec::new(),
             points: 0,
+            stream: Some(OpenEnc::new()),
+            encoded_bytes_total: 0,
         }
+    }
+
+    /// Append one arrival to the open buffer, keeping the streaming
+    /// encoder in lockstep. The single write entry point shared by
+    /// [`Tsdb::put`] and [`Tsdb::append_run`].
+    fn push_point(&mut self, t: Timestamp, v: f64, interval: Span) {
+        self.open.push((t, v));
+        self.points += 1;
+        if let Some(st) = &mut self.stream {
+            if !st.push(t, v, interval) {
+                self.stream = None;
+            }
+        }
+    }
+
+    /// Rebuild the streaming encoder from the current open buffer (after a
+    /// seal drained a prefix, or retention rewrote the tail). Walks at most
+    /// one chunk's worth of points; goes dormant again if the buffer holds
+    /// out-of-order data.
+    fn rebuild_stream(&mut self, interval: Span) {
+        let mut st = OpenEnc::new();
+        for &(t, v) in &self.open {
+            if !st.push(t, v, interval) {
+                self.stream = None;
+                return;
+            }
+        }
+        self.stream = Some(st);
     }
 
     /// Sort the open buffer and collapse duplicate timestamps.
@@ -114,6 +239,7 @@ impl Series {
     /// Append a sealed chunk and insert its position into the block index
     /// (after any chunk with the same start, keeping seal order stable).
     fn push_sealed(&mut self, sc: SealedChunk) {
+        self.encoded_bytes_total += sc.chunk.size_bytes() as u64;
         let pos = self.index.partition_point(|&i| {
             self.sealed
                 .get(i as usize)
@@ -139,24 +265,39 @@ impl Series {
     }
 
     /// Encode the first `cut` points of the (sorted, deduplicated) open
-    /// buffer into a sealed chunk, materializing its rollups.
+    /// buffer into a sealed chunk, materializing its rollups. When the
+    /// streaming encoder tracked the buffer (in-order arrivals) and `cut`
+    /// lands on its bucket checkpoint, the chunk is a checkpoint rewind —
+    /// no bitstream re-walk; otherwise the points are re-encoded. Either
+    /// way the stream is rebuilt over the surviving tail.
     fn seal_prefix(&mut self, cut: usize, interval: Span) {
         let pts = self.open.get(..cut).unwrap_or(&[]);
         let (Some(&(start, _)), Some(&(end, _))) = (pts.first(), pts.last()) else {
             return; // nothing to seal
         };
-        let mut enc = GorillaEncoder::new();
-        for &(t, v) in pts {
-            enc.append(t, v);
-        }
         let rollups = build_rollups(pts, interval);
+        // The stream is trustworthy only if it followed every arrival: its
+        // point count then equals the deduplicated buffer's length.
+        let chunk = self
+            .stream
+            .take()
+            .filter(|st| st.enc.count() as usize == self.open.len())
+            .and_then(|st| st.into_chunk_for(cut))
+            .unwrap_or_else(|| {
+                let mut enc = GorillaEncoder::new();
+                for &(t, v) in pts {
+                    enc.append(t, v);
+                }
+                enc.finish()
+            });
         self.push_sealed(SealedChunk {
-            chunk: enc.finish(),
+            chunk,
             start,
             end,
             rollups: Some(rollups),
         });
         self.open.drain(..cut);
+        self.rebuild_stream(interval);
     }
 
     /// Seal the entire open buffer (force-flush path).
@@ -439,28 +580,59 @@ impl Tsdb {
         self.rollup_interval
     }
 
-    /// Insert a data point, interning its series on first sight.
-    pub fn put(&mut self, point: &DataPoint) -> SeriesId {
-        let key = point.series_key();
-        let id = match self.by_key.get(&key) {
+    /// Intern a series by metric + tags, returning its id (existing or
+    /// freshly created). Ids are dense and never reused, so callers — the
+    /// ingest runtime's per-writer key tables in particular — may cache
+    /// them indefinitely.
+    pub fn intern(&mut self, metric: &str, tags: &TagSet) -> SeriesId {
+        let key = series_key(metric, tags);
+        match self.by_key.get(&key) {
             Some(&id) => id,
             None => {
                 let id = SeriesId(self.series.len() as u32);
                 self.series
-                    .push(Series::new(point.metric.clone(), point.tags.clone()));
+                    .push(Series::new(metric.to_string(), tags.clone()));
                 self.by_key.insert(key, id);
                 self.by_metric
-                    .entry(point.metric.clone())
+                    .entry(metric.to_string())
                     .or_default()
                     .push(id);
                 id
             }
-        };
+        }
+    }
+
+    /// Append a run of points to an already-interned series, checking the
+    /// seal threshold after every point — byte-identical to calling
+    /// [`Tsdb::put`] once per point, minus the per-point key build and map
+    /// probe. Unknown ids are ignored (ids only come from this store).
+    pub fn append_run(&mut self, id: SeriesId, pts: &[(Timestamp, f64)]) {
+        let interval = self.rollup_interval;
+        let chunk_size = self.chunk_size;
+        if let Some(series) = self.series.get_mut(id.0 as usize) {
+            for &(t, v) in pts {
+                series.push_point(t, v, interval);
+                if series.open.len() >= chunk_size {
+                    series.seal_at_threshold(interval, chunk_size);
+                }
+            }
+        }
+    }
+
+    /// Monotone total of compressed bytes this store has encoded (seal
+    /// chunks plus retention re-encodes). Snapshot deltas of this feed the
+    /// ingest runtime's per-shard `encoded_bytes` counters.
+    pub fn encoded_bytes_total(&self) -> u64 {
+        self.series.iter().map(|s| s.encoded_bytes_total).sum()
+    }
+
+    /// Insert a data point, interning its series on first sight.
+    pub fn put(&mut self, point: &DataPoint) -> SeriesId {
+        let id = self.intern(&point.metric, &point.tags);
         // by_key and series grow together, so an interned id is always in
         // range; the fallback keeps this path panic-free regardless.
         if let Some(series) = self.series.get_mut(id.0 as usize) {
-            series.open.push((point.time, point.value));
-            series.points += 1;
+            series.push_point(point.time, point.value, self.rollup_interval);
             if series.open.len() >= self.chunk_size {
                 series.seal_at_threshold(self.rollup_interval, self.chunk_size);
             }
@@ -642,6 +814,7 @@ impl Tsdb {
         let rollup_interval = self.rollup_interval;
         for s in &mut self.series {
             let mut kept_sealed = Vec::with_capacity(s.sealed.len());
+            let mut reencoded_bytes = 0u64;
             for sc in s.sealed.drain(..) {
                 if sc.end < cutoff {
                     dropped += u64::from(sc.chunk.count());
@@ -664,11 +837,13 @@ impl Tsdb {
                         for &(t, v) in &pts {
                             enc.append(t, v);
                         }
+                        let chunk = enc.finish();
+                        reencoded_bytes += chunk.size_bytes() as u64;
                         // Rollups rebuilt over the surviving points only:
                         // the truncated leading bucket summarizes exactly
                         // what a raw decode of the new chunk would see.
                         kept_sealed.push(SealedChunk {
-                            chunk: enc.finish(),
+                            chunk,
                             start,
                             end,
                             rollups: Some(build_rollups(&pts, rollup_interval)),
@@ -677,10 +852,16 @@ impl Tsdb {
                 }
             }
             s.sealed = kept_sealed;
+            s.encoded_bytes_total += reencoded_bytes;
             s.rebuild_index();
             let before = s.open.len();
             s.open.retain(|&(t, _)| t >= cutoff);
             dropped += (before - s.open.len()) as u64;
+            if before != s.open.len() {
+                // Retention rewrote the open buffer underneath the
+                // streaming encoder; rebuild it over what survived.
+                s.rebuild_stream(rollup_interval);
+            }
         }
         // Recompute per-series point counts after sealed drops.
         for s in &mut self.series {

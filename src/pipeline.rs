@@ -30,6 +30,7 @@ use ctt_core::scenario::ScenarioSet;
 use ctt_core::time::{Span, Timestamp};
 use ctt_core::units::Dbm;
 use ctt_dataport::{AlarmKind, Dataport, DataportConfig};
+use ctt_ingest::{IngestConfig, IngestRuntime};
 use ctt_lorawan::{
     collision_horizon, DataRate, GatewayConfig, LinkBackoff, NetworkServer, RadioSimulator,
     SimConfig, TxRequest, UplinkFrame, UplinkRecord,
@@ -225,6 +226,10 @@ pub struct Pipeline {
     /// The time-series store (public: queried by analyses and dashboards).
     /// Sharded by series-key hash; safe to query while other threads write.
     pub tsdb: ShardedTsdb,
+    /// The staged ingest runtime in front of the store: one single-writer
+    /// lane per shard. All pipeline writes go through it; every read path
+    /// crosses a flush barrier first, so replay stays byte-identical.
+    ingest: IngestRuntime,
     /// Worker pool for the storage consumer's decode stage. Results are
     /// merged in delivery order, so replay stays byte-identical.
     decode_pool: OrderedPool<Arc<Vec<u8>>, DecodeOutcome>,
@@ -295,6 +300,9 @@ impl Pipeline {
         let storage_sub = broker.subscribe(UplinkEvent::all_filter(), QoS::AtLeastOnce, 65_536);
         let mut tsdb = ShardedTsdb::new(DEFAULT_SHARDS);
         tsdb.attach_registry(&registry);
+        // The runtime captures per-shard writer handles (and the shard put
+        // counters), so it must be built after attach_registry.
+        let ingest = IngestRuntime::new(&tsdb, &registry, IngestConfig::default());
         let mut dataport = Dataport::new(DataportConfig::default());
         for n in &deployment.nodes {
             dataport.register_sensor(n.eui);
@@ -331,6 +339,7 @@ impl Pipeline {
             broker,
             storage_sub,
             tsdb,
+            ingest,
             decode_pool: OrderedPool::new(decode_workers(), decode_delivery),
             dataport,
             radio_state: HashMap::new(),
@@ -505,6 +514,10 @@ impl Pipeline {
     /// ledger-cause, and scheduler values — at the current simulation time.
     /// Byte-identical (CSV and JSON) across replays of the same seed+plan.
     pub fn metrics_snapshot(&self) -> Snapshot {
+        // Barrier first: every in-flight ingest batch lands before the
+        // registry is read, so shard puts / ingest counters are exact and
+        // replay-deterministic.
+        self.ingest.flush();
         let mut snap = self.registry.snapshot(self.clock.now());
         snap.push_counter("stage.node.readings", self.stats.readings);
         snap.push_counter("stage.radio.delivered", self.stats.delivered);
@@ -666,6 +679,10 @@ impl Pipeline {
         let mut events = std::mem::take(&mut self.events);
         self.process_radio_outcomes(&mut events);
         self.events = events;
+        // Ingest flush barrier: the segment's writes are fully applied
+        // before anything outside the segment (queries, fleet rollups,
+        // replay comparisons) can observe the store.
+        self.ingest.flush();
         self.clock.advance(end);
     }
 
@@ -795,6 +812,9 @@ impl Pipeline {
         if self.chaos.is_none() {
             return;
         }
+        // Bit flips target "the nth sealed chunk": drain the ingest lanes
+        // so the chunk population at this instant matches a serial replay.
+        self.ingest.flush();
         let flips = self
             .chaos
             .as_mut()
@@ -1138,7 +1158,7 @@ impl Pipeline {
                 }
             }
         }
-        self.stats.points_stored += self.tsdb.put_batch(&points);
+        self.stats.points_stored += self.ingest.submit(&points);
         // Queue headroom opened: pull back QoS1 deliveries deferred while
         // it was full. One round per pass — a scheduled drain picks up
         // whatever is still deferred.
@@ -1215,6 +1235,7 @@ impl Pipeline {
         let q = Query::range(quantity.metric_name(), from, to)
             .with_tag("device", format!("{:016x}", device.0))
             .aggregate(Aggregator::Avg);
+        self.ingest.flush();
         // Storage corruption degrades to an empty series here: dashboard
         // reads prefer availability, and the error is already typed at the
         // tsdb layer for callers that need it.
@@ -1232,6 +1253,7 @@ impl Pipeline {
         let q = Query::range(quantity.metric_name(), from, to)
             .with_tag("city", self.city_slug.clone())
             .aggregate(Aggregator::Avg);
+        self.ingest.flush();
         // Storage corruption degrades to an empty series here: dashboard
         // reads prefer availability, and the error is already typed at the
         // tsdb layer for callers that need it.
@@ -1242,6 +1264,27 @@ impl Pipeline {
             .next()
             .map(|r| r.series)
             .unwrap_or_default()
+    }
+
+    /// Ingest flush barrier: block until every submitted point has been
+    /// applied by its shard's writer. After this the store is
+    /// byte-identical to the same points having gone through
+    /// `put_batch` in submit order.
+    pub fn flush_ingest(&self) {
+        self.ingest.flush();
+    }
+
+    /// Force one ingest shard's writer thread to die mid-batch (the
+    /// `WriterCrash` chaos drill). The runtime respawns the writer at the
+    /// next barrier and reapplies the in-flight batch exactly once.
+    pub fn arm_writer_crash(&self, shard: usize) {
+        self.ingest.arm_crash(shard);
+    }
+
+    /// Whether an ingest shard's writer thread is currently alive
+    /// (crash-drill observability).
+    pub fn ingest_writer_alive(&self, shard: usize) -> bool {
+        self.ingest.writer_alive(shard)
     }
 
     /// The gateway ids of this pilot.
